@@ -1,0 +1,52 @@
+// Ablation: Gozar's relay redundancy (1 = default single relay with
+// failover; >1 = the redundant-relaying variant). Trades duplicated relay
+// traffic for exchange reliability and post-failure reachability.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/overhead.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croupier;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const auto warmup = sim::sec(60);
+  const auto window = sim::sec(60);
+  const std::size_t redundancies[] = {1, 2, 3};
+
+  std::printf(
+      "# ablation: Gozar relay redundancy; %zu nodes, 80%%%% private, "
+      "%zu run(s)\n",
+      n, args.runs);
+  std::printf("%-12s %14s %15s %18s\n", "redundancy", "pub-load(B/s)",
+              "priv-load(B/s)", "cluster@80%fail");
+
+  for (std::size_t red : redundancies) {
+    double pub_load = 0;
+    double priv_load = 0;
+    double cluster = 0;
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      auto cfg = bench::paper_gozar_config();
+      cfg.relay_redundancy = red;
+
+      run::World world(bench::paper_world_config(args.seed + r * 1000),
+                       run::make_gozar_factory(cfg));
+      bench::paper_joins(world, n / 5, n - n / 5);
+      world.simulator().run_until(warmup);
+      world.network().meter().reset();
+      world.simulator().run_until(warmup + window);
+      const auto load = metrics::summarize_load(world.network().meter(),
+                                                world.class_map(), window);
+      pub_load += load.public_bytes_per_sec;
+      priv_load += load.private_bytes_per_sec;
+
+      run::schedule_catastrophe(world, warmup + window, 0.8);
+      world.simulator().run_until(warmup + window + sim::msec(1));
+      cluster += world.snapshot_overlay(true).largest_component_fraction();
+    }
+    const auto k = static_cast<double>(args.runs);
+    std::printf("%-12zu %14.1f %15.1f %18.3f\n", red, pub_load / k,
+                priv_load / k, cluster / k);
+  }
+  return 0;
+}

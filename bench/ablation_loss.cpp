@@ -1,0 +1,53 @@
+// Ablation: message loss and the estimator's third assumption ("no bias
+// in message loss between public and private nodes").
+//
+// Uniform loss keeps the estimate unbiased (both hit counters shrink
+// proportionally); this sweep verifies that and also checks overlay
+// connectivity under loss. The paper assumes this property; here it is
+// measured.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croupier;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double losses[] = {0.0, 0.01, 0.05, 0.10, 0.20};
+
+  std::printf(
+      "# ablation: uniform message loss vs estimation/connectivity; "
+      "%zu nodes, %zu run(s)\n",
+      n, args.runs);
+  std::printf("%-8s %12s %12s %14s %12s\n", "loss", "avg-err", "max-err",
+              "biggest-cluster", "apl");
+
+  for (double loss : losses) {
+    double avg_err = 0;
+    double max_err = 0;
+    double cluster = 0;
+    double apl = 0;
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      auto wcfg = bench::paper_world_config(args.seed + r * 1000);
+      wcfg.loss_probability = loss;
+      run::World world(wcfg, run::make_croupier_factory(
+                                 bench::paper_croupier_config(25, 50)));
+      bench::paper_joins(world, n / 5, n - n / 5);
+      run::EstimationRecorder rec(world, {sim::sec(1), 2});
+      rec.start(sim::sec(1));
+      world.simulator().run_until(duration);
+
+      avg_err += rec.latest().sample.avg_error;
+      max_err += rec.latest().sample.max_error;
+      const auto graph = world.snapshot_overlay();
+      cluster += graph.largest_component_fraction();
+      sim::RngStream rng(args.seed + r);
+      apl += graph.avg_path_length(rng, 128);
+    }
+    const auto k = static_cast<double>(args.runs);
+    std::printf("%-8.2f %12.5f %12.5f %14.3f %12.3f\n", loss, avg_err / k,
+                max_err / k, cluster / k, apl / k);
+  }
+  return 0;
+}

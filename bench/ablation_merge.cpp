@@ -1,0 +1,88 @@
+// Ablation: view-merge policy — swapper (the paper's choice, minimal
+// information loss) vs healer (fastest purge of stale descriptors).
+//
+// Compares the two policies for Croupier under churn on: estimation
+// error, mean age of view entries, and the fraction of view entries that
+// point at dead nodes (the quantity healer is designed to minimize).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace croupier;
+
+struct Result {
+  double avg_err = 0;
+  double mean_age = 0;
+  double dead_entry_share = 0;
+};
+
+Result measure(pss::MergePolicy policy, std::size_t n, std::uint64_t seed,
+               sim::Duration duration, double churn_rate) {
+  auto cfg = bench::paper_croupier_config(25, 50);
+  cfg.base.merge = policy;
+  run::World world(bench::paper_world_config(seed),
+                   run::make_croupier_factory(cfg));
+  bench::paper_joins(world, n / 5, n - n / 5);
+  run::ChurnProcess churn(world, churn_rate, net::NatConfig::open(),
+                          net::NatConfig::natted());
+  churn.start(sim::sec(30));
+  run::EstimationRecorder rec(world, {sim::sec(1), 2});
+  rec.start(sim::sec(1));
+  world.simulator().run_until(duration);
+
+  Result res;
+  res.avg_err = rec.latest().sample.avg_error;
+  double age_sum = 0;
+  std::size_t entries = 0;
+  std::size_t dead = 0;
+  world.for_each_sampler([&](net::NodeId, pss::PeerSampler& p) {
+    const auto& c = dynamic_cast<const core::Croupier&>(p);
+    for (const auto* view : {&c.public_view(), &c.private_view()}) {
+      for (const auto& d : view->entries()) {
+        age_sum += static_cast<double>(d.age);
+        ++entries;
+        if (!world.alive(d.id)) ++dead;
+      }
+    }
+  });
+  res.mean_age = entries > 0 ? age_sum / static_cast<double>(entries) : 0;
+  res.dead_entry_share =
+      entries > 0 ? static_cast<double>(dead) / static_cast<double>(entries)
+                  : 0;
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double churn = 0.01;  // 1%/round
+
+  std::printf(
+      "# ablation: merge policy under %.0f%%/round churn; %zu nodes, "
+      "%zu run(s)\n",
+      churn * 100, n, args.runs);
+  std::printf("%-10s %10s %10s %14s\n", "policy", "avg-err", "mean-age",
+              "dead-entries");
+
+  for (const auto& [name, policy] :
+       {std::pair{"swapper", pss::MergePolicy::Swapper},
+        std::pair{"healer", pss::MergePolicy::Healer}}) {
+    Result sum;
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      const auto res =
+          measure(policy, n, args.seed + r * 1000, duration, churn);
+      sum.avg_err += res.avg_err;
+      sum.mean_age += res.mean_age;
+      sum.dead_entry_share += res.dead_entry_share;
+    }
+    const auto k = static_cast<double>(args.runs);
+    std::printf("%-10s %10.5f %10.2f %13.1f%%\n", name, sum.avg_err / k,
+                sum.mean_age / k, 100.0 * sum.dead_entry_share / k);
+  }
+  return 0;
+}

@@ -1,0 +1,129 @@
+// Ablation: what goes wrong *without* NAT-awareness — the paper's
+// motivation (§I-II, citing [9] and [15]).
+//
+// Runs NAT-oblivious Cyclon and ARRG on populations with a growing
+// private fraction and reports: overlay connectivity, the in-degree
+// imbalance between public and private nodes (sampling bias), and the
+// fraction of failed exchanges. Croupier at 80% private is printed as
+// the reference row.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace croupier;
+
+struct Result {
+  double cluster = 0;
+  double indeg_pub = 0;
+  double indeg_priv = 0;
+  double nat_drop_share = 0;  // NAT-filtered / delivered+filtered
+};
+
+Result measure(run::ProtocolFactory factory, std::size_t publics,
+               std::size_t privates, std::uint64_t seed,
+               sim::Duration duration) {
+  run::World world(bench::paper_world_config(seed), std::move(factory));
+  bench::paper_joins(world, publics, privates);
+  world.simulator().run_until(duration);
+
+  Result res;
+  const auto graph = world.snapshot_overlay();
+  res.cluster = graph.largest_component_fraction();
+  const auto degrees = graph.in_degrees();
+  double pub_sum = 0;
+  double priv_sum = 0;
+  std::size_t pubs = 0;
+  std::size_t privs = 0;
+  for (std::size_t i = 0; i < graph.ids().size(); ++i) {
+    const auto id = graph.ids()[i];
+    if (world.type_of(id) == net::NatType::Public) {
+      pub_sum += static_cast<double>(degrees[i]);
+      ++pubs;
+    } else {
+      priv_sum += static_cast<double>(degrees[i]);
+      ++privs;
+    }
+  }
+  res.indeg_pub = pubs > 0 ? pub_sum / static_cast<double>(pubs) : 0;
+  res.indeg_priv = privs > 0 ? priv_sum / static_cast<double>(privs) : 0;
+  const auto& drops = world.network().drops();
+  const double total =
+      static_cast<double>(drops.delivered + drops.nat_filtered);
+  res.nat_drop_share =
+      total > 0 ? static_cast<double>(drops.nat_filtered) / total : 0;
+  return res;
+}
+
+void print_row(const char* name, int private_pct, const Result& r) {
+  std::printf("%-10s %9d%% %10.3f %11.2f %12.2f %12.3f\n", name, private_pct,
+              r.cluster, r.indeg_pub, r.indeg_priv, r.nat_drop_share);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const int private_pcts[] = {0, 20, 40, 60, 80};
+
+  std::printf(
+      "# ablation: NAT-oblivious PSS on NATted populations; %zu nodes, "
+      "%zu run(s)\n",
+      n, args.runs);
+  std::printf("%-10s %10s %10s %11s %12s %12s\n", "system", "private",
+              "cluster", "indeg(pub)", "indeg(priv)", "nat-drops");
+
+  for (int pct : private_pcts) {
+    const auto privates =
+        static_cast<std::size_t>(n * static_cast<std::size_t>(pct) / 100);
+    const std::size_t publics = n - privates;
+
+    Result cy{};
+    Result ar{};
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      const auto a =
+          measure(run::make_cyclon_factory(bench::paper_pss_config()),
+                  publics, privates, args.seed + r * 1000, duration);
+      cy.cluster += a.cluster;
+      cy.indeg_pub += a.indeg_pub;
+      cy.indeg_priv += a.indeg_priv;
+      cy.nat_drop_share += a.nat_drop_share;
+
+      baselines::ArrgConfig acfg;
+      acfg.base = bench::paper_pss_config();
+      const auto b = measure(run::make_arrg_factory(acfg), publics, privates,
+                             args.seed + r * 1000, duration);
+      ar.cluster += b.cluster;
+      ar.indeg_pub += b.indeg_pub;
+      ar.indeg_priv += b.indeg_priv;
+      ar.nat_drop_share += b.nat_drop_share;
+    }
+    const auto k = static_cast<double>(args.runs);
+    print_row("cyclon", pct,
+              {cy.cluster / k, cy.indeg_pub / k, cy.indeg_priv / k,
+               cy.nat_drop_share / k});
+    print_row("arrg", pct,
+              {ar.cluster / k, ar.indeg_pub / k, ar.indeg_priv / k,
+               ar.nat_drop_share / k});
+  }
+
+  // Reference: Croupier at the hardest setting.
+  Result cr{};
+  for (std::size_t r = 0; r < args.runs; ++r) {
+    const auto a = measure(
+        run::make_croupier_factory(bench::paper_croupier_config(25, 50)),
+        n / 5, n - n / 5, args.seed + r * 1000, duration);
+    cr.cluster += a.cluster;
+    cr.indeg_pub += a.indeg_pub;
+    cr.indeg_priv += a.indeg_priv;
+    cr.nat_drop_share += a.nat_drop_share;
+  }
+  const auto k = static_cast<double>(args.runs);
+  print_row("croupier", 80,
+            {cr.cluster / k, cr.indeg_pub / k, cr.indeg_priv / k,
+             cr.nat_drop_share / k});
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Ablation: Croupier's view-sizing policy (a design choice DESIGN.md
+// calls out — the paper fixes "view size 10" but leaves the two-view
+// split open).
+//
+// Compares Fixed{10,10} (20 tracked descriptors) against
+// RatioProportional{10} and RatioProportional{20} on: estimation error,
+// in-degree balance (public vs private nodes), and overlay connectivity.
+// The estimator must be insensitive to the policy; degree balance is
+// where the policies differ.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace croupier;
+
+struct Result {
+  double steady_avg_err = 0;
+  double mean_indeg_public = 0;
+  double mean_indeg_private = 0;
+  double apl = 0;
+};
+
+Result measure(const core::CroupierConfig& cfg, std::size_t n,
+               std::uint64_t seed, sim::Duration duration) {
+  run::World world(bench::paper_world_config(seed),
+                   run::make_croupier_factory(cfg));
+  bench::paper_joins(world, n / 5, n - n / 5);
+  run::EstimationRecorder rec(world, {sim::sec(1), 2});
+  rec.start(sim::sec(1));
+  world.simulator().run_until(duration);
+
+  Result res;
+  res.steady_avg_err = rec.latest().sample.avg_error;
+
+  const auto graph = world.snapshot_overlay();
+  const auto degrees = graph.in_degrees();
+  double pub_sum = 0;
+  double priv_sum = 0;
+  std::size_t pubs = 0;
+  std::size_t privs = 0;
+  for (std::size_t i = 0; i < graph.ids().size(); ++i) {
+    const auto id = graph.ids()[i];
+    if (!world.alive(id)) continue;
+    if (world.type_of(id) == net::NatType::Public) {
+      pub_sum += static_cast<double>(degrees[i]);
+      ++pubs;
+    } else {
+      priv_sum += static_cast<double>(degrees[i]);
+      ++privs;
+    }
+  }
+  res.mean_indeg_public = pubs > 0 ? pub_sum / static_cast<double>(pubs) : 0;
+  res.mean_indeg_private =
+      privs > 0 ? priv_sum / static_cast<double>(privs) : 0;
+  sim::RngStream rng(seed);
+  res.apl = graph.avg_path_length(rng, 128);
+  return res;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const auto duration = sim::sec(args.fast ? 100 : 200);
+
+  struct Variant {
+    const char* name;
+    core::ViewSizing sizing;
+    std::size_t view_size;
+  };
+  const Variant variants[] = {
+      {"fixed-10+10", core::ViewSizing::FixedPerView, 10},
+      {"proportional-10", core::ViewSizing::RatioProportional, 10},
+      {"proportional-20", core::ViewSizing::RatioProportional, 20},
+  };
+
+  std::printf("# ablation: Croupier view-sizing policy; %zu nodes, %zu run(s)\n",
+              n, args.runs);
+  std::printf("%-16s %10s %12s %13s %8s\n", "policy", "avg-err",
+              "indeg(pub)", "indeg(priv)", "apl");
+
+  for (const auto& v : variants) {
+    auto cfg = bench::paper_croupier_config(25, 50);
+    cfg.sizing = v.sizing;
+    cfg.base.view_size = v.view_size;
+    Result sum;
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      const auto res = measure(cfg, n, args.seed + r * 1000, duration);
+      sum.steady_avg_err += res.steady_avg_err;
+      sum.mean_indeg_public += res.mean_indeg_public;
+      sum.mean_indeg_private += res.mean_indeg_private;
+      sum.apl += res.apl;
+    }
+    const auto k = static_cast<double>(args.runs);
+    std::printf("%-16s %10.5f %12.2f %13.2f %8.3f\n", v.name,
+                sum.steady_avg_err / k, sum.mean_indeg_public / k,
+                sum.mean_indeg_private / k, sum.apl / k);
+  }
+  return 0;
+}

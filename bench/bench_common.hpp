@@ -1,0 +1,182 @@
+// Shared plumbing for the figure-regeneration benches: flag parsing,
+// paper-default protocol configurations, and series/table printing.
+//
+// Every bench binary regenerates one figure of the paper and prints the
+// same rows/series the figure plots. Flags:
+//   --runs=N   independent seeds averaged per data point (default 2 to
+//              keep the full-suite wall clock modest; the paper averaged
+//              5 — pass --runs=5 for publication-grade smoothing)
+//   --seed=S   base seed (default 1)
+//   --fast     shrink scale for smoke-testing (CI-friendly)
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/arrg.hpp"
+#include "baselines/cyclon.hpp"
+#include "baselines/gozar.hpp"
+#include "baselines/nylon.hpp"
+#include "core/croupier.hpp"
+#include "runtime/factories.hpp"
+#include "runtime/recorder.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::bench {
+
+struct BenchArgs {
+  std::size_t runs = 2;
+  std::uint64_t seed = 1;
+  bool fast = false;
+
+  static BenchArgs parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a.rfind("--runs=", 0) == 0) {
+        args.runs = static_cast<std::size_t>(std::stoul(a.substr(7)));
+      } else if (a.rfind("--seed=", 0) == 0) {
+        args.seed = std::stoull(a.substr(7));
+      } else if (a == "--fast") {
+        args.fast = true;
+      } else if (a == "--help") {
+        std::printf("flags: --runs=N --seed=S --fast\n");
+      }
+    }
+    return args;
+  }
+};
+
+/// Paper §VII-A defaults: view 10, shuffle subset 5, 1 s rounds.
+inline pss::PssConfig paper_pss_config() {
+  pss::PssConfig cfg;
+  cfg.view_size = 10;
+  cfg.shuffle_size = 5;
+  cfg.round_period = sim::sec(1);
+  return cfg;
+}
+
+inline core::CroupierConfig paper_croupier_config(std::size_t alpha = 25,
+                                                  std::size_t gamma = 50) {
+  core::CroupierConfig cfg;
+  cfg.base = paper_pss_config();
+  cfg.estimator.local_history = alpha;
+  cfg.estimator.neighbour_history = gamma;
+  cfg.estimator.share_limit = 10;
+  return cfg;
+}
+
+inline baselines::GozarConfig paper_gozar_config() {
+  baselines::GozarConfig cfg;
+  cfg.base = paper_pss_config();
+  return cfg;
+}
+
+inline baselines::NylonConfig paper_nylon_config() {
+  baselines::NylonConfig cfg;
+  cfg.base = paper_pss_config();
+  return cfg;
+}
+
+inline run::World::Config paper_world_config(std::uint64_t seed) {
+  run::World::Config cfg;
+  cfg.seed = seed;
+  cfg.latency = run::World::LatencyKind::King;
+  cfg.clock_skew = 0.01;
+  return cfg;
+}
+
+/// gnuplot-ready series block: "# <title>" then "x y" rows.
+inline void print_series(const char* title,
+                         const std::vector<std::pair<double, double>>& xy) {
+  std::printf("# %s\n", title);
+  for (const auto& [x, y] : xy) {
+    std::printf("%.3f %.6f\n", x, y);
+  }
+  std::printf("\n");
+}
+
+/// One run of a Croupier estimation experiment (figures 1-5 all share
+/// this skeleton): build a world, apply a scenario, record the error
+/// series once per second.
+struct EstimationSeries {
+  std::vector<double> t;
+  std::vector<double> avg_err;
+  std::vector<double> max_err;
+  std::vector<double> truth;
+};
+
+/// Scenario hook: configure joins/churn/ratio changes on the fresh world.
+using ScenarioFn = std::function<void(run::World&)>;
+
+inline EstimationSeries run_estimation_experiment(
+    const core::CroupierConfig& cfg, std::uint64_t seed,
+    sim::Duration duration, const ScenarioFn& scenario) {
+  run::World world(paper_world_config(seed),
+                   run::make_croupier_factory(cfg));
+  scenario(world);
+  run::EstimationRecorder recorder(world, {sim::sec(1), 2});
+  recorder.start(sim::sec(1));
+  world.simulator().run_until(duration);
+
+  EstimationSeries out;
+  for (const auto& p : recorder.series()) {
+    out.t.push_back(p.t_seconds);
+    out.avg_err.push_back(p.sample.avg_error);
+    out.max_err.push_back(p.sample.max_error);
+    out.truth.push_back(p.sample.truth);
+  }
+  return out;
+}
+
+/// Pointwise average of several runs of the same experiment (series are
+/// sampled on the same 1 s grid).
+inline EstimationSeries average_runs(
+    const std::vector<EstimationSeries>& runs) {
+  EstimationSeries avg;
+  if (runs.empty()) return avg;
+  std::size_t len = runs[0].t.size();
+  for (const auto& r : runs) len = std::min(len, r.t.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    double a = 0;
+    double m = 0;
+    double tr = 0;
+    for (const auto& r : runs) {
+      a += r.avg_err[i];
+      m += r.max_err[i];
+      tr += r.truth[i];
+    }
+    const auto n = static_cast<double>(runs.size());
+    avg.t.push_back(runs[0].t[i]);
+    avg.avg_err.push_back(a / n);
+    avg.max_err.push_back(m / n);
+    avg.truth.push_back(tr / n);
+  }
+  return avg;
+}
+
+/// Mean of the tail (steady state) of a series.
+inline double steady_state(const std::vector<double>& v,
+                           std::size_t tail = 50) {
+  if (v.empty()) return 0.0;
+  const std::size_t n = std::min(tail, v.size());
+  double sum = 0;
+  for (std::size_t i = v.size() - n; i < v.size(); ++i) sum += v[i];
+  return sum / static_cast<double>(n);
+}
+
+/// The paper's standard join process: public and private nodes arrive by
+/// Poisson processes with 50 ms / 12.5 ms mean inter-arrival times.
+inline void paper_joins(run::World& world, std::size_t publics,
+                        std::size_t privates) {
+  run::schedule_poisson_joins(world, publics, net::NatConfig::open(),
+                              sim::msec(50));
+  run::schedule_poisson_joins(world, privates, net::NatConfig::natted(),
+                              sim::msec(13));
+}
+
+}  // namespace croupier::bench

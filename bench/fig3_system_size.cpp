@@ -1,0 +1,51 @@
+// Regenerates paper figure 3(a)/(b): estimation accuracy versus system
+// size (50, 100, 500, 1000, 5000 nodes; ω = 0.2; α=25, γ=50).
+//
+// Expected shape: error shrinks with system size; large improvements up
+// to a few hundred nodes, marginal beyond 1000 (paper: ~5% avg error at
+// 50 nodes, ~2.5% at 100, ~0.2-0.4% at 1000-5000).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croupier;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const std::size_t sizes_full[] = {50, 100, 500, 1000, 5000};
+  const std::size_t sizes_fast[] = {50, 100, 500};
+  const auto sizes = args.fast ? std::span<const std::size_t>(sizes_fast)
+                               : std::span<const std::size_t>(sizes_full);
+
+  const auto cfg = bench::paper_croupier_config(25, 50);
+  std::printf(
+      "# fig3: estimation error vs system size (omega=0.2, alpha=25, "
+      "gamma=50), %zu run(s)\n\n",
+      args.runs);
+
+  for (std::size_t n : sizes) {
+    const std::size_t publics = n / 5;
+    const std::size_t privates = n - publics;
+    std::vector<bench::EstimationSeries> runs;
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      runs.push_back(bench::run_estimation_experiment(
+          cfg, args.seed + r * 1000, duration, [&](run::World& w) {
+            bench::paper_joins(w, publics, privates);
+          }));
+    }
+    const auto avg = bench::average_runs(runs);
+
+    std::printf("# fig3a avg-error n=%zu\n", n);
+    for (std::size_t i = 0; i < avg.t.size(); ++i) {
+      std::printf("%.0f %.6f\n", avg.t[i], avg.avg_err[i]);
+    }
+    std::printf("\n# fig3b max-error n=%zu\n", n);
+    for (std::size_t i = 0; i < avg.t.size(); ++i) {
+      std::printf("%.0f %.6f\n", avg.t[i], avg.max_err[i]);
+    }
+    std::printf("\n# summary n=%zu: steady avg-err=%.5f steady max-err=%.5f\n\n",
+                n, bench::steady_state(avg.avg_err),
+                bench::steady_state(avg.max_err));
+  }
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Regenerates paper figure 5(a)/(b): estimation accuracy under continuous
+// churn (1000 nodes, ω = 0.2, α=25, γ=50; churn starts at t=61 s).
+//
+// Churn model (paper §VII-B): each round a fixed fraction of randomly
+// selected public and private nodes is replaced with fresh nodes, keeping
+// the ratio stable. Rates: 0.1, 1.0, 2.5, 5.0 %/round — 0.1% matches
+// measured P2P session times; 5% is 50x harsher.
+//
+// Expected shape: churn up to 5 %/round has no significant effect.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace croupier;
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const auto duration = sim::sec(args.fast ? 120 : 250);
+  const double churn_rates[] = {0.001, 0.01, 0.025, 0.05};
+
+  const auto cfg = bench::paper_croupier_config(25, 50);
+  std::printf(
+      "# fig5: estimation error under churn (%zu nodes, omega=0.2, churn "
+      "from t=61s), %zu run(s)\n\n",
+      n, args.runs);
+
+  for (double rate : churn_rates) {
+    std::vector<bench::EstimationSeries> runs;
+    // Keep the churn processes alive for the duration of each run.
+    std::vector<std::unique_ptr<run::ChurnProcess>> churns;
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      runs.push_back(bench::run_estimation_experiment(
+          cfg, args.seed + r * 1000, duration, [&](run::World& w) {
+            bench::paper_joins(w, n / 5, n - n / 5);
+            churns.push_back(std::make_unique<run::ChurnProcess>(
+                w, rate, net::NatConfig::open(), net::NatConfig::natted()));
+            churns.back()->start(sim::sec(61));
+          }));
+      churns.clear();  // world is gone after the run; drop the process
+    }
+    const auto avg = bench::average_runs(runs);
+
+    std::printf("# fig5a avg-error churn=%.1f%%\n", rate * 100);
+    for (std::size_t i = 0; i < avg.t.size(); ++i) {
+      std::printf("%.0f %.6f\n", avg.t[i], avg.avg_err[i]);
+    }
+    std::printf("\n# fig5b max-error churn=%.1f%%\n", rate * 100);
+    for (std::size_t i = 0; i < avg.t.size(); ++i) {
+      std::printf("%.0f %.6f\n", avg.t[i], avg.max_err[i]);
+    }
+    std::printf(
+        "\n# summary churn=%.1f%%: steady avg-err=%.5f steady "
+        "max-err=%.5f\n\n",
+        rate * 100, bench::steady_state(avg.avg_err),
+        bench::steady_state(avg.max_err));
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Regenerates paper figure 6(a)/(b)/(c): randomness properties of the
+// overlay built by Croupier, Gozar, Nylon and Cyclon.
+//
+// Setup (paper §VII-A/C): 1000 nodes, 20% public (Cyclon runs on an
+// all-public population of the same size), view size 10, shuffle subset
+// 5, 250 rounds.
+//  (a) in-degree distribution after 250 rounds (out-degree 10: Croupier
+//      uses the ratio-proportional view split so its total degree matches
+//      the single-view systems);
+//  (b) average path length over time;
+//  (c) average clustering coefficient over time.
+//
+// Expected shape: all four systems close to Cyclon on (a) and (b);
+// Croupier's clustering coefficient slightly *lower* than the rest (two
+// private nodes never exchange views directly); Gozar's path length
+// starts high while private nodes find relay parents.
+#include <cstdio>
+#include <map>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace croupier;
+
+struct SystemResult {
+  std::map<std::size_t, double> indegree_hist;  // averaged over runs
+  std::vector<run::GraphStatsPoint> series;     // from the last run
+};
+
+SystemResult measure(run::ProtocolFactory factory, std::size_t publics,
+                     std::size_t privates, std::uint64_t seed,
+                     std::size_t runs, sim::Duration duration) {
+  SystemResult result;
+  for (std::size_t r = 0; r < runs; ++r) {
+    run::World world(bench::paper_world_config(seed + r * 1000), factory);
+    bench::paper_joins(world, publics, privates);
+    run::GraphStatsRecorder recorder(world, {sim::sec(10), 128});
+    recorder.start(sim::sec(10));
+    world.simulator().run_until(duration);
+
+    const auto graph = world.snapshot_overlay();
+    for (const auto& [deg, count] : graph.in_degree_histogram()) {
+      result.indegree_hist[deg] +=
+          static_cast<double>(count) / static_cast<double>(runs);
+    }
+    if (r == runs - 1) result.series = recorder.series();
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const std::size_t publics = n / 5;
+  const auto duration = sim::sec(args.fast ? 100 : 250);
+
+  auto croupier_cfg = bench::paper_croupier_config(25, 50);
+  croupier_cfg.sizing = core::ViewSizing::RatioProportional;
+
+  struct Row {
+    const char* name;
+    run::ProtocolFactory factory;
+    bool all_public = false;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"croupier", run::make_croupier_factory(croupier_cfg)});
+  rows.push_back(
+      {"gozar", run::make_gozar_factory(bench::paper_gozar_config())});
+  rows.push_back(
+      {"nylon", run::make_nylon_factory(bench::paper_nylon_config())});
+  rows.push_back(
+      {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
+
+  std::printf(
+      "# fig6: randomness properties; %zu nodes, 20%%%% public, view 10, "
+      "%zu run(s)\n\n",
+      n, args.runs);
+
+  for (auto& row : rows) {
+    const auto res =
+        measure(row.factory, row.all_public ? n : publics,
+                row.all_public ? 0 : n - publics, args.seed, args.runs,
+                duration);
+
+    std::printf("# fig6a indegree-histogram %s (after %.0fs)\n", row.name,
+                sim::to_seconds(duration));
+    for (const auto& [deg, count] : res.indegree_hist) {
+      std::printf("%zu %.1f\n", deg, count);
+    }
+    std::printf("\n# fig6b avg-path-length %s\n", row.name);
+    for (const auto& p : res.series) {
+      std::printf("%.0f %.4f\n", p.t_seconds, p.avg_path_length);
+    }
+    std::printf("\n# fig6c clustering-coefficient %s\n", row.name);
+    for (const auto& p : res.series) {
+      std::printf("%.0f %.5f\n", p.t_seconds, p.clustering_coefficient);
+    }
+    const auto& last = res.series.empty() ? run::GraphStatsPoint{}
+                                          : res.series.back();
+    std::printf(
+        "\n# summary %s: final apl=%.3f final cc=%.4f unreachable=%.4f\n\n",
+        row.name, last.avg_path_length, last.clustering_coefficient,
+        last.unreachable_fraction);
+  }
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Regenerates paper figure 7(a): steady-state protocol overhead (average
+// load per node, bytes/second, split into public and private nodes) for
+// Croupier, Gozar and Nylon, with Cyclon (all-public) as the no-NAT
+// reference point.
+//
+// Paper setup: 1000 nodes, 20% public, α=25, γ=100, 10 estimates per
+// shuffle message at 5 B each. Load is measured over a steady-state
+// window after warm-up. Expected shape: Croupier cheapest in both
+// classes; private nodes in Croupier pay less than half of Gozar's and
+// less than a quarter of Nylon's load.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "metrics/overhead.hpp"
+
+namespace {
+
+using namespace croupier;
+using bench::BenchArgs;
+
+struct Load {
+  double pub = 0;
+  double priv = 0;
+};
+
+Load measure(run::ProtocolFactory factory, std::size_t publics,
+             std::size_t privates, std::uint64_t seed,
+             sim::Duration warmup, sim::Duration window) {
+  run::World world(bench::paper_world_config(seed), std::move(factory));
+  run::schedule_poisson_joins(world, publics, net::NatConfig::open(),
+                              sim::msec(10));
+  run::schedule_poisson_joins(world, privates, net::NatConfig::natted(),
+                              sim::msec(10));
+  world.simulator().run_until(warmup);
+  world.network().meter().reset();
+  world.simulator().run_until(warmup + window);
+  const auto load = metrics::summarize_load(world.network().meter(),
+                                            world.class_map(), window);
+  return Load{load.public_bytes_per_sec, load.private_bytes_per_sec};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 200 : 1000;
+  const std::size_t publics = n / 5;  // ω = 0.2
+  const std::size_t privates = n - publics;
+  const auto warmup = sim::sec(args.fast ? 30 : 60);
+  const auto window = sim::sec(args.fast ? 30 : 60);
+
+  // Paper fig. 7a uses γ=100 for this experiment.
+  auto croupier_cfg = bench::paper_croupier_config(25, 100);
+
+  struct Row {
+    const char* name;
+    run::ProtocolFactory factory;
+    bool all_public = false;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"croupier", run::make_croupier_factory(croupier_cfg)});
+  rows.push_back({"gozar", run::make_gozar_factory(bench::paper_gozar_config())});
+  rows.push_back({"nylon", run::make_nylon_factory(bench::paper_nylon_config())});
+  rows.push_back(
+      {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
+
+  std::printf(
+      "# fig7a: protocol overhead, avg load per node (B/s), %zu nodes, "
+      "20%%%% public, %zu run(s)\n",
+      n, args.runs);
+  std::printf("%-10s %14s %15s\n", "protocol", "public(B/s)", "private(B/s)");
+
+  for (auto& row : rows) {
+    double pub = 0;
+    double priv = 0;
+    for (std::size_t r = 0; r < args.runs; ++r) {
+      const auto load =
+          measure(row.factory, row.all_public ? n : publics,
+                  row.all_public ? 0 : privates, args.seed + r * 1000,
+                  warmup, window);
+      pub += load.pub;
+      priv += load.priv;
+    }
+    pub /= static_cast<double>(args.runs);
+    priv /= static_cast<double>(args.runs);
+    std::printf("%-10s %14.1f %15.1f\n", row.name, pub, priv);
+  }
+  return 0;
+}

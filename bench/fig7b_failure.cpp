@@ -1,0 +1,86 @@
+// Regenerates paper figure 7(b): overlay connectivity after catastrophic
+// failure.
+//
+// Setup: 1000 nodes, 80% private, warmed up for 60 s; at one instant a
+// fraction (40%..90%) of all nodes crashes. We then measure the biggest
+// cluster among survivors on the *usable-edge* graph: an edge to a
+// private node only counts if the holder's traversal machinery for it
+// still works (Gozar: some cached relay parent alive; Nylon: RVP chain
+// head alive; Croupier: nothing to break — initiative lies with the
+// private node itself).
+//
+// Expected shape: Croupier (and all-public Cyclon) retain a dominant
+// cluster even at 90% failure (paper: >85% of survivors with 80% private
+// nodes), while Gozar and Nylon degrade to ~50-60%.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace croupier;
+
+double cluster_fraction(run::ProtocolFactory factory, std::size_t publics,
+                        std::size_t privates, double fail_fraction,
+                        std::uint64_t seed) {
+  run::World world(bench::paper_world_config(seed), std::move(factory));
+  bench::paper_joins(world, publics, privates);
+  world.simulator().run_until(sim::sec(60));
+  run::schedule_catastrophe(world, sim::sec(60), fail_fraction);
+  // Measure right after the crash (before any healing rounds).
+  world.simulator().run_until(sim::sec(60) + sim::msec(1));
+  return world.snapshot_overlay(/*usable_only=*/true)
+      .largest_component_fraction();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = bench::BenchArgs::parse(argc, argv);
+  const std::size_t n = args.fast ? 300 : 1000;
+  const std::size_t publics = n / 5;  // 80% private, as in the paper's text
+  const int fail_levels[] = {40, 50, 60, 70, 80, 90};
+
+  // Like-for-like with the single-view systems: Croupier's two views
+  // share the 10-slot budget (see DESIGN.md "View-size policy").
+  auto croupier_cfg = bench::paper_croupier_config(25, 50);
+  croupier_cfg.sizing = core::ViewSizing::RatioProportional;
+
+  struct Row {
+    const char* name;
+    run::ProtocolFactory factory;
+    bool all_public = false;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"croupier", run::make_croupier_factory(croupier_cfg)});
+  rows.push_back(
+      {"gozar", run::make_gozar_factory(bench::paper_gozar_config())});
+  rows.push_back(
+      {"nylon", run::make_nylon_factory(bench::paper_nylon_config())});
+  rows.push_back(
+      {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
+
+  std::printf(
+      "# fig7b: biggest cluster (%%%% of survivors) after catastrophic "
+      "failure; %zu nodes, 80%%%% private, %zu run(s)\n",
+      n, args.runs);
+  std::printf("%-10s", "failure%");
+  for (const auto& row : rows) std::printf(" %10s", row.name);
+  std::printf("\n");
+
+  for (int level : fail_levels) {
+    std::printf("%-10d", level);
+    for (auto& row : rows) {
+      double sum = 0;
+      for (std::size_t r = 0; r < args.runs; ++r) {
+        sum += cluster_fraction(
+            row.factory, row.all_public ? n : publics,
+            row.all_public ? 0 : n - publics,
+            static_cast<double>(level) / 100.0, args.seed + r * 1000);
+      }
+      std::printf(" %10.1f", 100.0 * sum / static_cast<double>(args.runs));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,176 @@
+// Micro-benchmarks (google-benchmark) for the hot components: simulator
+// event throughput, RNG, wire codec, view operations, estimator rounds,
+// NAT table lookups, and graph metrics at experiment scale.
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "core/croupier.hpp"
+#include "core/estimator.hpp"
+#include "metrics/graph.hpp"
+#include "net/nat.hpp"
+#include "pss/view.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace croupier;
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    for (int i = 0; i < 1000; ++i) {
+      simulator.schedule_after(static_cast<sim::Duration>(i), [] {});
+    }
+    simulator.run();
+    benchmark::DoNotOptimize(simulator.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_RngUniform(benchmark::State& state) {
+  sim::RngStream rng(1);
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += rng.uniform(1000);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngSample(benchmark::State& state) {
+  sim::RngStream rng(1);
+  std::vector<int> pool(static_cast<std::size_t>(state.range(0)));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (auto _ : state) {
+    auto s = rng.sample(std::span<const int>(pool), 5);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_RngSample)->Arg(10)->Arg(100);
+
+void BM_ShuffleMessageEncode(benchmark::State& state) {
+  core::CroupierShuffleReq req;
+  req.sender = pss::NodeDescriptor{1, net::NatType::Public, 0};
+  for (net::NodeId i = 0; i < 3; ++i) {
+    req.pub.push_back({10 + i, net::NatType::Public, 1});
+  }
+  for (net::NodeId i = 0; i < 2; ++i) {
+    req.pri.push_back({20 + i, net::NatType::Private, 1});
+  }
+  for (net::NodeId i = 0; i < 10; ++i) {
+    req.estimates.push_back({i, 10, 40, 1});
+  }
+  for (auto _ : state) {
+    wire::Writer w;
+    req.encode(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_ShuffleMessageEncode);
+
+void BM_ShuffleMessageDecode(benchmark::State& state) {
+  core::CroupierShuffleReq req;
+  req.sender = pss::NodeDescriptor{1, net::NatType::Public, 0};
+  for (net::NodeId i = 0; i < 5; ++i) {
+    req.pub.push_back({10 + i, net::NatType::Public, 1});
+    req.estimates.push_back({i, 10, 40, 1});
+  }
+  wire::Writer w;
+  req.encode(w);
+  for (auto _ : state) {
+    wire::Reader r(w.data());
+    auto m = core::CroupierShuffleReq::decode(r);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ShuffleMessageDecode);
+
+void BM_ViewMergeSwapper(benchmark::State& state) {
+  sim::RngStream rng(1);
+  for (auto _ : state) {
+    pss::PartialView<pss::NodeDescriptor> view(10);
+    for (net::NodeId i = 0; i < 10; ++i) {
+      view.add_if_room({i, net::NatType::Public, static_cast<std::uint16_t>(i)});
+    }
+    const auto sent = view.random_subset(5, rng);
+    std::vector<pss::NodeDescriptor> recv;
+    for (net::NodeId i = 100; i < 105; ++i) {
+      recv.push_back({i, net::NatType::Public, 0});
+    }
+    view.merge_swapper(sent, recv, 999);
+    benchmark::DoNotOptimize(view.size());
+  }
+}
+BENCHMARK(BM_ViewMergeSwapper);
+
+void BM_EstimatorRound(benchmark::State& state) {
+  core::RatioEstimator est(1, net::NatType::Public, {25, 50, 10});
+  sim::RngStream rng(1);
+  std::vector<core::EstimateEntry> incoming;
+  for (net::NodeId i = 2; i < 12; ++i) incoming.push_back({i, 10, 40, 1});
+  for (auto _ : state) {
+    est.count_request(net::NatType::Private);
+    est.count_request(net::NatType::Public);
+    est.begin_round();
+    est.merge(incoming);
+    benchmark::DoNotOptimize(est.estimate());
+  }
+}
+BENCHMARK(BM_EstimatorRound);
+
+void BM_NatBoxLookup(benchmark::State& state) {
+  net::NatBox nat(net::NatConfig::natted());
+  for (net::NodeId i = 0; i < 64; ++i) nat.on_outbound(sim::sec(i), i);
+  std::size_t hits = 0;
+  net::NodeId peer = 0;
+  for (auto _ : state) {
+    hits += nat.allows_inbound(sim::sec(70), peer++ % 128) ? 1 : 0;
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_NatBoxLookup);
+
+metrics::OverlayGraph random_overlay(std::size_t n, std::size_t degree) {
+  sim::RngStream rng(7);
+  std::vector<std::pair<net::NodeId, std::vector<net::NodeId>>> adj;
+  for (net::NodeId i = 0; i < n; ++i) {
+    std::vector<net::NodeId> nbrs;
+    for (std::size_t d = 0; d < degree; ++d) {
+      nbrs.push_back(static_cast<net::NodeId>(rng.uniform(n)));
+    }
+    adj.emplace_back(i, std::move(nbrs));
+  }
+  return metrics::OverlayGraph::build(adj);
+}
+
+void BM_GraphPathLengthSampled(benchmark::State& state) {
+  const auto g = random_overlay(1000, 10);
+  sim::RngStream rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.avg_path_length(rng, 128));
+  }
+}
+BENCHMARK(BM_GraphPathLengthSampled);
+
+void BM_GraphClustering(benchmark::State& state) {
+  const auto g = random_overlay(1000, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.avg_clustering_coefficient());
+  }
+}
+BENCHMARK(BM_GraphClustering);
+
+void BM_GraphLargestComponent(benchmark::State& state) {
+  const auto g = random_overlay(1000, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.largest_component());
+  }
+}
+BENCHMARK(BM_GraphLargestComponent);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// ARRG (Drost et al., HPDC'07 [15]): the first NAT-aware PSS, included as
+// an extension baseline to demonstrate the bias the paper describes in
+// §II ("the open list biases the PSS, since the nodes in the open list
+// are selected more frequently for gossiping").
+//
+// ARRG keeps a single view plus an *open list* of peers with whom an
+// exchange succeeded in the past. It gossips with a random view member;
+// when the exchange fails (here: no response by the next round, e.g. the
+// target is behind a NAT), it falls back to a random open-list member.
+// Successful partners enter the open list. No relaying, no NAT traversal —
+// just retry-with-known-good, which over-represents reachable nodes.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "pss/protocol.hpp"
+#include "pss/view.hpp"
+
+namespace croupier::baselines {
+
+constexpr std::uint8_t kArrgShuffleReq = 0x60;
+constexpr std::uint8_t kArrgShuffleRes = 0x61;
+
+struct ArrgShuffleReq final : net::Message {
+  pss::NodeDescriptor sender;
+  std::vector<pss::NodeDescriptor> entries;
+
+  [[nodiscard]] std::uint8_t type() const override { return kArrgShuffleReq; }
+  [[nodiscard]] const char* name() const override { return "arrg.shuffle_req"; }
+  void encode(wire::Writer& w) const override;
+  static ArrgShuffleReq decode(wire::Reader& r);
+};
+
+struct ArrgShuffleRes final : net::Message {
+  std::vector<pss::NodeDescriptor> entries;
+
+  [[nodiscard]] std::uint8_t type() const override { return kArrgShuffleRes; }
+  [[nodiscard]] const char* name() const override { return "arrg.shuffle_res"; }
+  void encode(wire::Writer& w) const override;
+  static ArrgShuffleRes decode(wire::Reader& r);
+};
+
+struct ArrgConfig {
+  pss::PssConfig base;
+  std::size_t open_list_size = 20;
+};
+
+class Arrg final : public pss::PeerSampler {
+ public:
+  Arrg(Context ctx, ArrgConfig cfg);
+
+  void init() override;
+  void round() override;
+  void on_message(net::NodeId from, const net::Message& msg) override;
+
+  std::optional<pss::NodeDescriptor> sample() override;
+  [[nodiscard]] std::vector<net::NodeId> out_neighbors() const override;
+
+  [[nodiscard]] const std::deque<net::NodeId>& open_list() const {
+    return open_list_;
+  }
+  [[nodiscard]] std::uint64_t fallback_count() const { return fallbacks_; }
+  [[nodiscard]] const pss::PartialView<pss::NodeDescriptor>& view() const {
+    return view_;
+  }
+
+ private:
+  void start_exchange(net::NodeId target);
+  void note_success(net::NodeId partner);
+
+  ArrgConfig cfg_;
+  pss::PartialView<pss::NodeDescriptor> view_;
+  std::deque<net::NodeId> open_list_;  // bounded, most recent at the back
+
+  struct Pending {
+    net::NodeId target;
+    std::vector<pss::NodeDescriptor> sent;
+    bool answered = false;
+  };
+  std::optional<Pending> inflight_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace croupier::baselines

@@ -1,0 +1,125 @@
+#include "baselines/cyclon.hpp"
+
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace croupier::baselines {
+
+void CyclonShuffleReq::encode(wire::Writer& w) const {
+  w.u8(type());
+  pss::encode(w, sender);
+  pss::encode(w, entries);
+}
+
+CyclonShuffleReq CyclonShuffleReq::decode(wire::Reader& r) {
+  CyclonShuffleReq m;
+  (void)r.u8();
+  m.sender = pss::decode_descriptor(r);
+  m.entries = pss::decode_descriptors(r);
+  return m;
+}
+
+void CyclonShuffleRes::encode(wire::Writer& w) const {
+  w.u8(type());
+  pss::encode(w, entries);
+}
+
+CyclonShuffleRes CyclonShuffleRes::decode(wire::Reader& r) {
+  CyclonShuffleRes m;
+  (void)r.u8();
+  m.entries = pss::decode_descriptors(r);
+  return m;
+}
+
+Cyclon::Cyclon(Context ctx, pss::PssConfig cfg)
+    : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.view_size) {
+  CROUPIER_ASSERT(cfg_.shuffle_size > 0 &&
+                  cfg_.shuffle_size <= cfg_.view_size);
+}
+
+void Cyclon::init() {
+  // Cyclon has no NAT awareness; its original deployment bootstraps from
+  // any known members. The paper runs it on all-public networks, where
+  // sample_any == sample_public.
+  const auto seeds =
+      bootstrap().sample_any(cfg_.bootstrap_fanout, self(), rng());
+  for (net::NodeId id : seeds) {
+    const net::NatType type = ctx_.network->attached(id)
+                                  ? ctx_.network->type_of(id)
+                                  : net::NatType::Public;
+    view_.force_add(pss::NodeDescriptor{id, type, 0});
+  }
+}
+
+void Cyclon::round() {
+  view_.age_all();
+  const auto target = view_.oldest();
+  if (!target.has_value()) {
+    init();
+    return;
+  }
+  view_.remove(target->id);
+
+  CyclonShuffleReq req;
+  req.sender = pss::NodeDescriptor::self(self(), nat_type());
+  req.entries = view_.random_subset(cfg_.shuffle_size - 1, rng());
+
+  pending_.push_back(Pending{target->id, req.entries});
+  while (pending_.size() > 8) pending_.pop_front();
+
+  network().send(self(), target->id,
+                 std::make_shared<CyclonShuffleReq>(std::move(req)));
+}
+
+void Cyclon::on_message(net::NodeId from, const net::Message& msg) {
+  switch (msg.type()) {
+    case kCyclonShuffleReq:
+      handle_request(from, static_cast<const CyclonShuffleReq&>(msg));
+      break;
+    case kCyclonShuffleRes:
+      handle_response(from, static_cast<const CyclonShuffleRes&>(msg));
+      break;
+    default:
+      break;
+  }
+}
+
+void Cyclon::handle_request(net::NodeId from, const CyclonShuffleReq& req) {
+  CyclonShuffleRes res;
+  res.entries = view_.random_subset_excluding(cfg_.shuffle_size, from, rng());
+
+  std::vector<pss::NodeDescriptor> incoming = req.entries;
+  incoming.push_back(req.sender);
+  pss::merge_by_policy<pss::NodeDescriptor>(view_, cfg_.merge, res.entries,
+                                            incoming, self());
+
+  network().send(self(), from,
+                 std::make_shared<CyclonShuffleRes>(std::move(res)));
+}
+
+void Cyclon::handle_response(net::NodeId from, const CyclonShuffleRes& res) {
+  std::vector<pss::NodeDescriptor> sent;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->target == from) {
+      sent = std::move(it->sent);
+      pending_.erase(it);
+      break;
+    }
+  }
+  pss::merge_by_policy<pss::NodeDescriptor>(view_, cfg_.merge, sent,
+                                            res.entries, self());
+}
+
+std::optional<pss::NodeDescriptor> Cyclon::sample() {
+  return view_.random_entry(rng());
+}
+
+std::vector<net::NodeId> Cyclon::out_neighbors() const {
+  std::vector<net::NodeId> out;
+  out.reserve(view_.size());
+  for (const auto& d : view_.entries()) out.push_back(d.id);
+  return out;
+}
+
+}  // namespace croupier::baselines

@@ -1,0 +1,78 @@
+// Cyclon (Voulgaris et al. [6]): the classic single-view gossip PSS.
+//
+// Used by the paper as the randomness baseline, executed on an all-public
+// membership (it has no NAT machinery; pointed at a private node, its
+// shuffle request is simply filtered by the target's NAT and the exchange
+// fails — which is exactly the bias/partitioning problem the NAT-aware
+// protocols exist to solve, and which bench/ablation_nat_oblivious
+// demonstrates).
+//
+// Policies (matching the paper's setup): tail node selection, push-pull
+// exchange, swapper merge.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "pss/protocol.hpp"
+#include "pss/view.hpp"
+
+namespace croupier::baselines {
+
+constexpr std::uint8_t kCyclonShuffleReq = 0x20;
+constexpr std::uint8_t kCyclonShuffleRes = 0x21;
+
+struct CyclonShuffleReq final : net::Message {
+  pss::NodeDescriptor sender;
+  std::vector<pss::NodeDescriptor> entries;
+
+  [[nodiscard]] std::uint8_t type() const override { return kCyclonShuffleReq; }
+  [[nodiscard]] const char* name() const override {
+    return "cyclon.shuffle_req";
+  }
+  void encode(wire::Writer& w) const override;
+  static CyclonShuffleReq decode(wire::Reader& r);
+};
+
+struct CyclonShuffleRes final : net::Message {
+  std::vector<pss::NodeDescriptor> entries;
+
+  [[nodiscard]] std::uint8_t type() const override { return kCyclonShuffleRes; }
+  [[nodiscard]] const char* name() const override {
+    return "cyclon.shuffle_res";
+  }
+  void encode(wire::Writer& w) const override;
+  static CyclonShuffleRes decode(wire::Reader& r);
+};
+
+class Cyclon final : public pss::PeerSampler {
+ public:
+  Cyclon(Context ctx, pss::PssConfig cfg);
+
+  void init() override;
+  void round() override;
+  void on_message(net::NodeId from, const net::Message& msg) override;
+
+  std::optional<pss::NodeDescriptor> sample() override;
+  [[nodiscard]] std::vector<net::NodeId> out_neighbors() const override;
+
+  [[nodiscard]] const pss::PartialView<pss::NodeDescriptor>& view() const {
+    return view_;
+  }
+
+ private:
+  void handle_request(net::NodeId from, const CyclonShuffleReq& req);
+  void handle_response(net::NodeId from, const CyclonShuffleRes& res);
+
+  pss::PssConfig cfg_;
+  pss::PartialView<pss::NodeDescriptor> view_;
+
+  struct Pending {
+    net::NodeId target;
+    std::vector<pss::NodeDescriptor> sent;
+  };
+  std::deque<Pending> pending_;
+};
+
+}  // namespace croupier::baselines

@@ -1,0 +1,387 @@
+#include "baselines/nylon.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace croupier::baselines {
+
+void encode(wire::Writer& w, const NylonDescriptor& d) {
+  w.u32(d.id);
+  w.u16(0x2710);
+  w.u8(static_cast<std::uint8_t>(d.nat_type));
+  w.u8(static_cast<std::uint8_t>(std::min<std::uint16_t>(d.age, 0xff)));
+}
+
+NylonDescriptor decode_nylon_descriptor(wire::Reader& r) {
+  NylonDescriptor d;
+  d.id = r.u32();
+  (void)r.u16();
+  d.nat_type = static_cast<net::NatType>(r.u8());
+  d.age = r.u8();
+  return d;
+}
+
+void encode(wire::Writer& w, const std::vector<NylonDescriptor>& v) {
+  w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(v.size(), 0xff)));
+  for (const auto& d : v) encode(w, d);
+}
+
+std::vector<NylonDescriptor> decode_nylon_descriptors(wire::Reader& r) {
+  const std::size_t n = r.u8();
+  std::vector<NylonDescriptor> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    out.push_back(decode_nylon_descriptor(r));
+  }
+  return out;
+}
+
+void NylonShuffleReq::encode(wire::Writer& w) const {
+  w.u8(type());
+  baselines::encode(w, sender);
+  baselines::encode(w, entries);
+}
+
+NylonShuffleReq NylonShuffleReq::decode(wire::Reader& r) {
+  NylonShuffleReq m;
+  (void)r.u8();
+  m.sender = decode_nylon_descriptor(r);
+  m.entries = decode_nylon_descriptors(r);
+  return m;
+}
+
+void NylonShuffleRes::encode(wire::Writer& w) const {
+  w.u8(type());
+  baselines::encode(w, entries);
+}
+
+NylonShuffleRes NylonShuffleRes::decode(wire::Reader& r) {
+  NylonShuffleRes m;
+  (void)r.u8();
+  m.entries = decode_nylon_descriptors(r);
+  return m;
+}
+
+void NylonPunchReq::encode(wire::Writer& w) const {
+  w.u8(type());
+  w.u32(initiator);
+  w.u16(0x2710);
+  w.u8(static_cast<std::uint8_t>(initiator_type));
+  w.u32(target);
+  w.u16(0x2710);
+  w.u8(hops);
+}
+
+NylonPunchReq NylonPunchReq::decode(wire::Reader& r) {
+  NylonPunchReq m;
+  (void)r.u8();
+  m.initiator = r.u32();
+  (void)r.u16();
+  m.initiator_type = static_cast<net::NatType>(r.u8());
+  m.target = r.u32();
+  (void)r.u16();
+  m.hops = r.u8();
+  return m;
+}
+
+void NylonConnect::encode(wire::Writer& w) const {
+  w.u8(type());
+  w.u32(initiator);
+  w.u16(0x2710);
+}
+
+NylonConnect NylonConnect::decode(wire::Reader& r) {
+  NylonConnect m;
+  (void)r.u8();
+  m.initiator = r.u32();
+  (void)r.u16();
+  return m;
+}
+
+Nylon::Nylon(Context ctx, NylonConfig cfg)
+    : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.base.view_size) {
+  CROUPIER_ASSERT(cfg_.base.shuffle_size > 0 &&
+                  cfg_.base.shuffle_size <= cfg_.base.view_size);
+  CROUPIER_ASSERT(cfg_.keepalive_rounds > 0);
+  CROUPIER_ASSERT(cfg_.rvp_ttl_rounds >= cfg_.keepalive_rounds);
+}
+
+void Nylon::init() {
+  const auto seeds =
+      bootstrap().sample_public(cfg_.base.bootstrap_fanout, self(), rng());
+  for (net::NodeId id : seeds) {
+    view_.force_add(NylonDescriptor{id, net::NatType::Public, 0, id});
+  }
+}
+
+void Nylon::touch_rvp(net::NodeId peer) {
+  if (peer == self()) return;
+  auto it = rvp_links_.find(peer);
+  if (it != rvp_links_.end()) {
+    it->second = round_counter_;
+    return;
+  }
+  if (rvp_links_.size() >= cfg_.max_rvp_links) {
+    // Evict the stalest link.
+    auto oldest = rvp_links_.begin();
+    for (auto jt = rvp_links_.begin(); jt != rvp_links_.end(); ++jt) {
+      if (jt->second < oldest->second) oldest = jt;
+    }
+    rvp_links_.erase(oldest);
+  }
+  rvp_links_.emplace(peer, round_counter_);
+}
+
+bool Nylon::rvp_live(net::NodeId peer) const {
+  const auto it = rvp_links_.find(peer);
+  return it != rvp_links_.end() &&
+         round_counter_ - it->second <= cfg_.rvp_ttl_rounds;
+}
+
+void Nylon::learn_route(net::NodeId target, net::NodeId next_hop) {
+  if (target == self() || next_hop == self()) return;
+  auto it = routing_.find(target);
+  if (it != routing_.end()) {
+    it->second = Route{next_hop, round_counter_};
+    return;
+  }
+  if (routing_.size() >= cfg_.routing_table_size) {
+    auto oldest = routing_.begin();
+    for (auto jt = routing_.begin(); jt != routing_.end(); ++jt) {
+      if (jt->second.round < oldest->second.round) oldest = jt;
+    }
+    routing_.erase(oldest);
+  }
+  routing_.emplace(target, Route{next_hop, round_counter_});
+}
+
+net::NodeId Nylon::route_to(net::NodeId target) const {
+  const auto it = routing_.find(target);
+  if (it == routing_.end() ||
+      round_counter_ - it->second.round > cfg_.routing_ttl_rounds) {
+    return net::kNilNode;
+  }
+  return it->second.next_hop;
+}
+
+void Nylon::keepalives() {
+  // Expire stale links, then refresh the survivors' NAT mappings. Every
+  // keepalive is a real packet both here and at the receiving end: the RVP
+  // machinery is what makes Nylon expensive (paper fig. 7a).
+  std::erase_if(rvp_links_, [this](const auto& kv) {
+    return round_counter_ - kv.second > cfg_.rvp_ttl_rounds;
+  });
+  if (round_counter_ % cfg_.keepalive_rounds != 0) return;
+  for (const auto& [peer, _] : rvp_links_) {
+    network().send(self(), peer, std::make_shared<NylonKeepalive>());
+  }
+}
+
+void Nylon::round() {
+  ++round_counter_;
+  view_.age_all();
+  keepalives();
+
+  const auto target = view_.oldest();
+  if (!target.has_value()) {
+    init();
+    return;
+  }
+  view_.remove(target->id);
+
+  NylonShuffleReq req;
+  req.sender = NylonDescriptor{self(), nat_type(), 0, self()};
+  req.entries = view_.random_subset(cfg_.base.shuffle_size - 1, rng());
+
+  pending_.push_back(Pending{target->id, req.entries});
+  while (pending_.size() > 8) pending_.pop_front();
+
+  send_shuffle(*target, std::move(req));
+}
+
+void Nylon::send_shuffle(const NylonDescriptor& target, NylonShuffleReq req) {
+  // Direct delivery works if the target is public, or if we hold a live
+  // RVP link with it (mutual keepalives keep both NATs open).
+  if (target.nat_type == net::NatType::Public || rvp_live(target.id)) {
+    network().send(self(), target.id,
+                   std::make_shared<NylonShuffleReq>(std::move(req)));
+    return;
+  }
+
+  // Private target without a live link: UDP hole punch through the RVP
+  // chain — preferring fresh routing state, falling back to the neighbour
+  // the descriptor came from.
+  net::NodeId first_hop = route_to(target.id);
+  if (first_hop == net::kNilNode) first_hop = target.learned_from;
+  if (first_hop == net::kNilNode || first_hop == self()) {
+    return;  // no chain to follow: the exchange fails this round
+  }
+  ++punches_started_;
+
+  // Probe opens our own NAT toward the target (simultaneous open); the
+  // packet itself is filtered at the target's gateway.
+  network().send(self(), target.id, std::make_shared<NylonProbe>());
+
+  auto punch = std::make_shared<NylonPunchReq>();
+  punch->initiator = self();
+  punch->initiator_type = nat_type();
+  punch->target = target.id;
+  punch->hops = 0;
+  network().send(self(), first_hop, std::move(punch));
+
+  awaiting_punch_.push_back(AwaitingPunch{target.id, std::move(req)});
+  while (awaiting_punch_.size() > 8) awaiting_punch_.pop_front();
+}
+
+void Nylon::on_message(net::NodeId from, const net::Message& msg) {
+  switch (msg.type()) {
+    case kNylonShuffleReq:
+      handle_request(from, static_cast<const NylonShuffleReq&>(msg));
+      break;
+    case kNylonShuffleRes:
+      handle_response(from, static_cast<const NylonShuffleRes&>(msg));
+      break;
+    case kNylonPunchReq:
+      handle_punch_req(from, static_cast<const NylonPunchReq&>(msg));
+      break;
+    case kNylonConnect: {
+      const auto& c = static_cast<const NylonConnect&>(msg);
+      // Punch back: this outbound packet opens our NAT toward the
+      // initiator; it reaches them because their probe opened theirs.
+      network().send(self(), c.initiator, std::make_shared<NylonPunchOpen>());
+      break;
+    }
+    case kNylonPunchOpen: {
+      // The target's NAT is now open for us: fire the prepared shuffle.
+      for (auto it = awaiting_punch_.begin(); it != awaiting_punch_.end();
+           ++it) {
+        if (it->target == from) {
+          ++punches_completed_;
+          NylonShuffleReq req = std::move(it->req);
+          awaiting_punch_.erase(it);
+          network().send(self(), from,
+                         std::make_shared<NylonShuffleReq>(std::move(req)));
+          break;
+        }
+      }
+      break;
+    }
+    case kNylonProbe:
+    case kNylonKeepalive: {
+      // Refresh our side of the link if we track this peer.
+      auto it = rvp_links_.find(from);
+      if (it != rvp_links_.end()) it->second = round_counter_;
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void Nylon::handle_punch_req(net::NodeId from, const NylonPunchReq& punch) {
+  (void)from;
+  if (punch.hops >= cfg_.max_punch_hops) return;
+  if (punch.target == self()) {
+    // Degenerate chain end: we are the target.
+    network().send(self(), punch.initiator,
+                   std::make_shared<NylonPunchOpen>());
+    return;
+  }
+  if (rvp_live(punch.target)) {
+    // Our mutual keepalives hold the target's NAT open for us: deliver the
+    // connect request on the last hop.
+    auto connect = std::make_shared<NylonConnect>();
+    connect->initiator = punch.initiator;
+    network().send(self(), punch.target, std::move(connect));
+    return;
+  }
+  // Otherwise forward along our own chain toward the target: routing
+  // state first, then the live view as a fallback.
+  net::NodeId next = route_to(punch.target);
+  if (next == net::kNilNode || next == from) {
+    const auto* desc = view_.find(punch.target);
+    if (desc != nullptr) next = desc->learned_from;
+  }
+  if (next == net::kNilNode || next == self() || next == from) {
+    return;  // chain broken: the exchange fails
+  }
+  auto fwd = std::make_shared<NylonPunchReq>(punch);
+  fwd->hops = static_cast<std::uint8_t>(punch.hops + 1);
+  network().send(self(), next, std::move(fwd));
+}
+
+void Nylon::handle_request(net::NodeId from, const NylonShuffleReq& req) {
+  NylonShuffleRes res;
+  res.entries = view_.random_subset_excluding(cfg_.base.shuffle_size,
+                                              req.sender.id, rng());
+
+  std::vector<NylonDescriptor> incoming = req.entries;
+  incoming.push_back(req.sender);
+  // Every received descriptor's chain next-hop is the node that sent it;
+  // the routing table remembers this even after the view entry moves on.
+  for (auto& d : incoming) {
+    d.learned_from = req.sender.id;
+    learn_route(d.id, req.sender.id);
+  }
+  view_.merge_swapper(res.entries, incoming, self());
+
+  // A completed exchange makes the two endpoints each other's RVPs.
+  touch_rvp(req.sender.id);
+
+  network().send(self(), from,
+                 std::make_shared<NylonShuffleRes>(std::move(res)));
+}
+
+void Nylon::handle_response(net::NodeId from, const NylonShuffleRes& res) {
+  std::vector<NylonDescriptor> sent;
+  for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+    if (it->target == from) {
+      sent = std::move(it->sent);
+      pending_.erase(it);
+      break;
+    }
+  }
+  std::vector<NylonDescriptor> incoming = res.entries;
+  for (auto& d : incoming) {
+    d.learned_from = from;
+    learn_route(d.id, from);
+  }
+  view_.merge_swapper(sent, incoming, self());
+  touch_rvp(from);
+}
+
+std::optional<pss::NodeDescriptor> Nylon::sample() {
+  const auto d = view_.random_entry(rng());
+  if (!d.has_value()) return std::nullopt;
+  return pss::NodeDescriptor{d->id, d->nat_type, d->age};
+}
+
+std::vector<net::NodeId> Nylon::out_neighbors() const {
+  std::vector<net::NodeId> out;
+  out.reserve(view_.size());
+  for (const auto& d : view_.entries()) out.push_back(d.id);
+  return out;
+}
+
+std::vector<net::NodeId> Nylon::usable_neighbors(const AliveFn& alive) const {
+  std::vector<net::NodeId> out;
+  for (const auto& d : view_.entries()) {
+    if (!alive(d.id)) continue;
+    if (d.nat_type == net::NatType::Public) {
+      out.push_back(d.id);
+      continue;
+    }
+    // Private neighbour: reachable only if the chain's first hop is still
+    // alive (either we hold a live RVP link ourselves, or the node we
+    // learned the descriptor from survives to forward the punch).
+    if (rvp_live(d.id) ||
+        (d.learned_from != net::kNilNode && alive(d.learned_from))) {
+      out.push_back(d.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace croupier::baselines

@@ -1,0 +1,30 @@
+// Project-wide assertion macro.
+//
+// CROUPIER_ASSERT guards against programmer errors (broken invariants,
+// out-of-contract calls). It is active in all build types: simulation
+// results are only trustworthy if invariants are enforced in the builds
+// that produce them.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace croupier::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "CROUPIER_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace croupier::detail
+
+#define CROUPIER_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::croupier::detail::assert_fail(#expr, __FILE__, __LINE__,     \
+                                            nullptr))
+
+#define CROUPIER_ASSERT_MSG(expr, msg)                                     \
+  ((expr) ? static_cast<void>(0)                                           \
+          : ::croupier::detail::assert_fail(#expr, __FILE__, __LINE__, msg))

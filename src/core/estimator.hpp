@@ -1,0 +1,121 @@
+// Distributed public/private ratio estimation (paper §VI, Algorithm 3 and
+// equations (1)-(9)).
+//
+// Croupiers (public nodes) count the shuffle requests they receive from
+// public senders (c_u) and private senders (c_v) each round. Summed over a
+// sliding window of the last α rounds (the *local history*), the counts
+// give the node's local estimate E_i = C_ui / (C_ui + C_vi) — an unbiased
+// sample of ω = |U| / (|U| + |V|) because every node, public or private,
+// sends exactly one shuffle request per round to a uniformly random public
+// node. Local estimates are disseminated piggy-backed on shuffle traffic;
+// each node caches the most recent estimate per origin (the *neighbour
+// history* M_i), drops entries older than γ rounds, and averages:
+//   public node:  Ê(ω) = (Σ_{m∈M} E_m + E_i) / (|M| + 1)     (eq. 8)
+//   private node: Ê(ω) =  Σ_{m∈M} E_m / |M|                  (eq. 9)
+//
+// Wire format per shared entry is 5 bytes (paper §VI: 2 B origin id, 1 B
+// public hits, 1 B private hits, 1 B age). Internal counts are exact;
+// encoding quantizes proportionally into the byte range, which preserves
+// the ratio to ~1/255 — noise that averages out across M.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "net/address.hpp"
+#include "sim/rng.hpp"
+#include "wire/wire.hpp"
+
+namespace croupier::core {
+
+/// One node's local estimate as it travels between nodes.
+struct EstimateEntry {
+  net::NodeId origin = net::kNilNode;
+  std::uint32_t pub_hits = 0;
+  std::uint32_t priv_hits = 0;
+  std::uint16_t age = 0;  // rounds since the origin computed it
+
+  /// The ratio this entry encodes: E_i of equation (6).
+  [[nodiscard]] double ratio() const {
+    const auto total = pub_hits + priv_hits;
+    return total == 0 ? 0.0 : static_cast<double>(pub_hits) / total;
+  }
+
+  friend bool operator==(const EstimateEntry&, const EstimateEntry&) = default;
+};
+
+/// Bytes one estimate entry occupies on the wire (paper §VI).
+constexpr std::size_t kEstimateWireBytes = 5;
+
+void encode(wire::Writer& w, const EstimateEntry& e);
+EstimateEntry decode_estimate(wire::Reader& r);
+void encode(wire::Writer& w, const std::vector<EstimateEntry>& v);
+std::vector<EstimateEntry> decode_estimates(wire::Reader& r);
+
+struct EstimatorConfig {
+  std::size_t local_history = 25;      // α: rounds of own hit counts kept
+  std::size_t neighbour_history = 50;  // γ: max age of cached estimates
+  std::size_t share_limit = 10;        // entries piggy-backed per message
+};
+
+class RatioEstimator {
+ public:
+  RatioEstimator(net::NodeId self, net::NatType type, EstimatorConfig cfg);
+
+  /// Advances one gossip round (paper Algorithm 2, lines 3-11): ages and
+  /// expires cached estimates, recomputes the local estimate from the
+  /// history window, then rolls the current round's hit counters into the
+  /// history.
+  void begin_round();
+
+  /// Records an incoming shuffle request from a sender of the given type
+  /// (Algorithm 2, lines 26-30). Only meaningful on public nodes.
+  void count_request(net::NatType sender_type);
+
+  /// Integrates estimates received in a shuffle message, retaining the
+  /// most recent entry per origin (paper: "when two estimations for the
+  /// same node are available, the older is replaced by the newer").
+  void merge(std::span<const EstimateEntry> entries);
+
+  /// The bounded random subset of cached estimates to piggy-back on an
+  /// outgoing shuffle message; includes this node's own local estimate
+  /// when one exists (public nodes). At most `share_limit` entries.
+  [[nodiscard]] std::vector<EstimateEntry> share(sim::RngStream& rng) const;
+
+  /// Ê(ω) per equations (8)/(9). Falls back to 0.5 when no information is
+  /// available yet (fresh node, first rounds).
+  [[nodiscard]] double estimate() const;
+
+  /// E_i: this node's own window estimate, if it has received any shuffle
+  /// requests within the window (public nodes only).
+  [[nodiscard]] std::optional<double> local_estimate() const;
+
+  /// Introspection (tests, diagnostics).
+  [[nodiscard]] std::size_t cached_count() const { return cache_.size(); }
+  [[nodiscard]] const std::vector<EstimateEntry>& cached() const {
+    return cache_;
+  }
+  [[nodiscard]] const EstimatorConfig& config() const { return cfg_; }
+
+ private:
+  [[nodiscard]] std::optional<EstimateEntry> own_entry() const;
+
+  net::NodeId self_;
+  net::NatType type_;
+  EstimatorConfig cfg_;
+
+  // Hit counters for the in-progress round (c_u, c_v).
+  std::uint32_t round_pub_hits_ = 0;
+  std::uint32_t round_priv_hits_ = 0;
+  // Per-round history, newest at the back, bounded to α entries (C_u, C_v).
+  std::deque<std::pair<std::uint32_t, std::uint32_t>> history_;
+  // Windowed sums kept incrementally.
+  std::uint64_t window_pub_ = 0;
+  std::uint64_t window_priv_ = 0;
+  // Cached estimates from other nodes (M_i); never contains self.
+  std::vector<EstimateEntry> cache_;
+};
+
+}  // namespace croupier::core

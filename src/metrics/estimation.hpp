@@ -1,0 +1,33 @@
+// Estimation-error metrics (paper §VII-B, equations (10)-(13)).
+//
+// For a set of per-node ratio estimates and the true ratio ω:
+//  - avg error  (eq. 12/13): mean of |ω − Ê_n(ω)| over nodes;
+//  - max error  (eq. 10/11): the Kolmogorov-Smirnov-style worst case,
+//    max_n |ω − Ê_n(ω)|.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace croupier::metrics {
+
+struct ErrorSample {
+  double avg_error = 0.0;
+  double max_error = 0.0;
+  double truth = 0.0;
+  std::size_t node_count = 0;
+};
+
+/// Computes both error metrics for one sampling instant.
+ErrorSample estimation_errors(std::span<const double> estimates,
+                              double truth);
+
+/// One timestamped point of an error time series.
+struct ErrorPoint {
+  double t_seconds = 0.0;
+  ErrorSample sample;
+};
+
+using ErrorSeries = std::vector<ErrorPoint>;
+
+}  // namespace croupier::metrics

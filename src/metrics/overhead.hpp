@@ -1,0 +1,28 @@
+// Protocol-overhead summarization (paper fig. 7a: average load per node in
+// bytes/second, split by node class).
+#pragma once
+
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "net/traffic.hpp"
+#include "sim/time.hpp"
+
+namespace croupier::metrics {
+
+struct ClassLoad {
+  double public_bytes_per_sec = 0.0;
+  double private_bytes_per_sec = 0.0;
+  std::size_t public_nodes = 0;
+  std::size_t private_nodes = 0;
+};
+
+/// Averages per-node load (sent + received bytes, headers included) over a
+/// measurement window, separately for public and private nodes. Nodes in
+/// `classes` that produced no traffic still count toward the average.
+ClassLoad summarize_load(
+    const net::TrafficMeter& meter,
+    const std::unordered_map<net::NodeId, net::NatType>& classes,
+    sim::Duration window);
+
+}  // namespace croupier::metrics

@@ -1,0 +1,43 @@
+// Summary-statistics helpers used by the benches, examples and tests:
+// moments, percentiles, histograms, and the Kolmogorov-Smirnov distance
+// (the paper's maximum-error metric is KS-style; the full statistic is
+// useful when comparing in-degree distributions between systems, fig 6a).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+namespace croupier::metrics {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Full summary of a sample (O(n log n); copies the input to sort it).
+Summary summarize(std::span<const double> values);
+
+/// Percentile by linear interpolation between closest ranks; q in [0,1].
+double percentile(std::span<const double> values, double q);
+
+/// Histogram with fixed-width bins over [lo, hi); values outside clamp to
+/// the edge bins. Returns bin counts.
+std::vector<std::size_t> histogram(std::span<const double> values, double lo,
+                                   double hi, std::size_t bins);
+
+/// Two-sample Kolmogorov-Smirnov distance: the maximum gap between the
+/// empirical CDFs. 0 = identical distributions, 1 = disjoint.
+double ks_distance(std::span<const double> a, std::span<const double> b);
+
+/// Convenience: integer counts (e.g. in-degrees) to double samples.
+std::vector<double> to_doubles(std::span<const std::size_t> values);
+
+}  // namespace croupier::metrics

@@ -1,0 +1,167 @@
+#include "natid/natid.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/assert.hpp"
+
+namespace croupier::natid {
+
+void MatchingIpTest::encode(wire::Writer& w) const {
+  w.u8(type());
+  w.u8(static_cast<std::uint8_t>(std::min<std::size_t>(probed.size(), 0xff)));
+  for (net::NodeId id : probed) {
+    w.u32(id);
+    w.u16(0x2710);
+  }
+}
+
+MatchingIpTest MatchingIpTest::decode(wire::Reader& r) {
+  MatchingIpTest m;
+  (void)r.u8();
+  const std::size_t n = r.u8();
+  for (std::size_t i = 0; i < n && r.ok(); ++i) {
+    m.probed.push_back(r.u32());
+    (void)r.u16();
+  }
+  return m;
+}
+
+void ForwardTest::encode(wire::Writer& w) const {
+  w.u8(type());
+  w.u32(client);
+  w.u16(0x2710);
+  w.u32(observed_ip.v);
+}
+
+ForwardTest ForwardTest::decode(wire::Reader& r) {
+  ForwardTest m;
+  (void)r.u8();
+  m.client = r.u32();
+  (void)r.u16();
+  m.observed_ip = net::IpAddr{r.u32()};
+  return m;
+}
+
+void ForwardResp::encode(wire::Writer& w) const {
+  w.u8(type());
+  w.u32(observed_ip.v);
+}
+
+ForwardResp ForwardResp::decode(wire::Reader& r) {
+  ForwardResp m;
+  (void)r.u8();
+  m.observed_ip = net::IpAddr{r.u32()};
+  return m;
+}
+
+bool NatIdResponder::on_message(net::NodeId from, const net::Message& msg) {
+  switch (msg.type()) {
+    case kMatchingIpTest: {
+      const auto& test = static_cast<const MatchingIpTest&>(msg);
+      // Pick a forwarder that is public, is not us, and is not any node
+      // the client is probing (its NAT may hold mappings toward those). A
+      // deployed node would use recent public neighbours from its PSS; the
+      // oracle sampling stands in for that here.
+      const auto candidates = bootstrap_.sample_public(
+          test.probed.size() + 2, self_, rng_);
+      for (net::NodeId candidate : candidates) {
+        const bool probed =
+            std::find(test.probed.begin(), test.probed.end(), candidate) !=
+            test.probed.end();
+        if (probed || candidate == from) continue;
+        auto fwd = std::make_shared<ForwardTest>();
+        fwd->client = from;
+        // In a real deployment this is the UDP source address; the
+        // network model exposes exactly that.
+        fwd->observed_ip = network_.public_ip(from);
+        network_.send(self_, candidate, std::move(fwd));
+        return true;
+      }
+      return true;  // no forwarder available; client will time out
+    }
+    case kForwardTest: {
+      const auto& test = static_cast<const ForwardTest&>(msg);
+      auto resp = std::make_shared<ForwardResp>();
+      resp->observed_ip = test.observed_ip;
+      network_.send(self_, test.client, std::move(resp));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+NatIdClient::NatIdClient(net::NodeId self, net::Network& network,
+                         net::BootstrapServer& bootstrap, sim::RngStream rng,
+                         Config cfg, DoneFn done)
+    : self_(self),
+      network_(network),
+      bootstrap_(bootstrap),
+      rng_(rng),
+      cfg_(cfg),
+      done_(std::move(done)),
+      alive_flag_(std::make_shared<bool>(true)) {
+  CROUPIER_ASSERT(done_ != nullptr);
+  CROUPIER_ASSERT(cfg_.parallel_probes > 0);
+}
+
+NatIdClient::~NatIdClient() { *alive_flag_ = false; }
+
+void NatIdClient::start() {
+  CROUPIER_ASSERT_MSG(!started_, "NatIdClient is single-shot");
+  started_ = true;
+
+  // Paper Algorithm 1, line 4: UPnP IGD short-circuits the network test.
+  if (cfg_.upnp_available) {
+    finish(net::NatType::Public);
+    return;
+  }
+
+  const auto probed =
+      bootstrap_.sample_public(cfg_.parallel_probes, self_, rng_);
+  if (probed.empty()) {
+    // Nobody to test against (first node in the system): a node that the
+    // bootstrap server can hand out must be publicly reachable, and the
+    // deployment would only seed public nodes; classify optimistically as
+    // private is useless — but we cannot verify reachability, so report
+    // private and let the operator seed properly. Conservative choice.
+    finish(net::NatType::Private);
+    return;
+  }
+
+  auto test = std::make_shared<MatchingIpTest>();
+  test->probed = probed;
+  for (net::NodeId target : probed) {
+    network_.send(self_, target, test);
+  }
+
+  timeout_event_ = network_.simulator().schedule_after(
+      cfg_.timeout, [this, alive = alive_flag_]() {
+        if (!*alive || finished_) return;
+        finish(net::NatType::Private);
+      });
+}
+
+bool NatIdClient::on_message(net::NodeId /*from*/, const net::Message& msg) {
+  if (msg.type() != kForwardResp) return false;
+  if (finished_) return true;
+  const auto& resp = static_cast<const ForwardResp&>(msg);
+  if (timeout_event_.has_value()) {
+    network_.simulator().cancel(*timeout_event_);
+    timeout_event_.reset();
+  }
+  const net::IpAddr local = network_.local_ip(self_);
+  finish(local == resp.observed_ip ? net::NatType::Public
+                                   : net::NatType::Private);
+  return true;
+}
+
+void NatIdClient::finish(net::NatType type) {
+  CROUPIER_ASSERT(!finished_);
+  finished_ = true;
+  result_ = type;
+  done_(type);
+}
+
+}  // namespace croupier::natid

@@ -1,0 +1,43 @@
+// Node identity and addressing for the simulated network.
+//
+// Nodes are identified by a NodeId that is unique for the lifetime of a
+// simulation (ids are never reused across churn). Each node additionally
+// has IPv4-style addresses: a local address, and the public address under
+// which the rest of the network sees it (equal to the local address for
+// open-Internet nodes; the NAT gateway's address for NATted ones). The
+// distinction matters to the NAT-type identification protocol (paper §V),
+// which compares the two.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace croupier::net {
+
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+constexpr NodeId kNilNode = 0xffffffffu;
+
+/// IPv4 address, host byte order.
+struct IpAddr {
+  std::uint32_t v = 0;
+
+  friend bool operator==(const IpAddr&, const IpAddr&) = default;
+};
+
+/// Renders dotted-quad for diagnostics ("10.0.3.7").
+std::string to_string(IpAddr ip);
+
+/// The binary NAT classification the paper's protocols operate on.
+/// (The richer ground-truth configuration lives in net/nat.hpp.)
+enum class NatType : std::uint8_t {
+  Public = 0,   // directly reachable: open Internet or UPnP-mapped
+  Private = 1,  // behind a NAT/firewall; reachable only after outbound
+};
+
+inline const char* to_cstring(NatType t) {
+  return t == NatType::Public ? "public" : "private";
+}
+
+}  // namespace croupier::net

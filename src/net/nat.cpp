@@ -1,0 +1,48 @@
+#include "net/nat.hpp"
+
+#include <vector>
+
+namespace croupier::net {
+
+void NatBox::on_outbound(sim::SimTime now, NodeId dst) {
+  last_outbound_[dst] = now;
+  last_any_outbound_ = now;
+  any_outbound_ever_ = true;
+  if (++ops_since_gc_ >= 256) maybe_collect(now);
+}
+
+bool NatBox::allows_inbound(sim::SimTime now, NodeId src) const {
+  if (cfg_.behaves_public()) return true;
+  switch (cfg_.filtering) {
+    case FilteringPolicy::EndpointIndependent:
+      // The socket's single mapping is held open by *any* outbound
+      // traffic; once live, any remote endpoint passes the filter.
+      return any_outbound_ever_ && entry_live(now, last_any_outbound_);
+    case FilteringPolicy::AddressDependent:
+    case FilteringPolicy::AddressAndPortDependent: {
+      const auto it = last_outbound_.find(src);
+      return it != last_outbound_.end() && entry_live(now, it->second);
+    }
+  }
+  return false;
+}
+
+std::size_t NatBox::live_entries(sim::SimTime now) const {
+  std::size_t n = 0;
+  for (const auto& [id, t] : last_outbound_) {
+    if (entry_live(now, t)) ++n;
+  }
+  return n;
+}
+
+void NatBox::maybe_collect(sim::SimTime now) {
+  ops_since_gc_ = 0;
+  std::vector<NodeId> dead;
+  dead.reserve(last_outbound_.size());
+  for (const auto& [id, t] : last_outbound_) {
+    if (!entry_live(now, t)) dead.push_back(id);
+  }
+  for (NodeId id : dead) last_outbound_.erase(id);
+}
+
+}  // namespace croupier::net

@@ -1,0 +1,122 @@
+#include "net/network.hpp"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace croupier::net {
+
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency, sim::RngStream rng,
+                 double loss_probability)
+    : simulator_(simulator),
+      latency_(std::move(latency)),
+      rng_(rng),
+      loss_probability_(loss_probability) {
+  CROUPIER_ASSERT(latency_ != nullptr);
+  CROUPIER_ASSERT(loss_probability_ >= 0.0 && loss_probability_ < 1.0);
+}
+
+void Network::attach(NodeId id, const NatConfig& cfg,
+                     MessageHandler& handler) {
+  CROUPIER_ASSERT_MSG(!nodes_.contains(id), "NodeId already attached");
+  NodeState state;
+  state.cfg = cfg;
+  state.handler = &handler;
+  if (!cfg.behaves_public()) state.nat.emplace(cfg);
+  nodes_.emplace(id, std::move(state));
+}
+
+void Network::detach(NodeId id) {
+  const auto erased = nodes_.erase(id);
+  CROUPIER_ASSERT_MSG(erased == 1, "detach of unattached node");
+}
+
+NatType Network::type_of(NodeId id) const {
+  const auto it = nodes_.find(id);
+  CROUPIER_ASSERT(it != nodes_.end());
+  return it->second.cfg.nat_type();
+}
+
+const NatBox* Network::nat_of(NodeId id) const {
+  const auto it = nodes_.find(id);
+  if (it == nodes_.end() || !it->second.nat.has_value()) return nullptr;
+  return &*it->second.nat;
+}
+
+IpAddr Network::local_ip(NodeId id) const {
+  const auto it = nodes_.find(id);
+  CROUPIER_ASSERT(it != nodes_.end());
+  switch (it->second.cfg.cls) {
+    case ConnectivityClass::Natted:
+    case ConnectivityClass::UpnpIgd:
+      // RFC1918-style address behind the gateway.
+      return IpAddr{0x0a000000u | (id & 0x00ffffffu)};
+    case ConnectivityClass::OpenInternet:
+    case ConnectivityClass::Firewalled:
+      return public_ip(id);
+  }
+  return {};
+}
+
+IpAddr Network::public_ip(NodeId id) const {
+  const auto it = nodes_.find(id);
+  CROUPIER_ASSERT(it != nodes_.end());
+  // Deterministic distinct "public" address per node (each private node is
+  // modelled behind its own gateway).
+  return IpAddr{0x52000000u | (id & 0x00ffffffu)};
+}
+
+void Network::send(NodeId from, NodeId to, MessagePtr msg) {
+  CROUPIER_ASSERT(msg != nullptr);
+  const auto from_it = nodes_.find(from);
+  CROUPIER_ASSERT_MSG(from_it != nodes_.end(), "sender not attached");
+
+  const std::size_t bytes = msg->wire_size() + kUdpIpHeaderBytes;
+  meter_.on_send(from, bytes);
+
+  // The sender's own gateway opens/refreshes a mapping toward `to`
+  // regardless of whether the packet ultimately arrives.
+  if (from_it->second.nat.has_value()) {
+    from_it->second.nat->on_outbound(simulator_.now(), to);
+  }
+
+  if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
+    ++drops_.loss;
+    return;
+  }
+
+  const sim::Duration delay = latency_->sample(from, to, rng_);
+  simulator_.schedule_after(
+      delay, [this, from, to, msg = std::move(msg), bytes]() mutable {
+        deliver(from, to, std::move(msg), bytes);
+      });
+}
+
+void Network::deliver(NodeId from, NodeId to, MessagePtr msg,
+                      std::size_t bytes) {
+  const auto to_it = nodes_.find(to);
+  if (to_it == nodes_.end()) {
+    ++drops_.dead_receiver;
+    return;
+  }
+  if (to_it->second.nat.has_value() &&
+      !to_it->second.nat->allows_inbound(simulator_.now(), from)) {
+    ++drops_.nat_filtered;
+    return;
+  }
+  ++drops_.delivered;
+  meter_.on_deliver(to, bytes);
+  to_it->second.handler->on_message(from, *msg);
+}
+
+std::string to_string(IpAddr ip) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (ip.v >> 24) & 0xff,
+                (ip.v >> 16) & 0xff, (ip.v >> 8) & 0xff, ip.v & 0xff);
+  return buf;
+}
+
+}  // namespace croupier::net

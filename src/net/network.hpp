@@ -1,0 +1,82 @@
+// The simulated UDP network: unreliable, unordered datagram delivery with
+// NAT semantics.
+//
+// send() charges traffic, records the sender's outbound NAT mapping, rolls
+// the loss die, samples a one-way latency and schedules delivery. At
+// delivery time the packet is dropped if the receiver has left the network
+// or if the receiver's NAT/firewall filter rejects the sender — exactly
+// the property ("private nodes cannot be reached unless they initiated
+// contact") that all the protocols in this repository are designed around.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "net/address.hpp"
+#include "net/latency.hpp"
+#include "net/message.hpp"
+#include "net/nat.hpp"
+#include "net/traffic.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+namespace croupier::net {
+
+class Network {
+ public:
+  struct DropStats {
+    std::uint64_t loss = 0;        // random packet loss
+    std::uint64_t nat_filtered = 0;  // receiver NAT/firewall rejected sender
+    std::uint64_t dead_receiver = 0;  // receiver left before delivery
+    std::uint64_t delivered = 0;
+  };
+
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+          sim::RngStream rng, double loss_probability = 0.0);
+
+  /// Registers a node. The handler must outlive the attachment.
+  void attach(NodeId id, const NatConfig& cfg, MessageHandler& handler);
+
+  /// Removes a node (death/leave). In-flight packets to it are dropped.
+  void detach(NodeId id);
+
+  [[nodiscard]] bool attached(NodeId id) const {
+    return nodes_.contains(id);
+  }
+  [[nodiscard]] std::size_t attached_count() const { return nodes_.size(); }
+
+  /// Ground-truth configuration queries.
+  [[nodiscard]] NatType type_of(NodeId id) const;
+  [[nodiscard]] const NatBox* nat_of(NodeId id) const;
+  [[nodiscard]] IpAddr local_ip(NodeId id) const;
+  [[nodiscard]] IpAddr public_ip(NodeId id) const;
+
+  /// Sends a datagram. `from` must be attached; `to` may be anything (the
+  /// packet is silently dropped if unreachable, like real UDP).
+  void send(NodeId from, NodeId to, MessagePtr msg);
+
+  [[nodiscard]] TrafficMeter& meter() { return meter_; }
+  [[nodiscard]] const DropStats& drops() const { return drops_; }
+  [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
+
+ private:
+  struct NodeState {
+    NatConfig cfg;
+    std::optional<NatBox> nat;  // engaged for Natted/Firewalled nodes
+    MessageHandler* handler = nullptr;
+  };
+
+  void deliver(NodeId from, NodeId to, MessagePtr msg, std::size_t bytes);
+
+  sim::Simulator& simulator_;
+  std::unique_ptr<LatencyModel> latency_;
+  sim::RngStream rng_;
+  double loss_probability_;
+  std::unordered_map<NodeId, NodeState> nodes_;
+  TrafficMeter meter_;
+  DropStats drops_;
+};
+
+}  // namespace croupier::net

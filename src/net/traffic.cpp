@@ -1,0 +1,2 @@
+// Anchor translation unit: verifies net/traffic.hpp compiles standalone.
+#include "net/traffic.hpp"

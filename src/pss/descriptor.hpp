@@ -1,0 +1,49 @@
+// Node descriptors: the unit of gossip in every PSS here.
+//
+// A descriptor names a node, records its NAT classification, and carries
+// an age in gossip rounds since the descriptor was created by its subject
+// (paper §VI: "a node descriptor contains the node's address, its NAT
+// type, and a timestamp"). The wire encoding is sized like a real
+// deployment's (IPv4 address + port + type + age = 8 bytes) so overhead
+// measurements are honest.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/address.hpp"
+#include "wire/wire.hpp"
+
+namespace croupier::pss {
+
+using net::NatType;
+using net::NodeId;
+
+struct NodeDescriptor {
+  NodeId id = net::kNilNode;
+  NatType nat_type = NatType::Public;
+  std::uint16_t age = 0;  // rounds since creation; saturates
+
+  /// A fresh descriptor for the subject node itself.
+  static NodeDescriptor self(NodeId id, NatType type) {
+    return NodeDescriptor{id, type, 0};
+  }
+
+  void bump_age() {
+    if (age < 0xffff) ++age;
+  }
+
+  friend bool operator==(const NodeDescriptor&,
+                         const NodeDescriptor&) = default;
+};
+
+/// Bytes one descriptor occupies on the wire.
+constexpr std::size_t kDescriptorWireBytes = 8;
+
+void encode(wire::Writer& w, const NodeDescriptor& d);
+NodeDescriptor decode_descriptor(wire::Reader& r);
+
+void encode(wire::Writer& w, const std::vector<NodeDescriptor>& v);
+std::vector<NodeDescriptor> decode_descriptors(wire::Reader& r);
+
+}  // namespace croupier::pss

@@ -1,0 +1,14 @@
+#include "pss/protocol.hpp"
+
+namespace croupier::pss {
+
+std::vector<net::NodeId> PeerSampler::usable_neighbors(
+    const AliveFn& alive) const {
+  std::vector<net::NodeId> out;
+  for (net::NodeId id : out_neighbors()) {
+    if (alive(id)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace croupier::pss

@@ -1,0 +1,228 @@
+// Bounded partial view with the paper's selection/merge policies.
+//
+// All four protocols (Croupier, Cyclon, Gozar, Nylon) use the same view
+// mechanics from Jelasity et al. [7]:
+//  - "tail" node selection: pick the descriptor with the highest age;
+//  - random bounded subsets for the exchanged state;
+//  - "swapper" view merging (paper Algorithm 2, updateView): keep the
+//    newer copy of a known node, fill free space, and once full evict
+//    exactly the descriptors that were shipped to the other side.
+//
+// The view is templated on the descriptor type because Gozar and Nylon
+// decorate descriptors with traversal state (relay parents / RVPs); any
+// Desc with `id`, `age`, and `bump_age()` works.
+#pragma once
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "net/address.hpp"
+#include "sim/rng.hpp"
+
+namespace croupier::pss {
+
+/// View-merge policy (Jelasity et al. [7]). The paper's comparison runs
+/// every system with Swapper; Healer is provided for ablating that
+/// design choice (bench/ablation_merge).
+enum class MergePolicy : std::uint8_t {
+  Swapper = 0,  // evict exactly what was sent; minimal information loss
+  Healer = 1,   // keep the freshest descriptors; fastest staleness purge
+};
+
+template <typename Desc>
+class PartialView {
+ public:
+  explicit PartialView(std::size_t capacity) : capacity_(capacity) {
+    CROUPIER_ASSERT(capacity > 0);
+    entries_.reserve(capacity);
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Rebounds the view. Shrinking evicts oldest descriptors first. Used by
+  /// Croupier's ratio-proportional view sizing, where the public/private
+  /// capacity split tracks the estimated ratio.
+  void set_capacity(std::size_t capacity) {
+    CROUPIER_ASSERT(capacity > 0);
+    capacity_ = capacity;
+    while (entries_.size() > capacity_) {
+      auto it = std::max_element(
+          entries_.begin(), entries_.end(),
+          [](const Desc& a, const Desc& b) { return a.age < b.age; });
+      entries_.erase(it);
+    }
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+
+  [[nodiscard]] const std::vector<Desc>& entries() const { return entries_; }
+
+  [[nodiscard]] bool contains(net::NodeId id) const {
+    return find_index(id).has_value();
+  }
+
+  [[nodiscard]] const Desc* find(net::NodeId id) const {
+    const auto idx = find_index(id);
+    return idx.has_value() ? &entries_[*idx] : nullptr;
+  }
+
+  /// Ages every descriptor by one round.
+  void age_all() {
+    for (auto& d : entries_) d.bump_age();
+  }
+
+  /// Tail policy: the oldest descriptor (ties broken by position, which is
+  /// deterministic). Empty view yields nullopt.
+  [[nodiscard]] std::optional<Desc> oldest() const {
+    if (entries_.empty()) return std::nullopt;
+    const auto it = std::max_element(
+        entries_.begin(), entries_.end(),
+        [](const Desc& a, const Desc& b) { return a.age < b.age; });
+    return *it;
+  }
+
+  /// Removes a node if present; returns whether it was there.
+  bool remove(net::NodeId id) {
+    const auto idx = find_index(id);
+    if (!idx.has_value()) return false;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*idx));
+    return true;
+  }
+
+  /// Inserts if the node is absent and space remains. Returns whether the
+  /// descriptor was inserted.
+  bool add_if_room(const Desc& d) {
+    if (full() || contains(d.id)) return false;
+    entries_.push_back(d);
+    return true;
+  }
+
+  /// Unconditional insert used at bootstrap: if full, replaces the oldest
+  /// descriptor; if the node is present, keeps the newer copy.
+  void force_add(const Desc& d) {
+    if (auto idx = find_index(d.id); idx.has_value()) {
+      if (d.age < entries_[*idx].age) entries_[*idx] = d;
+      return;
+    }
+    if (!full()) {
+      entries_.push_back(d);
+      return;
+    }
+    auto it = std::max_element(
+        entries_.begin(), entries_.end(),
+        [](const Desc& a, const Desc& b) { return a.age < b.age; });
+    *it = d;
+  }
+
+  /// Uniformly random subset of up to n descriptors (without replacement).
+  [[nodiscard]] std::vector<Desc> random_subset(std::size_t n,
+                                                sim::RngStream& rng) const {
+    return rng.sample(std::span<const Desc>(entries_), n);
+  }
+
+  /// Random subset of up to n descriptors, never including `excluded`.
+  [[nodiscard]] std::vector<Desc> random_subset_excluding(
+      std::size_t n, net::NodeId excluded, sim::RngStream& rng) const {
+    std::vector<Desc> pool;
+    pool.reserve(entries_.size());
+    for (const auto& d : entries_) {
+      if (d.id != excluded) pool.push_back(d);
+    }
+    return rng.sample(std::span<const Desc>(pool), n);
+  }
+
+  /// Uniformly random single entry.
+  [[nodiscard]] std::optional<Desc> random_entry(sim::RngStream& rng) const {
+    if (entries_.empty()) return std::nullopt;
+    return entries_[rng.index(entries_.size())];
+  }
+
+  /// Healer merge (Jelasity et al. [7]): integrates `received` keeping
+  /// the *freshest* descriptors overall — when the view overflows, the
+  /// oldest entries are evicted regardless of what was sent. Heals stale
+  /// state fastest at the cost of more information loss than swapper.
+  /// `self` is never inserted.
+  void merge_healer(std::span<const Desc> received, net::NodeId self) {
+    for (const auto& r : received) {
+      if (r.id == self) continue;
+      if (auto idx = find_index(r.id); idx.has_value()) {
+        if (r.age < entries_[*idx].age) entries_[*idx] = r;
+        continue;
+      }
+      if (!full()) {
+        entries_.push_back(r);
+        continue;
+      }
+      auto it = std::max_element(
+          entries_.begin(), entries_.end(),
+          [](const Desc& a, const Desc& b) { return a.age < b.age; });
+      if (it->age > r.age) *it = r;  // replace only if strictly fresher
+    }
+  }
+
+  /// Swapper merge (paper Algorithm 2, `updateView`): integrates
+  /// `received` into the view given that `sent` was shipped to the peer.
+  /// `self` is never inserted.
+  void merge_swapper(std::span<const Desc> sent, std::span<const Desc> received,
+                     net::NodeId self) {
+    std::deque<net::NodeId> evictable;
+    for (const auto& d : sent) evictable.push_back(d.id);
+
+    for (const auto& r : received) {
+      if (r.id == self) continue;
+      if (auto idx = find_index(r.id); idx.has_value()) {
+        // Node already known: keep the more recent descriptor.
+        if (r.age < entries_[*idx].age) entries_[*idx] = r;
+        continue;
+      }
+      if (!full()) {
+        entries_.push_back(r);
+        continue;
+      }
+      // Full: evict one of the descriptors we sent away (swap semantics —
+      // minimal information loss, per the swapper policy).
+      bool placed = false;
+      while (!evictable.empty() && !placed) {
+        const net::NodeId victim = evictable.front();
+        evictable.pop_front();
+        if (auto vidx = find_index(victim); vidx.has_value()) {
+          entries_[*vidx] = r;
+          placed = true;
+        }
+      }
+      // No sent descriptor remains in the view: drop `r` (view stays full).
+    }
+  }
+
+  void clear() { entries_.clear(); }
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> find_index(net::NodeId id) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) return i;
+    }
+    return std::nullopt;
+  }
+
+  std::size_t capacity_;
+  std::vector<Desc> entries_;
+};
+
+/// Dispatches a merge through the configured policy.
+template <typename Desc>
+void merge_by_policy(PartialView<Desc>& view, MergePolicy policy,
+                     std::span<const Desc> sent,
+                     std::span<const Desc> received, net::NodeId self) {
+  if (policy == MergePolicy::Swapper) {
+    view.merge_swapper(sent, received, self);
+  } else {
+    view.merge_healer(received, self);
+  }
+}
+
+}  // namespace croupier::pss

@@ -1,0 +1,47 @@
+// Convenience ProtocolFactory builders for the four PSS implementations.
+// Benches and examples construct worlds as
+//   World world(cfg, make_croupier_factory(croupier_cfg));
+#pragma once
+
+#include <memory>
+
+#include "baselines/arrg.hpp"
+#include "baselines/cyclon.hpp"
+#include "baselines/gozar.hpp"
+#include "baselines/nylon.hpp"
+#include "core/croupier.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::run {
+
+inline ProtocolFactory make_croupier_factory(core::CroupierConfig cfg) {
+  return [cfg](pss::PeerSampler::Context ctx) {
+    return std::make_unique<core::Croupier>(std::move(ctx), cfg);
+  };
+}
+
+inline ProtocolFactory make_cyclon_factory(pss::PssConfig cfg) {
+  return [cfg](pss::PeerSampler::Context ctx) {
+    return std::make_unique<baselines::Cyclon>(std::move(ctx), cfg);
+  };
+}
+
+inline ProtocolFactory make_gozar_factory(baselines::GozarConfig cfg) {
+  return [cfg](pss::PeerSampler::Context ctx) {
+    return std::make_unique<baselines::Gozar>(std::move(ctx), cfg);
+  };
+}
+
+inline ProtocolFactory make_nylon_factory(baselines::NylonConfig cfg) {
+  return [cfg](pss::PeerSampler::Context ctx) {
+    return std::make_unique<baselines::Nylon>(std::move(ctx), cfg);
+  };
+}
+
+inline ProtocolFactory make_arrg_factory(baselines::ArrgConfig cfg) {
+  return [cfg](pss::PeerSampler::Context ctx) {
+    return std::make_unique<baselines::Arrg>(std::move(ctx), cfg);
+  };
+}
+
+}  // namespace croupier::run

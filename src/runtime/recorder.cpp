@@ -1,0 +1,79 @@
+#include "runtime/recorder.hpp"
+
+#include <fstream>
+
+#include "common/assert.hpp"
+
+namespace croupier::run {
+
+bool EstimationRecorder::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t_seconds,avg_error,max_error,truth,nodes\n";
+  for (const auto& p : series_) {
+    out << p.t_seconds << ',' << p.sample.avg_error << ','
+        << p.sample.max_error << ',' << p.sample.truth << ','
+        << p.sample.node_count << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool GraphStatsRecorder::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t_seconds,avg_path_length,clustering,unreachable,nodes,edges\n";
+  for (const auto& p : series_) {
+    out << p.t_seconds << ',' << p.avg_path_length << ','
+        << p.clustering_coefficient << ',' << p.unreachable_fraction << ','
+        << p.nodes << ',' << p.edges << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+EstimationRecorder::EstimationRecorder(World& world, Options opt)
+    : world_(world), opt_(opt) {
+  CROUPIER_ASSERT(opt_.interval > 0);
+}
+
+void EstimationRecorder::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void EstimationRecorder::tick() {
+  if (!running_) return;
+  const auto estimates = world_.ratio_estimates(opt_.min_rounds);
+  metrics::ErrorPoint point;
+  point.t_seconds = sim::to_seconds(world_.simulator().now());
+  point.sample = metrics::estimation_errors(estimates, world_.true_ratio());
+  series_.push_back(point);
+  world_.simulator().schedule_after(opt_.interval, [this] { tick(); });
+}
+
+GraphStatsRecorder::GraphStatsRecorder(World& world, Options opt)
+    : world_(world), opt_(opt), rng_(world.scenario_rng().fork(0x6EA9)) {
+  CROUPIER_ASSERT(opt_.interval > 0);
+}
+
+void GraphStatsRecorder::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void GraphStatsRecorder::tick() {
+  if (!running_) return;
+  const auto graph = world_.snapshot_overlay();
+  GraphStatsPoint point;
+  point.t_seconds = sim::to_seconds(world_.simulator().now());
+  point.nodes = graph.node_count();
+  point.edges = graph.edge_count();
+  point.avg_path_length = graph.avg_path_length(
+      rng_, opt_.path_length_sources, &point.unreachable_fraction);
+  point.clustering_coefficient = graph.avg_clustering_coefficient();
+  series_.push_back(point);
+  world_.simulator().schedule_after(opt_.interval, [this] { tick(); });
+}
+
+}  // namespace croupier::run

@@ -1,0 +1,97 @@
+// Periodic metric recorders driven by the simulation clock.
+//
+// EstimationRecorder samples the estimation error series of figures 1-5;
+// GraphStatsRecorder samples the randomness series of figure 6(b)/(c).
+// Both follow the paper's measurement hygiene: nodes that have executed
+// fewer than two gossip rounds are excluded ("giving them enough time to
+// initialize their estimates").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/estimation.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::run {
+
+struct EstimationRecorderOptions {
+  sim::Duration interval = sim::sec(1);
+  std::uint64_t min_rounds = 2;
+};
+
+class EstimationRecorder {
+ public:
+  using Options = EstimationRecorderOptions;
+
+  EstimationRecorder(World& world, Options opt = {});
+
+  /// Starts sampling at `at` and every `interval` thereafter (while the
+  /// simulation keeps running).
+  void start(sim::SimTime at);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const metrics::ErrorSeries& series() const { return series_; }
+
+  /// The last recorded point (empty-series safe: returns zeros).
+  [[nodiscard]] metrics::ErrorPoint latest() const {
+    return series_.empty() ? metrics::ErrorPoint{} : series_.back();
+  }
+
+  /// Dumps the series as CSV (t_seconds,avg_error,max_error,truth,nodes).
+  /// Returns false if the file could not be written.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  void tick();
+
+  World& world_;
+  Options opt_;
+  bool running_ = false;
+  metrics::ErrorSeries series_;
+};
+
+/// One timestamped snapshot of overlay randomness metrics.
+struct GraphStatsPoint {
+  double t_seconds = 0.0;
+  double avg_path_length = 0.0;
+  double clustering_coefficient = 0.0;
+  double unreachable_fraction = 0.0;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+};
+
+struct GraphStatsRecorderOptions {
+  sim::Duration interval = sim::sec(10);
+  /// BFS sources for path length (0 = exact all-pairs).
+  std::size_t path_length_sources = 128;
+};
+
+class GraphStatsRecorder {
+ public:
+  using Options = GraphStatsRecorderOptions;
+
+  GraphStatsRecorder(World& world, Options opt = {});
+
+  void start(sim::SimTime at);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::vector<GraphStatsPoint>& series() const {
+    return series_;
+  }
+
+  /// Dumps the series as CSV
+  /// (t_seconds,avg_path_length,clustering,unreachable,nodes,edges).
+  bool write_csv(const std::string& path) const;
+
+ private:
+  void tick();
+
+  World& world_;
+  Options opt_;
+  bool running_ = false;
+  sim::RngStream rng_;
+  std::vector<GraphStatsPoint> series_;
+};
+
+}  // namespace croupier::run

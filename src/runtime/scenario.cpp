@@ -1,0 +1,125 @@
+#include "runtime/scenario.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace croupier::run {
+
+namespace {
+
+// Shared state for a recursive join process.
+struct JoinState {
+  std::size_t remaining;
+  net::NatConfig nat;
+  sim::Duration mean;  // exponential mean; 0 => fixed interval
+  sim::Duration fixed;
+};
+
+void join_step(World& world, const std::shared_ptr<JoinState>& st) {
+  if (st->remaining == 0) return;
+  --st->remaining;
+  world.spawn(st->nat);
+  if (st->remaining == 0) return;
+  const sim::Duration gap =
+      st->mean > 0
+          ? static_cast<sim::Duration>(world.scenario_rng().exponential(
+                static_cast<double>(st->mean)))
+          : st->fixed;
+  world.simulator().schedule_after(gap,
+                                   [&world, st] { join_step(world, st); });
+}
+
+}  // namespace
+
+void schedule_poisson_joins(World& world, std::size_t count,
+                            const net::NatConfig& nat,
+                            sim::Duration mean_interarrival,
+                            sim::SimTime start) {
+  if (count == 0) return;
+  CROUPIER_ASSERT(mean_interarrival > 0);
+  auto st = std::make_shared<JoinState>(
+      JoinState{count, nat, mean_interarrival, 0});
+  world.simulator().schedule_at(start,
+                                [&world, st] { join_step(world, st); });
+}
+
+void schedule_fixed_joins(World& world, std::size_t count,
+                          const net::NatConfig& nat, sim::Duration interval,
+                          sim::SimTime start) {
+  if (count == 0) return;
+  CROUPIER_ASSERT(interval > 0);
+  auto st = std::make_shared<JoinState>(JoinState{count, nat, 0, interval});
+  world.simulator().schedule_at(start,
+                                [&world, st] { join_step(world, st); });
+}
+
+void schedule_catastrophe(World& world, sim::SimTime at, double fraction) {
+  CROUPIER_ASSERT(fraction >= 0.0 && fraction <= 1.0);
+  world.simulator().schedule_at(at, [&world, fraction] {
+    const auto targets = static_cast<std::size_t>(
+        std::floor(fraction * static_cast<double>(world.alive_count())));
+    auto& rng = world.scenario_rng();
+    for (std::size_t i = 0; i < targets; ++i) {
+      const auto& alive = world.alive_ids();
+      if (alive.empty()) break;
+      world.kill(alive[rng.index(alive.size())]);
+    }
+  });
+}
+
+ChurnProcess::ChurnProcess(World& world, double fraction_per_round,
+                           net::NatConfig public_cfg,
+                           net::NatConfig private_cfg, sim::Duration period)
+    : world_(world),
+      fraction_(fraction_per_round),
+      public_cfg_(public_cfg),
+      private_cfg_(private_cfg),
+      period_(period) {
+  CROUPIER_ASSERT(fraction_ >= 0.0 && fraction_ < 1.0);
+  CROUPIER_ASSERT(public_cfg_.nat_type() == net::NatType::Public);
+  CROUPIER_ASSERT(private_cfg_.nat_type() == net::NatType::Private);
+  CROUPIER_ASSERT(period_ > 0);
+}
+
+void ChurnProcess::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void ChurnProcess::tick() {
+  if (!running_) return;
+
+  auto replace_class = [this](net::NatType type, double& carry,
+                              const net::NatConfig& cfg) {
+    carry += fraction_ * static_cast<double>(world_.count(type));
+    auto quota = static_cast<std::size_t>(std::floor(carry));
+    carry -= static_cast<double>(quota);
+
+    auto& rng = world_.scenario_rng();
+    for (std::size_t i = 0; i < quota; ++i) {
+      // Pick a victim of the right class by rejection (class shares are
+      // large, so this terminates quickly).
+      const auto& alive = world_.alive_ids();
+      if (alive.empty()) break;
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        const net::NodeId victim = alive[rng.index(alive.size())];
+        if (world_.type_of(victim) == type) {
+          world_.kill(victim);
+          world_.spawn(cfg);
+          ++replaced_;
+          break;
+        }
+      }
+    }
+  };
+
+  replace_class(net::NatType::Public, carry_public_, public_cfg_);
+  replace_class(net::NatType::Private, carry_private_, private_cfg_);
+
+  world_.simulator().schedule_after(period_, [this] { tick(); });
+}
+
+}  // namespace croupier::run

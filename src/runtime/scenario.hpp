@@ -1,0 +1,67 @@
+// Scenario processes: the workload side of every experiment.
+//
+//  - Poisson join processes (paper: "nodes join the system following a
+//    Poisson distribution with an inter-arrival time of X ms");
+//  - fixed-rate join processes (fig. 2's ratio-change phase: "a new public
+//    node every 42 ms");
+//  - continuous churn ("replacing a fixed fraction of randomly selected
+//    public and private nodes with new nodes at each gossiping round,
+//    keeping the ratio stable", §VII-B);
+//  - catastrophic failure (fig. 7b: a fraction of all nodes crashes at a
+//    single instant).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "net/nat.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::run {
+
+/// Joins `count` nodes with exponential inter-arrival times of the given
+/// mean, starting at `start`.
+void schedule_poisson_joins(World& world, std::size_t count,
+                            const net::NatConfig& nat,
+                            sim::Duration mean_interarrival,
+                            sim::SimTime start = 0);
+
+/// Joins `count` nodes at a fixed interval, starting at `start`.
+void schedule_fixed_joins(World& world, std::size_t count,
+                          const net::NatConfig& nat, sim::Duration interval,
+                          sim::SimTime start = 0);
+
+/// Kills floor(fraction * alive) uniformly random nodes at time `at`.
+void schedule_catastrophe(World& world, sim::SimTime at, double fraction);
+
+/// Continuous churn: each period, `fraction` of each node class is
+/// replaced by fresh nodes of the same class, preserving the ratio.
+/// Fractional quotas accumulate across rounds so arbitrarily low rates
+/// (0.1 %/round) still average out correctly.
+class ChurnProcess {
+ public:
+  ChurnProcess(World& world, double fraction_per_round,
+               net::NatConfig public_cfg, net::NatConfig private_cfg,
+               sim::Duration period = sim::sec(1));
+
+  /// Starts replacing nodes at time `at`. Runs until stop().
+  void start(sim::SimTime at);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] std::uint64_t replaced() const { return replaced_; }
+
+ private:
+  void tick();
+
+  World& world_;
+  double fraction_;
+  net::NatConfig public_cfg_;
+  net::NatConfig private_cfg_;
+  sim::Duration period_;
+  double carry_public_ = 0.0;
+  double carry_private_ = 0.0;
+  bool running_ = false;
+  std::uint64_t replaced_ = 0;
+};
+
+}  // namespace croupier::run

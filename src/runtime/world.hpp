@@ -1,0 +1,159 @@
+// World: the experiment orchestrator.
+//
+// Owns the simulator, the network, the bootstrap oracle, and every node's
+// runtime (NAT-ID components + PSS protocol instance). Drives gossip
+// rounds with per-node phase and a configurable clock-skew factor, and
+// provides the snapshots (overlay graphs, per-node estimates, class maps)
+// the metrics and benches consume.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/graph.hpp"
+#include "natid/natid.hpp"
+#include "net/bootstrap.hpp"
+#include "net/network.hpp"
+#include "pss/protocol.hpp"
+#include "sim/simulator.hpp"
+
+namespace croupier::run {
+
+using ProtocolFactory =
+    std::function<std::unique_ptr<pss::PeerSampler>(pss::PeerSampler::Context)>;
+
+class World {
+ public:
+  enum class LatencyKind : std::uint8_t { Constant, King, Coordinate };
+
+  struct Config {
+    std::uint64_t seed = 1;
+    double loss_probability = 0.0;
+    sim::Duration round_period = sim::sec(1);
+    /// Per-node round period is scaled by 1 ± clock_skew (uniform),
+    /// standing in for the paper's "subject to clock skew".
+    double clock_skew = 0.01;
+    /// Extra multiplier on *private* nodes' round period (1.0 = none).
+    /// Deliberately violates the estimator's first assumption ("no bias
+    /// between the average gossip round-time of public and private
+    /// nodes") — used by bench/ablation_skew to quantify the resulting
+    /// estimation bias.
+    double private_round_scale = 1.0;
+    LatencyKind latency = LatencyKind::King;
+    sim::Duration constant_latency = sim::msec(50);
+    /// When true, joining nodes run the distributed NAT-ID protocol
+    /// (§V) before starting to gossip; otherwise the ground-truth
+    /// classification is used directly (faster, and equivalent given the
+    /// protocol's accuracy — tested separately).
+    bool use_natid_protocol = false;
+    sim::Duration natid_timeout = sim::sec(2);
+  };
+
+  World(Config cfg, ProtocolFactory factory);
+  ~World();
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Adds a node with the given ground-truth NAT configuration. Returns
+  /// its id. The node begins gossiping after (optional) NAT
+  /// identification, at a random phase within its round period.
+  net::NodeId spawn(const net::NatConfig& nat);
+
+  /// Adds a node whose classification is taken from ground truth even
+  /// when use_natid_protocol is set — the operator-seeded nodes every
+  /// deployment needs before the identification protocol has public
+  /// responders to test against.
+  net::NodeId spawn_seeded(const net::NatConfig& nat);
+
+  /// Removes a node abruptly (crash). In-flight traffic to it is lost.
+  void kill(net::NodeId id);
+
+  [[nodiscard]] bool alive(net::NodeId id) const {
+    return nodes_.contains(id);
+  }
+  [[nodiscard]] std::size_t alive_count() const { return nodes_.size(); }
+  [[nodiscard]] const std::vector<net::NodeId>& alive_ids() const {
+    return alive_ids_;
+  }
+
+  /// Ground-truth public/private counts and ratio ω over live nodes.
+  [[nodiscard]] std::size_t count(net::NatType type) const;
+  [[nodiscard]] double true_ratio() const;
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] net::BootstrapServer& bootstrap_server() {
+    return bootstrap_;
+  }
+  /// RNG stream reserved for scenario processes (joins, churn, failure).
+  [[nodiscard]] sim::RngStream& scenario_rng() { return scenario_rng_; }
+
+  /// The node's protocol instance, or nullptr before identification
+  /// completes / after death.
+  [[nodiscard]] pss::PeerSampler* sampler(net::NodeId id);
+  [[nodiscard]] const pss::PeerSampler* sampler(net::NodeId id) const;
+
+  /// Ground-truth classification of a live node.
+  [[nodiscard]] net::NatType type_of(net::NodeId id) const;
+  /// Classification the node itself arrived at (== ground truth unless the
+  /// NAT-ID protocol misidentified it).
+  [[nodiscard]] net::NatType identified_type_of(net::NodeId id) const;
+
+  /// Gossip rounds the node has executed (paper: metrics skip nodes with
+  /// fewer than 2 rounds).
+  [[nodiscard]] std::uint64_t rounds_of(net::NodeId id) const;
+
+  /// Visits every live node that has an active protocol.
+  void for_each_sampler(
+      const std::function<void(net::NodeId, pss::PeerSampler&)>& fn) const;
+
+  /// Directed overlay snapshot over live, gossiping nodes. With
+  /// `usable_only`, edges are each protocol's usable_neighbors() — the
+  /// fig. 7b connectivity notion.
+  [[nodiscard]] metrics::OverlayGraph snapshot_overlay(
+      bool usable_only = false) const;
+
+  /// Ground-truth class of every live gossiping node (for overhead
+  /// accounting).
+  [[nodiscard]] std::unordered_map<net::NodeId, net::NatType> class_map()
+      const;
+
+  /// All current ratio estimates from nodes with >= min_rounds rounds.
+  [[nodiscard]] std::vector<double> ratio_estimates(
+      std::uint64_t min_rounds = 2) const;
+
+  /// Registers an application-layer message handler for a node:
+  /// messages whose type tag is outside the protocol ranges (use tags
+  /// >= 0x80) are routed to it. This is how applications (examples/)
+  /// layer their own traffic on top of the PSS. The handler must outlive
+  /// the node; pass nullptr to remove.
+  void set_app_handler(net::NodeId id, net::MessageHandler* handler);
+
+ private:
+  struct NodeRuntime;
+
+  net::NodeId spawn_impl(const net::NatConfig& nat, bool skip_natid);
+  void start_pss(NodeRuntime& node);
+  void schedule_round(net::NodeId id);
+
+  Config cfg_;
+  ProtocolFactory factory_;
+  sim::Simulator sim_;
+  sim::RngStream master_rng_;
+  sim::RngStream scenario_rng_;
+  sim::RngStream spawn_rng_;
+  net::BootstrapServer bootstrap_;
+  std::unique_ptr<net::Network> network_;
+
+  std::unordered_map<net::NodeId, std::unique_ptr<NodeRuntime>> nodes_;
+  std::vector<net::NodeId> alive_ids_;
+  std::unordered_map<net::NodeId, std::size_t> alive_index_;
+  net::NodeId next_id_ = 1;
+  std::size_t public_count_ = 0;  // ground truth over live nodes
+};
+
+}  // namespace croupier::run

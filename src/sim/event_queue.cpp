@@ -1,0 +1,52 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace croupier::sim {
+
+EventId EventQueue::schedule(SimTime at, Callback fn) {
+  CROUPIER_ASSERT(fn != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return false;
+  callbacks_.erase(it);
+  CROUPIER_ASSERT(live_count_ > 0);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && !callbacks_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_head();
+  CROUPIER_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled_head();
+  CROUPIER_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
+  const Entry head = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(head.id);
+  CROUPIER_ASSERT(it != callbacks_.end());
+  Fired fired{head.time, head.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return fired;
+}
+
+}  // namespace croupier::sim

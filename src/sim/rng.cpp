@@ -1,0 +1,2 @@
+// Anchor translation unit: verifies sim/rng.hpp compiles standalone.
+#include "sim/rng.hpp"

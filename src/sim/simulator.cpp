@@ -1,0 +1,34 @@
+#include "sim/simulator.hpp"
+
+#include "common/assert.hpp"
+
+namespace croupier::sim {
+
+EventId Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
+  CROUPIER_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  CROUPIER_ASSERT(fired.time >= now_);
+  now_ = fired.time;
+  ++processed_;
+  fired.fn();
+  return true;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.next_time() <= deadline) {
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace croupier::sim

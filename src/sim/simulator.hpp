@@ -1,0 +1,59 @@
+// The discrete-event simulation kernel.
+//
+// This is the substrate standing in for the Kompics simulator the paper
+// used: a single-threaded event loop over virtual time. Components
+// schedule callbacks at absolute or relative times; the simulator fires
+// them in deterministic (time, scheduling-order) order and advances the
+// clock discontinuously to each event's timestamp.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace croupier::sim {
+
+class Simulator {
+ public:
+  /// Current virtual time.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Number of events executed so far (for diagnostics and tests).
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// True when no pending events remain.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  /// Schedules a callback `delay` after the current time.
+  EventId schedule_after(Duration delay, EventQueue::Callback fn) {
+    return queue_.schedule(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules a callback at an absolute virtual time (>= now).
+  EventId schedule_at(SimTime at, EventQueue::Callback fn);
+
+  /// Cancels a pending event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Executes the single next event, if any. Returns false when idle.
+  bool step();
+
+  /// Runs until the queue is empty or the clock would pass `deadline`.
+  /// Events scheduled exactly at `deadline` are executed. On return the
+  /// clock reads min(deadline, time of last event).
+  void run_until(SimTime deadline);
+
+  /// Runs for a span of virtual time from now.
+  void run_for(Duration span) { run_until(now_ + span); }
+
+  /// Runs until no events remain.
+  void run();
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace croupier::sim

@@ -1,0 +1,35 @@
+// Simulated time.
+//
+// All simulation timestamps and durations are expressed in microseconds as
+// 64-bit unsigned integers. Microsecond resolution comfortably resolves
+// Internet latencies (sub-millisecond differences matter for event
+// ordering) while a 64-bit counter spans ~584k years of simulated time.
+#pragma once
+
+#include <cstdint>
+
+namespace croupier::sim {
+
+/// A point in simulated time, in microseconds since simulation start.
+using SimTime = std::uint64_t;
+
+/// A span of simulated time, in microseconds.
+using Duration = std::uint64_t;
+
+constexpr Duration kMicrosecond = 1;
+constexpr Duration kMillisecond = 1000 * kMicrosecond;
+constexpr Duration kSecond = 1000 * kMillisecond;
+constexpr Duration kMinute = 60 * kSecond;
+
+/// Convenience constructors so call sites read naturally.
+constexpr Duration usec(std::uint64_t n) { return n * kMicrosecond; }
+constexpr Duration msec(std::uint64_t n) { return n * kMillisecond; }
+constexpr Duration sec(std::uint64_t n) { return n * kSecond; }
+constexpr Duration minutes(std::uint64_t n) { return n * kMinute; }
+
+/// Converts a simulated timestamp to (fractional) seconds for reporting.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace croupier::sim

@@ -1,0 +1,63 @@
+// Binary wire format: bounded writer/reader over byte buffers.
+//
+// Every protocol message in this repository encodes itself through Writer
+// so that overhead measurements (paper fig. 7a) are byte-accurate rather
+// than guessed. Integers are encoded big-endian (network byte order).
+// Reader performs bounds checking and latches an error flag instead of
+// throwing: malformed input yields zero values and `ok() == false`, which
+// callers must check once after decoding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace croupier::wire {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void bytes(std::span<const std::byte> data);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::byte> data() const { return buf_; }
+
+  /// Consumes the writer, releasing the underlying buffer.
+  std::vector<std::byte> take() && { return std::move(buf_); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+
+  /// Number of unread bytes.
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// False once any read ran past the end of the buffer.
+  [[nodiscard]] bool ok() const { return ok_; }
+
+  /// True when the buffer was consumed exactly and without error.
+  [[nodiscard]] bool exhausted() const { return ok_ && remaining() == 0; }
+
+ private:
+  bool take(std::size_t n);
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace croupier::wire

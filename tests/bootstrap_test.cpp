@@ -1,0 +1,104 @@
+// Bootstrap oracle tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "net/bootstrap.hpp"
+
+namespace croupier::net {
+namespace {
+
+TEST(Bootstrap, CountsByClass) {
+  BootstrapServer b;
+  b.add(1, NatType::Public);
+  b.add(2, NatType::Private);
+  b.add(3, NatType::Public);
+  EXPECT_EQ(b.public_count(), 2u);
+  EXPECT_EQ(b.total_count(), 3u);
+}
+
+TEST(Bootstrap, RemoveUpdatesBothRegistries) {
+  BootstrapServer b;
+  b.add(1, NatType::Public);
+  b.add(2, NatType::Private);
+  b.remove(1);
+  EXPECT_EQ(b.public_count(), 0u);
+  EXPECT_EQ(b.total_count(), 1u);
+  EXPECT_FALSE(b.known(1));
+  EXPECT_TRUE(b.known(2));
+}
+
+TEST(Bootstrap, RemoveUnknownIsNoop) {
+  BootstrapServer b;
+  b.add(1, NatType::Public);
+  b.remove(99);
+  EXPECT_EQ(b.total_count(), 1u);
+}
+
+TEST(Bootstrap, SamplePublicOnlyReturnsPublics) {
+  BootstrapServer b;
+  for (NodeId i = 1; i <= 20; ++i) {
+    b.add(i, i % 4 == 0 ? NatType::Public : NatType::Private);
+  }
+  sim::RngStream rng(1);
+  const auto picked = b.sample_public(10, kNilNode, rng);
+  EXPECT_EQ(picked.size(), 5u);  // only 5 publics exist
+  for (NodeId id : picked) EXPECT_EQ(id % 4, 0u);
+}
+
+TEST(Bootstrap, SampleExcludesSelf) {
+  BootstrapServer b;
+  b.add(1, NatType::Public);
+  b.add(2, NatType::Public);
+  sim::RngStream rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto picked = b.sample_public(2, 1, rng);
+    EXPECT_EQ(std::count(picked.begin(), picked.end(), 1u), 0);
+  }
+}
+
+TEST(Bootstrap, SampleReturnsDistinctNodes) {
+  BootstrapServer b;
+  for (NodeId i = 1; i <= 50; ++i) b.add(i, NatType::Public);
+  sim::RngStream rng(3);
+  auto picked = b.sample_public(20, kNilNode, rng);
+  std::sort(picked.begin(), picked.end());
+  EXPECT_EQ(std::unique(picked.begin(), picked.end()), picked.end());
+  EXPECT_EQ(picked.size(), 20u);
+}
+
+TEST(Bootstrap, SampleFromEmptyRegistry) {
+  BootstrapServer b;
+  sim::RngStream rng(1);
+  EXPECT_TRUE(b.sample_public(5, kNilNode, rng).empty());
+  EXPECT_TRUE(b.sample_any(5, kNilNode, rng).empty());
+}
+
+TEST(Bootstrap, SampleAnyMixesClasses) {
+  BootstrapServer b;
+  b.add(1, NatType::Public);
+  b.add(2, NatType::Private);
+  sim::RngStream rng(5);
+  bool saw_private = false;
+  for (int i = 0; i < 50 && !saw_private; ++i) {
+    for (NodeId id : b.sample_any(1, kNilNode, rng)) {
+      if (id == 2) saw_private = true;
+    }
+  }
+  EXPECT_TRUE(saw_private);
+}
+
+TEST(Bootstrap, SamplingIsRoughlyUniform) {
+  BootstrapServer b;
+  for (NodeId i = 0; i < 10; ++i) b.add(i, NatType::Public);
+  sim::RngStream rng(11);
+  std::vector<int> hits(10, 0);
+  const int draws = 20000;
+  for (int i = 0; i < draws; ++i) {
+    for (NodeId id : b.sample_public(1, kNilNode, rng)) ++hits[id];
+  }
+  for (int h : hits) EXPECT_NEAR(h, draws / 10, draws / 10 * 0.15);
+}
+
+}  // namespace
+}  // namespace croupier::net

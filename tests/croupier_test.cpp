@@ -1,0 +1,263 @@
+// Croupier protocol tests: Algorithm 2 mechanics on small deterministic
+// networks, plus the key structural invariant — private nodes never
+// receive shuffle requests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/croupier.hpp"
+#include "test_util.hpp"
+
+namespace croupier::core {
+namespace {
+
+using testing::fast_world_config;
+using testing::populate;
+
+CroupierConfig small_cfg() {
+  CroupierConfig cfg;
+  cfg.base.view_size = 5;
+  cfg.base.shuffle_size = 3;
+  return cfg;
+}
+
+run::World make_world(std::uint64_t seed = 1,
+                      CroupierConfig cfg = small_cfg()) {
+  return run::World(fast_world_config(seed), run::make_croupier_factory(cfg));
+}
+
+TEST(Croupier, InitFillsPublicViewFromBootstrap) {
+  auto world = make_world();
+  populate(world, 6, 0);
+  world.simulator().run_until(sim::msec(1));
+  // Nodes spawned after others have bootstrap entries.
+  const auto id = world.spawn(net::NatConfig::natted());
+  const auto* node = dynamic_cast<const Croupier*>(world.sampler(id));
+  ASSERT_NE(node, nullptr);
+  EXPECT_GT(node->public_view().size(), 0u);
+  EXPECT_EQ(node->private_view().size(), 0u);
+  for (const auto& d : node->public_view().entries()) {
+    EXPECT_EQ(d.nat_type, net::NatType::Public);
+  }
+}
+
+TEST(Croupier, PrivateNodesNeverReceiveShuffleRequests) {
+  auto world = make_world(7);
+  populate(world, 4, 16);
+  world.simulator().run_until(sim::sec(30));
+  // If a private node had been targeted, the request would have been
+  // NAT-filtered: with truthful classification the drop counter stays 0
+  // except for responses racing node death (none here: no churn).
+  EXPECT_EQ(world.network().drops().nat_filtered, 0u);
+}
+
+TEST(Croupier, ViewsSeparateClasses) {
+  auto world = make_world(11);
+  populate(world, 5, 15);
+  world.simulator().run_until(sim::sec(20));
+  world.for_each_sampler([&](net::NodeId, pss::PeerSampler& p) {
+    const auto& c = dynamic_cast<const Croupier&>(p);
+    for (const auto& d : c.public_view().entries()) {
+      EXPECT_EQ(d.nat_type, net::NatType::Public);
+      EXPECT_EQ(world.type_of(d.id), net::NatType::Public);
+    }
+    for (const auto& d : c.private_view().entries()) {
+      EXPECT_EQ(d.nat_type, net::NatType::Private);
+      EXPECT_EQ(world.type_of(d.id), net::NatType::Private);
+    }
+  });
+}
+
+TEST(Croupier, ViewsNeverContainSelf) {
+  auto world = make_world(13);
+  populate(world, 5, 10);
+  world.simulator().run_until(sim::sec(20));
+  world.for_each_sampler([&](net::NodeId id, pss::PeerSampler& p) {
+    const auto& c = dynamic_cast<const Croupier&>(p);
+    EXPECT_FALSE(c.public_view().contains(id));
+    EXPECT_FALSE(c.private_view().contains(id));
+  });
+}
+
+TEST(Croupier, PrivateViewsFillThroughCroupiers) {
+  // Private nodes start with empty private views; croupier shuffling must
+  // populate them (this is the mechanism replacing relaying).
+  auto world = make_world(17);
+  populate(world, 4, 16);
+  world.simulator().run_until(sim::sec(30));
+  std::size_t private_nodes = 0;
+  std::size_t with_private_neighbors = 0;
+  world.for_each_sampler([&](net::NodeId id, pss::PeerSampler& p) {
+    if (world.type_of(id) != net::NatType::Private) return;
+    ++private_nodes;
+    const auto& c = dynamic_cast<const Croupier&>(p);
+    if (c.private_view().size() > 0) ++with_private_neighbors;
+  });
+  ASSERT_GT(private_nodes, 0u);
+  EXPECT_GE(with_private_neighbors, private_nodes * 9 / 10);
+}
+
+TEST(Croupier, EstimateConvergesOnSmallNetwork) {
+  auto world = make_world(19);
+  populate(world, 10, 40);  // ω = 0.2
+  world.simulator().run_until(sim::sec(60));
+  const auto estimates = world.ratio_estimates();
+  ASSERT_GT(estimates.size(), 40u);
+  for (double e : estimates) {
+    EXPECT_NEAR(e, 0.2, 0.1);
+  }
+}
+
+TEST(Croupier, SampleReturnsLiveishNodes) {
+  auto world = make_world(23);
+  populate(world, 5, 20);
+  world.simulator().run_until(sim::sec(20));
+  auto* s = world.sampler(world.alive_ids().front());
+  ASSERT_NE(s, nullptr);
+  for (int i = 0; i < 50; ++i) {
+    const auto d = s->sample();
+    ASSERT_TRUE(d.has_value());
+    EXPECT_TRUE(world.alive(d->id));
+  }
+}
+
+TEST(Croupier, SampleMixesBothClasses) {
+  auto world = make_world(29);
+  populate(world, 10, 40);
+  world.simulator().run_until(sim::sec(40));
+  auto* s = world.sampler(world.alive_ids().front());
+  ASSERT_NE(s, nullptr);
+  int pub = 0;
+  int priv = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto d = s->sample();
+    ASSERT_TRUE(d.has_value());
+    (d->nat_type == net::NatType::Public ? pub : priv) += 1;
+  }
+  // ω = 0.2: expect both classes sampled roughly in proportion.
+  EXPECT_NEAR(static_cast<double>(pub) / 400.0, 0.2, 0.12);
+  EXPECT_GT(priv, 0);
+}
+
+TEST(Croupier, OutNeighborsUnionOfViews) {
+  auto world = make_world(31);
+  populate(world, 5, 10);
+  world.simulator().run_until(sim::sec(10));
+  world.for_each_sampler([&](net::NodeId, pss::PeerSampler& p) {
+    const auto& c = dynamic_cast<const Croupier&>(p);
+    EXPECT_EQ(p.out_neighbors().size(),
+              c.public_view().size() + c.private_view().size());
+  });
+}
+
+TEST(Croupier, UsableNeighborsFilterByLiveness) {
+  auto world = make_world(37);
+  populate(world, 3, 12);
+  world.simulator().run_until(sim::sec(20));
+
+  const auto alive_none = [](net::NodeId) { return false; };
+  const auto all_alive = [&world](net::NodeId id) { return world.alive(id); };
+  world.for_each_sampler([&](net::NodeId, pss::PeerSampler& p) {
+    EXPECT_TRUE(p.usable_neighbors(alive_none).empty());
+    // Croupier edges carry no traversal state: with every target alive,
+    // every view edge is usable.
+    EXPECT_EQ(p.usable_neighbors(all_alive).size(),
+              p.out_neighbors().size());
+  });
+}
+
+TEST(Croupier, RatioProportionalSizingBoundsTotalDegree) {
+  CroupierConfig cfg;
+  cfg.base.view_size = 10;
+  cfg.base.shuffle_size = 5;
+  cfg.sizing = ViewSizing::RatioProportional;
+  auto world = make_world(41, cfg);
+  populate(world, 10, 40);
+  world.simulator().run_until(sim::sec(40));
+  world.for_each_sampler([&](net::NodeId, pss::PeerSampler& p) {
+    const auto& c = dynamic_cast<const Croupier&>(p);
+    EXPECT_LE(c.public_view().size() + c.private_view().size(), 10u);
+    EXPECT_GE(c.public_view().capacity(), 2u);
+    EXPECT_GE(c.private_view().capacity(), 2u);
+  });
+}
+
+TEST(Croupier, SurvivesIsolationViaRebootstrap) {
+  auto world = make_world(43);
+  populate(world, 2, 2);
+  world.simulator().run_until(sim::sec(5));
+  // Kill one public; survivors keep gossiping through the other.
+  const auto publics = [&] {
+    std::vector<net::NodeId> out;
+    for (net::NodeId id : world.alive_ids()) {
+      if (world.type_of(id) == net::NatType::Public) out.push_back(id);
+    }
+    return out;
+  }();
+  ASSERT_EQ(publics.size(), 2u);
+  world.kill(publics.front());
+  world.simulator().run_until(sim::sec(40));
+  // The overlay stays one usable cluster around the surviving croupier.
+  // (In this degenerate one-public world a private's public view can be
+  // momentarily empty mid-exchange — connectivity, not view fullness, is
+  // the invariant that matters.)
+  const auto g = world.snapshot_overlay(/*usable_only=*/true);
+  EXPECT_EQ(g.largest_component(), 3u);
+}
+
+TEST(Croupier, MessagesRoundTripOnWire) {
+  CroupierShuffleReq req;
+  req.sender = pss::NodeDescriptor{1, net::NatType::Private, 0};
+  req.pub = {{2, net::NatType::Public, 1}};
+  req.pri = {{3, net::NatType::Private, 4}};
+  req.estimates = {{5, 10, 40, 2}};
+  wire::Writer w;
+  req.encode(w);
+  wire::Reader r(w.data());
+  const auto back = CroupierShuffleReq::decode(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back.sender, req.sender);
+  EXPECT_EQ(back.pub, req.pub);
+  EXPECT_EQ(back.pri, req.pri);
+  EXPECT_EQ(back.estimates, req.estimates);
+
+  CroupierShuffleRes res;
+  res.pub = req.pub;
+  res.pri = req.pri;
+  res.estimates = req.estimates;
+  wire::Writer w2;
+  res.encode(w2);
+  wire::Reader r2(w2.data());
+  const auto back2 = CroupierShuffleRes::decode(r2);
+  EXPECT_TRUE(r2.exhausted());
+  EXPECT_EQ(back2.pub, res.pub);
+  EXPECT_EQ(back2.estimates, res.estimates);
+}
+
+// Property sweep: across seeds, after a settle period every node's
+// estimate is within a loose band of the true ratio and views are full.
+class CroupierConvergenceSweep
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CroupierConvergenceSweep, EstimatesAndViewsHealthy) {
+  auto world = make_world(GetParam());
+  populate(world, 8, 32);
+  world.simulator().run_until(sim::sec(60));
+  for (double e : world.ratio_estimates()) {
+    EXPECT_NEAR(e, 0.2, 0.12);
+  }
+  world.for_each_sampler([&](net::NodeId, pss::PeerSampler& p) {
+    const auto& c = dynamic_cast<const Croupier&>(p);
+    // With shuffle 3 the public-view half of the budget is 2 descriptors
+    // per exchange, so the healthy floor is 2 (tail removal leaves a gap
+    // until the next response lands).
+    EXPECT_GE(c.public_view().size(), 2u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CroupierConvergenceSweep,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace croupier::core

@@ -1,0 +1,192 @@
+// Graph metric tests against hand-built graphs with known answers.
+#include <gtest/gtest.h>
+
+#include "metrics/estimation.hpp"
+#include "metrics/graph.hpp"
+#include "metrics/overhead.hpp"
+
+namespace croupier::metrics {
+namespace {
+
+using Adj = std::vector<std::pair<net::NodeId, std::vector<net::NodeId>>>;
+
+TEST(OverlayGraph, EmptyGraph) {
+  const auto g = OverlayGraph::build({});
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_EQ(g.largest_component(), 0u);
+  EXPECT_DOUBLE_EQ(g.largest_component_fraction(), 0.0);
+  sim::RngStream rng(1);
+  EXPECT_DOUBLE_EQ(g.avg_path_length(rng), 0.0);
+  EXPECT_DOUBLE_EQ(g.avg_clustering_coefficient(), 0.0);
+}
+
+TEST(OverlayGraph, DropsSelfLoopsAndUnknownTargets) {
+  const auto g = OverlayGraph::build(Adj{
+      {1, {1, 2, 99}},  // self-loop and unknown 99 dropped
+      {2, {}},
+  });
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(OverlayGraph, CollapsesDuplicateEdges) {
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2, 2, 2}},
+      {2, {}},
+  });
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(OverlayGraph, InDegreesOfStar) {
+  // 1 -> {2,3,4}: each spoke has in-degree 1, hub 0.
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2, 3, 4}},
+      {2, {}},
+      {3, {}},
+      {4, {}},
+  });
+  const auto hist = g.in_degree_histogram();
+  EXPECT_EQ(hist.at(0), 1u);
+  EXPECT_EQ(hist.at(1), 3u);
+}
+
+TEST(OverlayGraph, PathLengthOnDirectedChain) {
+  // 1 -> 2 -> 3: pairs (1,2)=1, (1,3)=2, (2,3)=1; others unreachable.
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2}},
+      {2, {3}},
+      {3, {}},
+  });
+  sim::RngStream rng(1);
+  double unreachable = 0.0;
+  const double apl = g.avg_path_length(rng, 0, &unreachable);
+  EXPECT_DOUBLE_EQ(apl, 4.0 / 3.0);
+  EXPECT_DOUBLE_EQ(unreachable, 0.5);  // 3 of 6 ordered pairs unreachable
+}
+
+TEST(OverlayGraph, PathLengthOnCycle) {
+  // Directed 4-cycle: distances 1,2,3 from each source; mean = 2.
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2}},
+      {2, {3}},
+      {3, {4}},
+      {4, {1}},
+  });
+  sim::RngStream rng(1);
+  EXPECT_DOUBLE_EQ(g.avg_path_length(rng), 2.0);
+}
+
+TEST(OverlayGraph, SampledPathLengthApproximatesExact) {
+  // Ring of 60: exact average is (1+...+59)/59 = 30.
+  Adj adj;
+  for (net::NodeId i = 0; i < 60; ++i) {
+    adj.push_back({i, {(i + 1) % 60}});
+  }
+  const auto g = OverlayGraph::build(adj);
+  sim::RngStream rng(7);
+  const double sampled = g.avg_path_length(rng, 10);
+  EXPECT_DOUBLE_EQ(sampled, 30.0);  // symmetric: any source gives 30
+}
+
+TEST(OverlayGraph, ClusteringOfTriangle) {
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2, 3}},
+      {2, {3}},
+      {3, {}},
+  });
+  // Undirected projection is a complete triangle: coefficient 1.
+  EXPECT_DOUBLE_EQ(g.avg_clustering_coefficient(), 1.0);
+}
+
+TEST(OverlayGraph, ClusteringOfStarIsZero) {
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2, 3, 4}},
+      {2, {}},
+      {3, {}},
+      {4, {}},
+  });
+  EXPECT_DOUBLE_EQ(g.avg_clustering_coefficient(), 0.0);
+}
+
+TEST(OverlayGraph, ClusteringMixed) {
+  // Triangle {1,2,3} plus pendant 4 attached to 1.
+  // Local: c(1)=1/3 (neighbors 2,3,4; one link), c(2)=1, c(3)=1, c(4)=0.
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2, 3, 4}},
+      {2, {3}},
+      {3, {1}},
+      {4, {}},
+  });
+  EXPECT_NEAR(g.avg_clustering_coefficient(), (1.0 / 3.0 + 1.0 + 1.0 + 0.0) / 4.0,
+              1e-12);
+}
+
+TEST(OverlayGraph, LargestComponentIsWeak) {
+  // Directed edges 1->2, 3->2: weakly connected {1,2,3}; isolated 4.
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2}},
+      {2, {}},
+      {3, {2}},
+      {4, {}},
+  });
+  EXPECT_EQ(g.largest_component(), 3u);
+  EXPECT_DOUBLE_EQ(g.largest_component_fraction(), 0.75);
+}
+
+TEST(OverlayGraph, TwoComponents) {
+  const auto g = OverlayGraph::build(Adj{
+      {1, {2}}, {2, {1}}, {3, {4}}, {4, {5}}, {5, {3}},
+  });
+  EXPECT_EQ(g.largest_component(), 3u);
+}
+
+TEST(EstimationErrors, HandComputed) {
+  const std::vector<double> est{0.25, 0.15, 0.2};
+  const auto s = estimation_errors(est, 0.2);
+  EXPECT_NEAR(s.avg_error, (0.05 + 0.05 + 0.0) / 3.0, 1e-12);
+  EXPECT_NEAR(s.max_error, 0.05, 1e-12);
+  EXPECT_EQ(s.node_count, 3u);
+}
+
+TEST(EstimationErrors, EmptyInput) {
+  const auto s = estimation_errors({}, 0.2);
+  EXPECT_DOUBLE_EQ(s.avg_error, 0.0);
+  EXPECT_DOUBLE_EQ(s.max_error, 0.0);
+  EXPECT_EQ(s.node_count, 0u);
+}
+
+TEST(EstimationErrors, SymmetricAroundTruth) {
+  const std::vector<double> est{0.1, 0.3};
+  const auto s = estimation_errors(est, 0.2);
+  EXPECT_NEAR(s.avg_error, 0.1, 1e-12);
+  EXPECT_NEAR(s.max_error, 0.1, 1e-12);
+}
+
+TEST(OverheadSummary, SplitsByClass) {
+  net::TrafficMeter meter;
+  meter.on_send(1, 1000);
+  meter.on_deliver(1, 500);   // public: 1500 total
+  meter.on_send(2, 300);      // private: 300
+  meter.on_send(3, 100);      // private: 100
+  std::unordered_map<net::NodeId, net::NatType> classes{
+      {1, net::NatType::Public},
+      {2, net::NatType::Private},
+      {3, net::NatType::Private},
+      {4, net::NatType::Private},  // silent node still counted
+  };
+  const auto load = summarize_load(meter, classes, sim::sec(10));
+  EXPECT_DOUBLE_EQ(load.public_bytes_per_sec, 150.0);
+  EXPECT_DOUBLE_EQ(load.private_bytes_per_sec, (300.0 + 100.0 + 0.0) / 3.0 / 10.0);
+  EXPECT_EQ(load.public_nodes, 1u);
+  EXPECT_EQ(load.private_nodes, 3u);
+}
+
+TEST(OverheadSummary, EmptyClasses) {
+  net::TrafficMeter meter;
+  const auto load = summarize_load(meter, {}, sim::sec(1));
+  EXPECT_DOUBLE_EQ(load.public_bytes_per_sec, 0.0);
+  EXPECT_DOUBLE_EQ(load.private_bytes_per_sec, 0.0);
+}
+
+}  // namespace
+}  // namespace croupier::metrics

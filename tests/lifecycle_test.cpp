@@ -1,0 +1,104 @@
+// Lifecycle stress: nodes dying at awkward protocol moments must never
+// crash the simulation or corrupt survivors' state.
+#include <gtest/gtest.h>
+
+#include "runtime/scenario.hpp"
+#include "test_util.hpp"
+
+namespace croupier::run {
+namespace {
+
+using croupier::testing::fast_world_config;
+using croupier::testing::populate;
+
+TEST(Lifecycle, KillDuringNatIdentificationIsSafe) {
+  auto cfg = fast_world_config(1);
+  cfg.use_natid_protocol = true;
+  cfg.natid_timeout = sim::sec(3);
+  World world(cfg, make_croupier_factory({}));
+  for (int i = 0; i < 3; ++i) world.spawn_seeded(net::NatConfig::open());
+  world.simulator().run_until(sim::sec(1));
+
+  // Spawn a private node and kill it while its NAT-ID run (and its armed
+  // timeout) is still pending; the dangling timeout must fire into void.
+  const auto victim = world.spawn(net::NatConfig::natted());
+  world.simulator().run_until(world.simulator().now() + sim::msec(10));
+  world.kill(victim);
+  world.simulator().run_until(world.simulator().now() + sim::sec(10));
+  EXPECT_FALSE(world.alive(victim));
+  EXPECT_EQ(world.alive_count(), 3u);
+}
+
+TEST(Lifecycle, KillDuringNatIdNeverStartsGossip) {
+  auto cfg = fast_world_config(2);
+  cfg.use_natid_protocol = true;
+  World world(cfg, make_croupier_factory({}));
+  for (int i = 0; i < 3; ++i) world.spawn_seeded(net::NatConfig::open());
+  world.simulator().run_until(sim::sec(1));
+
+  const auto victim = world.spawn(net::NatConfig::natted());
+  EXPECT_EQ(world.sampler(victim), nullptr);  // still identifying
+  world.kill(victim);
+  world.simulator().run_until(sim::sec(20));
+  // No round events for the dead node ever fired (would crash on lookup
+  // if the runtime kept stale pointers).
+  EXPECT_EQ(world.rounds_of(victim), 0u);
+}
+
+TEST(Lifecycle, MassChurnDuringJoinWaveIsSafe) {
+  // Joins, churn and deaths all interleaving: the stress case for the
+  // runtime's event/ownership discipline.
+  World world(fast_world_config(3), make_croupier_factory({}));
+  schedule_poisson_joins(world, 60, net::NatConfig::natted(), sim::msec(100));
+  schedule_poisson_joins(world, 15, net::NatConfig::open(), sim::msec(400));
+  ChurnProcess churn(world, 0.05, net::NatConfig::open(),
+                     net::NatConfig::natted());
+  churn.start(sim::sec(2));
+  schedule_catastrophe(world, sim::sec(15), 0.5);
+  world.simulator().run_until(sim::sec(60));
+  EXPECT_GT(world.alive_count(), 10u);
+  // Survivors keep gossiping and the overlay reconnects.
+  const auto g = world.snapshot_overlay(/*usable_only=*/true);
+  EXPECT_GE(g.largest_component_fraction(), 0.9);
+}
+
+TEST(Lifecycle, RepeatedCatastrophesWithRejoins) {
+  World world(fast_world_config(4), make_croupier_factory({}));
+  populate(world, 10, 40);
+  for (int wave = 0; wave < 3; ++wave) {
+    const auto t = sim::sec(10 + wave * 20);
+    schedule_catastrophe(world, t, 0.4);
+    // Refill with fresh nodes shortly after each failure.
+    schedule_poisson_joins(world, 8, net::NatConfig::open(), sim::msec(200),
+                           t + sim::sec(2));
+    schedule_poisson_joins(world, 12, net::NatConfig::natted(),
+                           sim::msec(200), t + sim::sec(2));
+  }
+  world.simulator().run_until(sim::sec(90));
+  EXPECT_GT(world.alive_count(), 20u);
+  EXPECT_GT(world.count(net::NatType::Public), 0u);
+  for (double e : world.ratio_estimates()) {
+    EXPECT_GE(e, 0.0);
+    EXPECT_LE(e, 1.0);
+  }
+  const auto g = world.snapshot_overlay();
+  EXPECT_GE(g.largest_component_fraction(), 0.9);
+}
+
+TEST(Lifecycle, WholeWorldTeardownMidFlight) {
+  // Destroying the world with thousands of in-flight events and pending
+  // timeouts must be clean (ASan-visible if not).
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    auto cfg = fast_world_config(seed);
+    cfg.use_natid_protocol = seed == 2;
+    World world(cfg, make_croupier_factory({}));
+    for (int i = 0; i < 3; ++i) world.spawn_seeded(net::NatConfig::open());
+    populate(world, 5, 20);
+    world.simulator().run_until(sim::msec(1500));  // mid-everything
+    // world destructor runs here with a hot event queue
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace croupier::run

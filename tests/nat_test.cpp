@@ -1,0 +1,140 @@
+// NAT model tests: filtering policies, mapping timeouts, the reachability
+// semantics every protocol in the repository is built around.
+#include <gtest/gtest.h>
+
+#include "net/nat.hpp"
+#include "sim/time.hpp"
+
+namespace croupier::net {
+namespace {
+
+using sim::sec;
+
+TEST(NatConfig, ClassificationMatchesClass) {
+  EXPECT_EQ(NatConfig::open().nat_type(), NatType::Public);
+  EXPECT_EQ(NatConfig::upnp().nat_type(), NatType::Public);
+  EXPECT_EQ(NatConfig::natted().nat_type(), NatType::Private);
+  EXPECT_EQ(NatConfig::firewalled().nat_type(), NatType::Private);
+}
+
+TEST(NatBox, BlocksUnsolicitedInbound) {
+  NatBox nat(NatConfig::natted());
+  EXPECT_FALSE(nat.allows_inbound(sec(1), 42));
+}
+
+TEST(NatBox, OutboundOpensMappingForThatPeer) {
+  NatBox nat(NatConfig::natted());
+  nat.on_outbound(sec(1), 42);
+  EXPECT_TRUE(nat.allows_inbound(sec(2), 42));
+  EXPECT_FALSE(nat.allows_inbound(sec(2), 43));  // different peer
+}
+
+TEST(NatBox, MappingExpiresAfterTimeout) {
+  NatBox nat(NatConfig::natted(FilteringPolicy::AddressAndPortDependent,
+                               sec(30)));
+  nat.on_outbound(sec(0), 42);
+  EXPECT_TRUE(nat.allows_inbound(sec(30), 42));   // boundary: still live
+  EXPECT_FALSE(nat.allows_inbound(sec(31), 42));  // expired
+}
+
+TEST(NatBox, OutboundRefreshesMapping) {
+  NatBox nat(NatConfig::natted(FilteringPolicy::AddressAndPortDependent,
+                               sec(30)));
+  nat.on_outbound(sec(0), 42);
+  nat.on_outbound(sec(25), 42);
+  EXPECT_TRUE(nat.allows_inbound(sec(50), 42));
+  EXPECT_FALSE(nat.allows_inbound(sec(56), 42));
+}
+
+TEST(NatBox, EndpointIndependentFilteringAdmitsAnyoneOnceOpen) {
+  NatBox nat(NatConfig::natted(FilteringPolicy::EndpointIndependent));
+  EXPECT_FALSE(nat.allows_inbound(sec(1), 99));
+  nat.on_outbound(sec(1), 42);  // any outbound opens the socket's mapping
+  EXPECT_TRUE(nat.allows_inbound(sec(2), 99));
+  EXPECT_TRUE(nat.allows_inbound(sec(2), 7));
+}
+
+TEST(NatBox, EndpointIndependentMappingAlsoExpires) {
+  NatBox nat(NatConfig::natted(FilteringPolicy::EndpointIndependent, sec(30)));
+  nat.on_outbound(sec(0), 42);
+  EXPECT_TRUE(nat.allows_inbound(sec(20), 99));
+  EXPECT_FALSE(nat.allows_inbound(sec(31), 99));
+}
+
+TEST(NatBox, AddressDependentEquivalentToAddressPortHere) {
+  // One port per node in the model, so the two policies agree.
+  NatBox ad(NatConfig::natted(FilteringPolicy::AddressDependent));
+  NatBox apd(NatConfig::natted(FilteringPolicy::AddressAndPortDependent));
+  ad.on_outbound(sec(1), 42);
+  apd.on_outbound(sec(1), 42);
+  EXPECT_EQ(ad.allows_inbound(sec(2), 42), apd.allows_inbound(sec(2), 42));
+  EXPECT_EQ(ad.allows_inbound(sec(2), 43), apd.allows_inbound(sec(2), 43));
+}
+
+TEST(NatBox, PublicConfigAlwaysAdmits) {
+  NatBox open(NatConfig::open());
+  NatBox upnp(NatConfig::upnp());
+  EXPECT_TRUE(open.allows_inbound(sec(1), 1));
+  EXPECT_TRUE(upnp.allows_inbound(sec(1), 1));
+}
+
+TEST(NatBox, FirewallBehavesLikeRestrictiveNat) {
+  NatBox fw(NatConfig::firewalled());
+  EXPECT_FALSE(fw.allows_inbound(sec(1), 42));
+  fw.on_outbound(sec(1), 42);
+  EXPECT_TRUE(fw.allows_inbound(sec(2), 42));
+  EXPECT_FALSE(fw.allows_inbound(sec(2), 43));
+}
+
+TEST(NatBox, LiveEntriesCountsAndGcs) {
+  NatBox nat(NatConfig::natted(FilteringPolicy::AddressAndPortDependent,
+                               sec(30)));
+  nat.on_outbound(sec(0), 1);
+  nat.on_outbound(sec(0), 2);
+  nat.on_outbound(sec(20), 3);
+  EXPECT_EQ(nat.live_entries(sec(25)), 3u);
+  EXPECT_EQ(nat.live_entries(sec(40)), 1u);  // only peer 3 still live
+}
+
+TEST(NatBox, ManyMappingsIndependent) {
+  NatBox nat(NatConfig::natted());
+  for (NodeId peer = 0; peer < 100; ++peer) {
+    nat.on_outbound(sec(peer), peer);
+  }
+  // Peer k's mapping was refreshed at t=k and lives 30 s.
+  EXPECT_TRUE(nat.allows_inbound(sec(100), 80));
+  EXPECT_FALSE(nat.allows_inbound(sec(100), 60));
+}
+
+// Property sweep: for every filtering policy, an inbound from a peer is
+// admitted iff (policy == EI and any mapping live) or (that peer's mapping
+// is live).
+class NatPolicySweep : public ::testing::TestWithParam<FilteringPolicy> {};
+
+TEST_P(NatPolicySweep, FilterInvariant) {
+  const FilteringPolicy policy = GetParam();
+  NatBox nat(NatConfig::natted(policy, sec(10)));
+  nat.on_outbound(sec(0), 1);
+  nat.on_outbound(sec(5), 2);
+
+  for (sim::SimTime t : {sec(6), sec(9), sec(11), sec(16)}) {
+    const bool peer1_live = t <= sec(0) + sec(10);
+    const bool peer2_live = t <= sec(5) + sec(10);
+    const bool any_live = peer1_live || peer2_live;
+    const bool ei = policy == FilteringPolicy::EndpointIndependent;
+    EXPECT_EQ(nat.allows_inbound(t, 1), ei ? any_live : peer1_live)
+        << "t=" << t;
+    EXPECT_EQ(nat.allows_inbound(t, 2), ei ? any_live : peer2_live)
+        << "t=" << t;
+    EXPECT_EQ(nat.allows_inbound(t, 3), ei && any_live) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, NatPolicySweep,
+    ::testing::Values(FilteringPolicy::EndpointIndependent,
+                      FilteringPolicy::AddressDependent,
+                      FilteringPolicy::AddressAndPortDependent));
+
+}  // namespace
+}  // namespace croupier::net

@@ -1,0 +1,111 @@
+// Tests for the summary-statistics utilities.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "metrics/stats.hpp"
+
+namespace croupier::metrics {
+namespace {
+
+TEST(Stats, SummaryOfEmpty) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, SummaryOfSingleton) {
+  const std::vector<double> v{42.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+}
+
+TEST(Stats, SummaryHandComputed) {
+  const std::vector<double> v{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, MedianOfOddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(summarize(odd).p50, 2.0);
+  const std::vector<double> even{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(summarize(even).p50, 2.5);  // interpolated
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> v{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 20.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.75), 7.5);
+}
+
+TEST(Stats, PercentileOfEmpty) {
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, HistogramBinsCorrectly) {
+  const std::vector<double> v{0.5, 1.5, 1.6, 2.5, 3.5};
+  const auto h = histogram(v, 0.0, 4.0, 4);
+  EXPECT_EQ(h, (std::vector<std::size_t>{1, 2, 1, 1}));
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  const std::vector<double> v{-5.0, 10.0};
+  const auto h = histogram(v, 0.0, 4.0, 4);
+  EXPECT_EQ(h.front(), 1u);
+  EXPECT_EQ(h.back(), 1u);
+}
+
+TEST(Stats, KsDistanceIdentical) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, a), 0.0);
+}
+
+TEST(Stats, KsDistanceDisjoint) {
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+}
+
+TEST(Stats, KsDistanceHandComputed) {
+  // a: CDF steps at 1,2; b: CDF steps at 2,3. At x in [1,2): Fa=0.5,
+  // Fb=0 -> gap 0.5.
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 0.5);
+}
+
+TEST(Stats, KsDistanceSymmetric) {
+  const std::vector<double> a{1.0, 5.0, 7.0, 9.0};
+  const std::vector<double> b{2.0, 4.0, 8.0};
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), ks_distance(b, a));
+}
+
+TEST(Stats, KsDistanceEmptyEdge) {
+  const std::vector<double> a{1.0};
+  EXPECT_DOUBLE_EQ(ks_distance({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(ks_distance(a, {}), 1.0);
+}
+
+TEST(Stats, ToDoublesConverts) {
+  const std::vector<std::size_t> v{1, 2, 3};
+  EXPECT_EQ(to_doubles(v), (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace croupier::metrics

@@ -1,0 +1,311 @@
+// PartialView tests: the tail/swapper/random-subset mechanics all four
+// protocols share, including property sweeps over random operation mixes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "pss/descriptor.hpp"
+#include "pss/view.hpp"
+
+namespace croupier::pss {
+namespace {
+
+NodeDescriptor desc(net::NodeId id, std::uint16_t age = 0) {
+  return NodeDescriptor{id, net::NatType::Public, age};
+}
+
+TEST(PartialView, StartsEmpty) {
+  PartialView<NodeDescriptor> v(5);
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.capacity(), 5u);
+  EXPECT_FALSE(v.oldest().has_value());
+}
+
+TEST(PartialView, AddIfRoomRespectsCapacity) {
+  PartialView<NodeDescriptor> v(2);
+  EXPECT_TRUE(v.add_if_room(desc(1)));
+  EXPECT_TRUE(v.add_if_room(desc(2)));
+  EXPECT_FALSE(v.add_if_room(desc(3)));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(PartialView, AddIfRoomRejectsDuplicates) {
+  PartialView<NodeDescriptor> v(5);
+  EXPECT_TRUE(v.add_if_room(desc(1)));
+  EXPECT_FALSE(v.add_if_room(desc(1)));
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(PartialView, OldestPicksHighestAge) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1, 3));
+  v.add_if_room(desc(2, 9));
+  v.add_if_room(desc(3, 1));
+  ASSERT_TRUE(v.oldest().has_value());
+  EXPECT_EQ(v.oldest()->id, 2u);
+}
+
+TEST(PartialView, AgeAllIncrements) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1, 0));
+  v.age_all();
+  v.age_all();
+  EXPECT_EQ(v.find(1)->age, 2u);
+}
+
+TEST(PartialView, AgeSaturates) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1, 0xffff));
+  v.age_all();
+  EXPECT_EQ(v.find(1)->age, 0xffffu);
+}
+
+TEST(PartialView, RemoveByIdReportsPresence) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1));
+  EXPECT_TRUE(v.remove(1));
+  EXPECT_FALSE(v.remove(1));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(PartialView, ForceAddKeepsNewerOfDuplicate) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1, 7));
+  v.force_add(desc(1, 2));  // fresher
+  EXPECT_EQ(v.find(1)->age, 2u);
+  v.force_add(desc(1, 9));  // staler: ignored
+  EXPECT_EQ(v.find(1)->age, 2u);
+}
+
+TEST(PartialView, ForceAddEvictsOldestWhenFull) {
+  PartialView<NodeDescriptor> v(2);
+  v.add_if_room(desc(1, 9));
+  v.add_if_room(desc(2, 1));
+  v.force_add(desc(3, 0));
+  EXPECT_FALSE(v.contains(1));  // oldest evicted
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_TRUE(v.contains(3));
+}
+
+TEST(PartialView, RandomSubsetSizeAndMembership) {
+  PartialView<NodeDescriptor> v(10);
+  for (net::NodeId i = 1; i <= 10; ++i) v.add_if_room(desc(i));
+  sim::RngStream rng(1);
+  const auto sub = v.random_subset(4, rng);
+  EXPECT_EQ(sub.size(), 4u);
+  std::set<net::NodeId> ids;
+  for (const auto& d : sub) {
+    EXPECT_TRUE(v.contains(d.id));
+    ids.insert(d.id);
+  }
+  EXPECT_EQ(ids.size(), 4u);  // distinct
+}
+
+TEST(PartialView, RandomSubsetCappedBySize) {
+  PartialView<NodeDescriptor> v(10);
+  v.add_if_room(desc(1));
+  sim::RngStream rng(1);
+  EXPECT_EQ(v.random_subset(5, rng).size(), 1u);
+}
+
+TEST(PartialView, RandomSubsetExcluding) {
+  PartialView<NodeDescriptor> v(5);
+  for (net::NodeId i = 1; i <= 5; ++i) v.add_if_room(desc(i));
+  sim::RngStream rng(1);
+  for (int trial = 0; trial < 30; ++trial) {
+    for (const auto& d : v.random_subset_excluding(4, 3, rng)) {
+      EXPECT_NE(d.id, 3u);
+    }
+  }
+}
+
+TEST(PartialView, RandomEntryFromEmpty) {
+  PartialView<NodeDescriptor> v(3);
+  sim::RngStream rng(1);
+  EXPECT_FALSE(v.random_entry(rng).has_value());
+}
+
+TEST(PartialView, SetCapacityShrinksByEvictingOldest) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1, 5));
+  v.add_if_room(desc(2, 9));
+  v.add_if_room(desc(3, 1));
+  v.add_if_room(desc(4, 7));
+  v.set_capacity(2);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_TRUE(v.contains(3));  // youngest survive
+  EXPECT_TRUE(v.contains(1));
+}
+
+TEST(MergeSwapper, FillsFreeSpace) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1));
+  const std::vector<NodeDescriptor> recv{desc(2), desc(3)};
+  v.merge_swapper({}, recv, /*self=*/99);
+  EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(MergeSwapper, NeverInsertsSelf) {
+  PartialView<NodeDescriptor> v(5);
+  const std::vector<NodeDescriptor> recv{desc(99), desc(2)};
+  v.merge_swapper({}, recv, /*self=*/99);
+  EXPECT_FALSE(v.contains(99));
+  EXPECT_TRUE(v.contains(2));
+}
+
+TEST(MergeSwapper, KeepsNewerOfKnownNode) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1, 8));
+  const std::vector<NodeDescriptor> recv{desc(1, 2)};
+  v.merge_swapper({}, recv, 99);
+  EXPECT_EQ(v.find(1)->age, 2u);
+}
+
+TEST(MergeSwapper, IgnoresStalerOfKnownNode) {
+  PartialView<NodeDescriptor> v(5);
+  v.add_if_room(desc(1, 2));
+  const std::vector<NodeDescriptor> recv{desc(1, 8)};
+  v.merge_swapper({}, recv, 99);
+  EXPECT_EQ(v.find(1)->age, 2u);
+}
+
+TEST(MergeSwapper, FullViewEvictsExactlySentEntries) {
+  PartialView<NodeDescriptor> v(3);
+  v.add_if_room(desc(1));
+  v.add_if_room(desc(2));
+  v.add_if_room(desc(3));
+  const std::vector<NodeDescriptor> sent{desc(1), desc(2)};
+  const std::vector<NodeDescriptor> recv{desc(4), desc(5)};
+  v.merge_swapper(sent, recv, 99);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_TRUE(v.contains(3));  // not sent: kept
+  EXPECT_TRUE(v.contains(4));
+  EXPECT_TRUE(v.contains(5));
+}
+
+TEST(MergeSwapper, FullViewWithoutSentDropsReceived) {
+  PartialView<NodeDescriptor> v(2);
+  v.add_if_room(desc(1));
+  v.add_if_room(desc(2));
+  const std::vector<NodeDescriptor> recv{desc(3)};
+  v.merge_swapper({}, recv, 99);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_FALSE(v.contains(3));
+}
+
+TEST(MergeSwapper, SentEntryAlreadyGoneFallsThrough) {
+  PartialView<NodeDescriptor> v(2);
+  v.add_if_room(desc(2));
+  v.add_if_room(desc(3));
+  // We claim to have sent node 1, but it is no longer in the view (a
+  // concurrent merge replaced it); the next sent entry is used instead.
+  const std::vector<NodeDescriptor> sent{desc(1), desc(2)};
+  const std::vector<NodeDescriptor> recv{desc(4)};
+  v.merge_swapper(sent, recv, 99);
+  EXPECT_TRUE(v.contains(4));
+  EXPECT_TRUE(v.contains(3));
+  EXPECT_FALSE(v.contains(2));
+}
+
+TEST(MergeSwapper, DuplicateReceivedEntriesCollapse) {
+  PartialView<NodeDescriptor> v(5);
+  const std::vector<NodeDescriptor> recv{desc(1, 5), desc(1, 2)};
+  v.merge_swapper({}, recv, 99);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v.find(1)->age, 2u);  // second copy was newer
+}
+
+TEST(MergeHealer, FillsFreeSpaceAndKeepsNewer) {
+  PartialView<NodeDescriptor> v(3);
+  v.add_if_room(desc(1, 8));
+  const std::vector<NodeDescriptor> recv{desc(1, 2), desc(2, 5)};
+  v.merge_healer(recv, 99);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.find(1)->age, 2u);
+  EXPECT_TRUE(v.contains(2));
+}
+
+TEST(MergeHealer, EvictsOldestWhenFull) {
+  PartialView<NodeDescriptor> v(2);
+  v.add_if_room(desc(1, 9));
+  v.add_if_room(desc(2, 1));
+  const std::vector<NodeDescriptor> recv{desc(3, 0)};
+  v.merge_healer(recv, 99);
+  EXPECT_FALSE(v.contains(1));  // oldest out
+  EXPECT_TRUE(v.contains(2));
+  EXPECT_TRUE(v.contains(3));
+}
+
+TEST(MergeHealer, KeepsOlderEntryOverStalerIncoming) {
+  PartialView<NodeDescriptor> v(2);
+  v.add_if_room(desc(1, 3));
+  v.add_if_room(desc(2, 4));
+  // Incoming descriptor is older than everything in the view: dropped.
+  const std::vector<NodeDescriptor> recv{desc(3, 9)};
+  v.merge_healer(recv, 99);
+  EXPECT_FALSE(v.contains(3));
+}
+
+TEST(MergeHealer, NeverInsertsSelf) {
+  PartialView<NodeDescriptor> v(3);
+  const std::vector<NodeDescriptor> recv{desc(99, 0)};
+  v.merge_healer(recv, 99);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(MergePolicy, DispatchesToConfiguredPolicy) {
+  PartialView<NodeDescriptor> swapper_view(1);
+  PartialView<NodeDescriptor> healer_view(1);
+  swapper_view.add_if_room(desc(1, 0));  // fresh
+  healer_view.add_if_room(desc(1, 9));   // stale
+  const std::vector<NodeDescriptor> sent;  // nothing sent
+  const std::vector<NodeDescriptor> recv{desc(2, 1)};
+  // Swapper with no sent entries drops the received descriptor...
+  merge_by_policy<NodeDescriptor>(swapper_view, MergePolicy::Swapper, sent,
+                                  recv, 99);
+  EXPECT_FALSE(swapper_view.contains(2));
+  // ...healer replaces the stale entry regardless.
+  merge_by_policy<NodeDescriptor>(healer_view, MergePolicy::Healer, sent,
+                                  recv, 99);
+  EXPECT_TRUE(healer_view.contains(2));
+}
+
+// Property sweep: under arbitrary merge sequences the view never exceeds
+// capacity, never contains self, and never holds duplicate ids.
+class ViewMergeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ViewMergeSweep, InvariantsHoldUnderRandomOps) {
+  sim::RngStream rng(GetParam());
+  PartialView<NodeDescriptor> v(8);
+  const net::NodeId self = 1000;
+
+  for (int step = 0; step < 300; ++step) {
+    // Random received batch (ids 0..29, may include self and duplicates).
+    std::vector<NodeDescriptor> recv;
+    const std::size_t n = rng.uniform(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      net::NodeId id = static_cast<net::NodeId>(rng.uniform(30));
+      if (rng.chance(0.05)) id = self;
+      recv.push_back(desc(id, static_cast<std::uint16_t>(rng.uniform(20))));
+    }
+    const auto sent = v.random_subset(rng.uniform(4), rng);
+    v.merge_swapper(sent, recv, self);
+    v.age_all();
+    if (rng.chance(0.2) && !v.empty()) {
+      v.remove(v.oldest()->id);
+    }
+
+    ASSERT_LE(v.size(), v.capacity());
+    ASSERT_FALSE(v.contains(self));
+    std::set<net::NodeId> ids;
+    for (const auto& d : v.entries()) ids.insert(d.id);
+    ASSERT_EQ(ids.size(), v.size()) << "duplicate descriptor ids";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ViewMergeSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace croupier::pss

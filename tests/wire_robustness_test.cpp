@@ -1,0 +1,159 @@
+// Robustness of every message decoder against truncated or garbage
+// buffers: decoding must never crash or read out of bounds, and the
+// reader must flag the error. (A deployed UDP service decodes hostile
+// bytes; the simulator skips decoding on the hot path, but the decoders
+// are part of the public wire contract and fuzz targets.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "baselines/arrg.hpp"
+#include "baselines/cyclon.hpp"
+#include "baselines/gozar.hpp"
+#include "baselines/nylon.hpp"
+#include "core/croupier.hpp"
+#include "natid/natid.hpp"
+#include "sim/rng.hpp"
+
+namespace croupier {
+namespace {
+
+// Encodes a representative instance of each message type.
+std::vector<std::vector<std::byte>> representative_messages() {
+  std::vector<std::vector<std::byte>> out;
+  auto add = [&out](const net::Message& m) {
+    wire::Writer w;
+    m.encode(w);
+    out.push_back(std::move(w).take());
+  };
+
+  core::CroupierShuffleReq creq;
+  creq.sender = pss::NodeDescriptor{1, net::NatType::Private, 0};
+  creq.pub = {{2, net::NatType::Public, 1}, {3, net::NatType::Public, 9}};
+  creq.pri = {{4, net::NatType::Private, 2}};
+  creq.estimates = {{5, 10, 40, 1}, {6, 1, 3, 0}};
+  add(creq);
+  core::CroupierShuffleRes cres;
+  cres.pub = creq.pub;
+  cres.estimates = creq.estimates;
+  add(cres);
+
+  baselines::CyclonShuffleReq cyreq;
+  cyreq.sender = pss::NodeDescriptor{1, net::NatType::Public, 0};
+  cyreq.entries = creq.pub;
+  add(cyreq);
+  baselines::CyclonShuffleRes cyres;
+  cyres.entries = creq.pub;
+  add(cyres);
+
+  baselines::GozarShuffleReq greq;
+  greq.sender = baselines::GozarDescriptor{1, net::NatType::Private, 0, {7, 8}};
+  greq.nonce = 3;
+  greq.entries = {baselines::GozarDescriptor{2, net::NatType::Public, 1, {}}};
+  add(greq);
+  baselines::GozarRelayedReq grel;
+  grel.final_target = 9;
+  grel.inner = greq;
+  add(grel);
+
+  baselines::NylonShuffleReq nreq;
+  nreq.sender = baselines::NylonDescriptor{1, net::NatType::Public, 0, 1};
+  nreq.entries = {baselines::NylonDescriptor{2, net::NatType::Private, 3, 0}};
+  add(nreq);
+  baselines::NylonPunchReq npunch;
+  npunch.initiator = 1;
+  npunch.target = 2;
+  npunch.hops = 5;
+  add(npunch);
+
+  baselines::ArrgShuffleReq areq;
+  areq.sender = pss::NodeDescriptor{1, net::NatType::Public, 0};
+  areq.entries = creq.pub;
+  add(areq);
+
+  natid::MatchingIpTest mt;
+  mt.probed = {1, 2, 3};
+  add(mt);
+  natid::ForwardTest ft;
+  ft.client = 7;
+  ft.observed_ip = net::IpAddr{0x52000007};
+  add(ft);
+  natid::ForwardResp fr;
+  fr.observed_ip = net::IpAddr{0x0a000001};
+  add(fr);
+
+  return out;
+}
+
+// Decodes buffer `data` as message kind `kind` (mirrors the encoder list
+// above); returns the reader so the test can inspect error state.
+void decode_kind(std::size_t kind, std::span<const std::byte> data,
+                 bool expect_ok) {
+  wire::Reader r(data);
+  switch (kind) {
+    case 0: (void)core::CroupierShuffleReq::decode(r); break;
+    case 1: (void)core::CroupierShuffleRes::decode(r); break;
+    case 2: (void)baselines::CyclonShuffleReq::decode(r); break;
+    case 3: (void)baselines::CyclonShuffleRes::decode(r); break;
+    case 4: (void)baselines::GozarShuffleReq::decode(r); break;
+    case 5: (void)baselines::GozarRelayedReq::decode(r); break;
+    case 6: (void)baselines::NylonShuffleReq::decode(r); break;
+    case 7: (void)baselines::NylonPunchReq::decode(r); break;
+    case 8: (void)baselines::ArrgShuffleReq::decode(r); break;
+    case 9: (void)natid::MatchingIpTest::decode(r); break;
+    case 10: (void)natid::ForwardTest::decode(r); break;
+    case 11: (void)natid::ForwardResp::decode(r); break;
+    default: FAIL() << "unknown kind";
+  }
+  if (expect_ok) {
+    EXPECT_TRUE(r.ok()) << "kind " << kind;
+  }
+}
+
+TEST(WireRobustness, FullBuffersDecodeCleanly) {
+  const auto msgs = representative_messages();
+  for (std::size_t kind = 0; kind < msgs.size(); ++kind) {
+    decode_kind(kind, msgs[kind], /*expect_ok=*/true);
+  }
+}
+
+TEST(WireRobustness, EveryTruncationIsSafe) {
+  const auto msgs = representative_messages();
+  for (std::size_t kind = 0; kind < msgs.size(); ++kind) {
+    const auto& full = msgs[kind];
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      // Must not crash; error state is acceptable (and expected for cuts
+      // that bite into required fields).
+      decode_kind(kind, std::span<const std::byte>(full.data(), cut),
+                  /*expect_ok=*/false);
+    }
+  }
+}
+
+TEST(WireRobustness, RandomGarbageIsSafe) {
+  sim::RngStream rng(1234);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::byte> garbage(rng.uniform(64));
+    for (auto& b : garbage) {
+      b = static_cast<std::byte>(rng.uniform(256));
+    }
+    for (std::size_t kind = 0; kind < 12; ++kind) {
+      decode_kind(kind, garbage, /*expect_ok=*/false);
+    }
+  }
+}
+
+TEST(WireRobustness, LengthPrefixLyingLargeIsSafe) {
+  // A descriptor list claiming 255 entries with only one present: the
+  // decoder must stop at the buffer end with the error latched.
+  wire::Writer w;
+  w.u8(0xff);  // claimed count
+  pss::encode(w, pss::NodeDescriptor{1, net::NatType::Public, 0});
+  wire::Reader r(w.data());
+  const auto decoded = pss::decode_descriptors(r);
+  EXPECT_LE(decoded.size(), 2u);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace croupier
