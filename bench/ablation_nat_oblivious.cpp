@@ -92,10 +92,9 @@ int main(int argc, char** argv) {
       cy.indeg_priv += a.indeg_priv;
       cy.nat_drop_share += a.nat_drop_share;
 
-      baselines::ArrgConfig acfg;
-      acfg.base = bench::paper_pss_config();
-      const auto b = measure(run::make_arrg_factory(acfg), publics, privates,
-                             args.seed + r * 1000, duration);
+      const auto b =
+          measure(run::make_arrg_factory(bench::paper_arrg_config()), publics,
+                  privates, args.seed + r * 1000, duration);
       ar.cluster += b.cluster;
       ar.indeg_pub += b.indeg_pub;
       ar.indeg_priv += b.indeg_priv;

@@ -10,9 +10,13 @@
 //   --fast     shrink scale for smoke-testing (CI-friendly)
 #pragma once
 
+#include <cctype>
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -33,18 +37,40 @@ struct BenchArgs {
   std::uint64_t seed = 1;
   bool fast = false;
 
+  /// Parses a full decimal number; on malformed or empty input warns on
+  /// stderr and leaves `out` untouched, so a typo degrades to the
+  /// documented default instead of aborting the bench run.
+  static void parse_u64(const std::string& flag, const std::string& text,
+                        std::uint64_t& out) {
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    // strtoull skips leading whitespace and wraps "-1" to UINT64_MAX, so
+    // additionally insist the text starts with a digit.
+    if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])) ||
+        end != text.c_str() + text.size() || errno == ERANGE) {
+      std::fprintf(stderr, "warning: ignoring malformed %s=%s\n",
+                   flag.c_str(), text.c_str());
+      return;
+    }
+    out = v;
+  }
+
   static BenchArgs parse(int argc, char** argv) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
       if (a.rfind("--runs=", 0) == 0) {
-        args.runs = static_cast<std::size_t>(std::stoul(a.substr(7)));
+        std::uint64_t v = args.runs;
+        parse_u64("--runs", a.substr(7), v);
+        args.runs = static_cast<std::size_t>(v);
       } else if (a.rfind("--seed=", 0) == 0) {
-        args.seed = std::stoull(a.substr(7));
+        parse_u64("--seed", a.substr(7), args.seed);
       } else if (a == "--fast") {
         args.fast = true;
       } else if (a == "--help") {
         std::printf("flags: --runs=N --seed=S --fast\n");
+        std::exit(0);  // usage requested — don't launch the full run
       }
     }
     return args;
@@ -78,6 +104,12 @@ inline baselines::GozarConfig paper_gozar_config() {
 
 inline baselines::NylonConfig paper_nylon_config() {
   baselines::NylonConfig cfg;
+  cfg.base = paper_pss_config();
+  return cfg;
+}
+
+inline baselines::ArrgConfig paper_arrg_config() {
+  baselines::ArrgConfig cfg;
   cfg.base = paper_pss_config();
   return cfg;
 }

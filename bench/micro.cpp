@@ -1,15 +1,19 @@
 // Micro-benchmarks (google-benchmark) for the hot components: simulator
 // event throughput, RNG, wire codec, view operations, estimator rounds,
-// NAT table lookups, and graph metrics at experiment scale.
+// NAT table lookups, graph metrics at experiment scale, and end-to-end
+// gossip-round throughput per protocol (the BENCH_micro.json baseline).
 #include <benchmark/benchmark.h>
 
 #include <numeric>
 
+#include "bench_common.hpp"
 #include "core/croupier.hpp"
 #include "core/estimator.hpp"
 #include "metrics/graph.hpp"
 #include "net/nat.hpp"
 #include "pss/view.hpp"
+#include "runtime/factories.hpp"
+#include "runtime/world.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -170,6 +174,46 @@ void BM_GraphLargestComponent(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GraphLargestComponent);
+
+std::uint64_t total_rounds(const run::World& world) {
+  std::uint64_t total = 0;
+  for (const auto id : world.alive_ids()) total += world.rounds_of(id);
+  return total;
+}
+
+// End-to-end protocol throughput: a 128-node world (paper's 80% private
+// ratio) advanced one simulated second per iteration. items/sec is node
+// gossip rounds executed per wall-clock second — the cross-protocol
+// "ops/sec" number scripts/run_benches.sh extracts into BENCH_micro.json.
+void BM_ProtocolRounds(benchmark::State& state, run::ProtocolFactory factory) {
+  run::World::Config cfg;
+  cfg.seed = 1;
+  cfg.latency = run::World::LatencyKind::Constant;
+  cfg.constant_latency = sim::msec(20);
+  run::World world(cfg, std::move(factory));
+  for (int i = 0; i < 26; ++i) world.spawn(net::NatConfig::open());
+  for (int i = 0; i < 102; ++i) world.spawn(net::NatConfig::natted());
+  auto t = sim::sec(5);  // warm-up past the join transient
+  world.simulator().run_until(t);
+  const auto before = total_rounds(world);
+  for (auto _ : state) {
+    t += sim::sec(1);
+    world.simulator().run_until(t);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(total_rounds(world) - before));
+}
+
+BENCHMARK_CAPTURE(BM_ProtocolRounds, Croupier,
+                  run::make_croupier_factory(bench::paper_croupier_config()));
+BENCHMARK_CAPTURE(BM_ProtocolRounds, Cyclon,
+                  run::make_cyclon_factory(bench::paper_pss_config()));
+BENCHMARK_CAPTURE(BM_ProtocolRounds, Gozar,
+                  run::make_gozar_factory(bench::paper_gozar_config()));
+BENCHMARK_CAPTURE(BM_ProtocolRounds, Nylon,
+                  run::make_nylon_factory(bench::paper_nylon_config()));
+BENCHMARK_CAPTURE(BM_ProtocolRounds, Arrg,
+                  run::make_arrg_factory(bench::paper_arrg_config()));
 
 }  // namespace
 

@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Bench harness: builds Release, runs the micro-benchmarks plus every
+# figure-regeneration bench in --fast mode, and writes BENCH_micro.json —
+# the machine-readable baseline PRs regress against.
+#
+# Usage: scripts/run_benches.sh [output.json]
+#   BUILD_DIR=...   override the Release build directory
+#                   (default build-release)
+#
+# BENCH_micro.json layout:
+#   protocols.<Name>.rounds_per_sec   end-to-end gossip-round throughput
+#                                     (BM_ProtocolRounds, 128-node world)
+#   components.<BM_Name>              wall ns/op (items_per_sec when the
+#                                     bench reports it)
+#   fig_benches.<name>.wall_seconds   --fast --runs=1 wall clock per bench
+set -euo pipefail
+
+# Resolve the output path against the caller's cwd before cd-ing away.
+OUT=$(realpath -m "${1:-BENCH_micro.json}")
+cd "$(dirname "$0")/.."
+REPO_ROOT=$(pwd)
+if [ $# -eq 0 ]; then
+  OUT="$REPO_ROOT/BENCH_micro.json"
+fi
+BUILD_DIR=${BUILD_DIR:-"$REPO_ROOT/build-release"}
+
+# Benches only: skip the test suites and examples so the Release build
+# doesn't recompile the whole tree (CI already builds those once).
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
+  -DCROUPIER_BUILD_TESTS=OFF -DCROUPIER_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+RAW=$(mktemp)
+FIG=$(mktemp)
+trap 'rm -f "$RAW" "$FIG"' EXIT
+
+echo "== micro benchmarks =="
+"$BUILD_DIR/bench/micro" \
+  --benchmark_format=json --benchmark_out="$RAW" \
+  --benchmark_out_format=json >/dev/null
+
+echo "== figure benches (--fast --runs=1) =="
+for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  start=$(date +%s.%N)
+  "$bench" --fast --runs=1 >/dev/null
+  end=$(date +%s.%N)
+  echo "$name $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')" \
+    | tee -a "$FIG"
+done
+
+python3 - "$RAW" "$FIG" "$OUT" <<'PY'
+import json
+import sys
+
+raw_path, fig_path, out_path = sys.argv[1:4]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+protocols = {}
+components = {}
+for b in raw["benchmarks"]:
+    name = b["name"]
+    if name.startswith("BM_ProtocolRounds/"):
+        protocols[name.split("/", 1)[1]] = {
+            "rounds_per_sec": round(b["items_per_second"], 1),
+        }
+    else:
+        entry = {"real_ns_per_op": round(b["real_time"], 2)}
+        if "items_per_second" in b:
+            entry["items_per_sec"] = round(b["items_per_second"], 1)
+        components[name] = entry
+
+fig_benches = {}
+with open(fig_path) as f:
+    for line in f:
+        name, secs = line.split()
+        fig_benches[name] = {"wall_seconds": float(secs)}
+
+out = {
+    "schema": "croupier-bench-v1",
+    "generated_by": "scripts/run_benches.sh",
+    "build_type": "Release",
+    "context": {
+        "host": raw["context"].get("host_name", ""),
+        "num_cpus": raw["context"].get("num_cpus", 0),
+        "mhz_per_cpu": raw["context"].get("mhz_per_cpu", 0),
+    },
+    "protocols": protocols,
+    "components": components,
+    "fig_benches": fig_benches,
+}
+with open(out_path, "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out_path}")
+PY
+
+echo "== protocol throughput (gossip rounds / wall-clock second) =="
+python3 - "$OUT" <<'PY'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    for name, entry in sorted(json.load(f)["protocols"].items()):
+        print(f"{name}\t{entry['rounds_per_sec']}")
+PY

@@ -23,6 +23,8 @@ constexpr NodeId kNilNode = 0xffffffffu;
 struct IpAddr {
   std::uint32_t v = 0;
 
+  // Defaulted comparison is a C++20 feature (C++17 rejects it); the build
+  // pins cxx_std_20 in src/CMakeLists.txt — do not downgrade the standard.
   friend bool operator==(const IpAddr&, const IpAddr&) = default;
 };
 

@@ -10,7 +10,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <span>
+#include <span>  // C++20 (as is the defaulted operator== in net/address.hpp);
+                 // the build pins cxx_std_20 in src/CMakeLists.txt — do not
+                 // downgrade the standard.
 #include <string_view>
 #include <vector>
 

@@ -1,0 +1,94 @@
+// BenchArgs::parse: the flag parsing shared by every bench binary.
+// Covers defaults, each flag, combinations, and malformed numeric input
+// (which must warn and keep the default rather than abort the bench).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace croupier::bench {
+namespace {
+
+BenchArgs parse(std::vector<std::string> argv) {
+  argv.insert(argv.begin(), "bench");
+  std::vector<char*> raw;
+  raw.reserve(argv.size());
+  for (auto& a : argv) raw.push_back(a.data());
+  return BenchArgs::parse(static_cast<int>(raw.size()), raw.data());
+}
+
+TEST(BenchArgs, Defaults) {
+  const auto args = parse({});
+  EXPECT_EQ(args.runs, 2u);
+  EXPECT_EQ(args.seed, 1u);
+  EXPECT_FALSE(args.fast);
+}
+
+TEST(BenchArgs, ParsesRuns) {
+  EXPECT_EQ(parse({"--runs=5"}).runs, 5u);
+  EXPECT_EQ(parse({"--runs=0"}).runs, 0u);
+}
+
+TEST(BenchArgs, ParsesSeed) {
+  EXPECT_EQ(parse({"--seed=42"}).seed, 42u);
+  EXPECT_EQ(parse({"--seed=18446744073709551615"}).seed,
+            18446744073709551615ull);
+}
+
+TEST(BenchArgs, ParsesFast) {
+  EXPECT_TRUE(parse({"--fast"}).fast);
+}
+
+TEST(BenchArgs, ParsesCombination) {
+  const auto args = parse({"--runs=7", "--fast", "--seed=9"});
+  EXPECT_EQ(args.runs, 7u);
+  EXPECT_EQ(args.seed, 9u);
+  EXPECT_TRUE(args.fast);
+}
+
+TEST(BenchArgs, LastFlagWins) {
+  const auto args = parse({"--runs=3", "--runs=8"});
+  EXPECT_EQ(args.runs, 8u);
+}
+
+TEST(BenchArgs, MalformedNumberKeepsDefault) {
+  EXPECT_EQ(parse({"--runs=abc"}).runs, 2u);
+  EXPECT_EQ(parse({"--seed=abc"}).seed, 1u);
+}
+
+TEST(BenchArgs, TrailingGarbageKeepsDefault) {
+  EXPECT_EQ(parse({"--runs=5x"}).runs, 2u);
+  EXPECT_EQ(parse({"--seed=1 2"}).seed, 1u);
+}
+
+TEST(BenchArgs, EmptyNumberKeepsDefault) {
+  EXPECT_EQ(parse({"--runs="}).runs, 2u);
+  EXPECT_EQ(parse({"--seed="}).seed, 1u);
+}
+
+TEST(BenchArgs, OverflowKeepsDefault) {
+  // One past UINT64_MAX.
+  EXPECT_EQ(parse({"--seed=18446744073709551616"}).seed, 1u);
+}
+
+TEST(BenchArgs, NegativeNumberKeepsDefault) {
+  // strtoull would happily wrap "-1"; parse must reject it instead.
+  EXPECT_EQ(parse({"--runs=-1"}).runs, 2u);
+}
+
+TEST(BenchArgs, HelpPrintsUsageAndExits) {
+  // The regex matches stderr (usage goes to stdout); exit code 0 is the
+  // contract under test.
+  EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0), "");
+}
+
+TEST(BenchArgs, UnknownFlagsAreIgnored) {
+  const auto args = parse({"--bogus", "stray", "--fast"});
+  EXPECT_TRUE(args.fast);
+  EXPECT_EQ(args.runs, 2u);
+}
+
+}  // namespace
+}  // namespace croupier::bench
