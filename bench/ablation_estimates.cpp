@@ -4,52 +4,79 @@
 // Sweeps the share limit and reports steady-state estimation error and
 // the measured per-node load — the accuracy/overhead trade-off behind the
 // paper's choice.
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 #include "metrics/overhead.hpp"
 
+namespace {
+
+using namespace croupier;
+
+struct TrialResult {
+  double avg_err = 0;
+  double max_err = 0;
+  double pub_load = 0;
+  double priv_load = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
   const auto warmup = sim::sec(args.fast ? 60 : 120);
   const auto window = sim::sec(60);
   const std::size_t limits[] = {1, 2, 5, 10, 20};
 
-  std::printf(
-      "# ablation: estimate share limit (paper: 10); %zu nodes, %zu run(s)\n",
-      n, args.runs);
-  std::printf("%-8s %12s %12s %14s %15s\n", "limit", "avg-err", "max-err",
-              "pub-load(B/s)", "priv-load(B/s)");
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "ablation: estimate share limit (paper: 10); %zu nodes, %zu run(s)",
+      n, args.runs));
+  sink.raw(exp::strf("%-8s %12s %12s %14s %15s", "limit", "avg-err",
+                     "max-err", "pub-load(B/s)", "priv-load(B/s)"));
 
-  for (std::size_t limit : limits) {
-    double avg_err = 0;
-    double max_err = 0;
-    double pub_load = 0;
-    double priv_load = 0;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      auto cfg = bench::paper_croupier_config(25, 50);
-      cfg.estimator.share_limit = limit;
-      run::World world(bench::paper_world_config(args.seed + r * 1000),
-                       run::make_croupier_factory(cfg));
-      bench::paper_joins(world, n / 5, n - n / 5);
-      run::EstimationRecorder rec(world, {sim::sec(1), 2});
-      rec.start(sim::sec(1));
-      world.simulator().run_until(warmup);
-      world.network().meter().reset();
-      world.simulator().run_until(warmup + window);
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(limits), [&](std::size_t p, std::uint64_t seed) {
+        auto cfg = bench::paper_croupier_config(25, 50);
+        cfg.estimator.share_limit = limits[p];
+        run::World world(bench::paper_world_config(seed),
+                         run::make_croupier_factory(cfg));
+        bench::paper_joins(world, n / 5, n - n / 5);
+        run::EstimationRecorder rec(world, {sim::sec(1), 2});
+        rec.start(sim::sec(1));
+        world.simulator().run_until(warmup);
+        world.network().meter().reset();
+        world.simulator().run_until(warmup + window);
 
-      avg_err += rec.latest().sample.avg_error;
-      max_err += rec.latest().sample.max_error;
-      const auto load = metrics::summarize_load(world.network().meter(),
-                                                world.class_map(), window);
-      pub_load += load.public_bytes_per_sec;
-      priv_load += load.private_bytes_per_sec;
+        TrialResult res;
+        res.avg_err = rec.latest().sample.avg_error;
+        res.max_err = rec.latest().sample.max_error;
+        const auto load = metrics::summarize_load(world.network().meter(),
+                                                  world.class_map(), window);
+        res.pub_load = load.public_bytes_per_sec;
+        res.priv_load = load.private_bytes_per_sec;
+        return res;
+      });
+
+  for (std::size_t p = 0; p < std::size(limits); ++p) {
+    TrialResult sum;
+    for (const auto& res : grid[p]) {
+      sum.avg_err += res.avg_err;
+      sum.max_err += res.max_err;
+      sum.pub_load += res.pub_load;
+      sum.priv_load += res.priv_load;
     }
     const auto k = static_cast<double>(args.runs);
-    std::printf("%-8zu %12.5f %12.5f %14.1f %15.1f\n", limit, avg_err / k,
-                max_err / k, pub_load / k, priv_load / k);
+    sink.raw(exp::strf("%-8zu %12.5f %12.5f %14.1f %15.1f", limits[p],
+                       sum.avg_err / k, sum.max_err / k, sum.pub_load / k,
+                       sum.priv_load / k));
+    const std::string block = exp::strf("share-limit=%zu", limits[p]);
+    sink.value(block, "avg-err", sum.avg_err / k);
+    sink.value(block, "max-err", sum.max_err / k);
+    sink.value(block, "pub-load B/s", sum.pub_load / k);
+    sink.value(block, "priv-load B/s", sum.priv_load / k);
   }
   return 0;
 }

@@ -1,52 +1,78 @@
 // Ablation: Gozar's relay redundancy (1 = default single relay with
 // failover; >1 = the redundant-relaying variant). Trades duplicated relay
 // traffic for exchange reliability and post-failure reachability.
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 #include "metrics/overhead.hpp"
 
+namespace {
+
+using namespace croupier;
+
+struct TrialResult {
+  double pub_load = 0;
+  double priv_load = 0;
+  double cluster = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
   const auto warmup = sim::sec(60);
   const auto window = sim::sec(60);
   const std::size_t redundancies[] = {1, 2, 3};
 
-  std::printf(
-      "# ablation: Gozar relay redundancy; %zu nodes, 80%%%% private, "
-      "%zu run(s)\n",
-      n, args.runs);
-  std::printf("%-12s %14s %15s %18s\n", "redundancy", "pub-load(B/s)",
-              "priv-load(B/s)", "cluster@80%fail");
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "ablation: Gozar relay redundancy; %zu nodes, 80%% private, "
+      "%zu run(s)",
+      n, args.runs));
+  sink.raw(exp::strf("%-12s %14s %15s %18s", "redundancy", "pub-load(B/s)",
+                     "priv-load(B/s)", "cluster@80%fail"));
 
-  for (std::size_t red : redundancies) {
-    double pub_load = 0;
-    double priv_load = 0;
-    double cluster = 0;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      auto cfg = bench::paper_gozar_config();
-      cfg.relay_redundancy = red;
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(redundancies),
+      [&](std::size_t p, std::uint64_t seed) {
+        auto cfg = bench::paper_gozar_config();
+        cfg.relay_redundancy = redundancies[p];
 
-      run::World world(bench::paper_world_config(args.seed + r * 1000),
-                       run::make_gozar_factory(cfg));
-      bench::paper_joins(world, n / 5, n - n / 5);
-      world.simulator().run_until(warmup);
-      world.network().meter().reset();
-      world.simulator().run_until(warmup + window);
-      const auto load = metrics::summarize_load(world.network().meter(),
-                                                world.class_map(), window);
-      pub_load += load.public_bytes_per_sec;
-      priv_load += load.private_bytes_per_sec;
+        run::World world(bench::paper_world_config(seed),
+                         run::make_gozar_factory(cfg));
+        bench::paper_joins(world, n / 5, n - n / 5);
+        world.simulator().run_until(warmup);
+        world.network().meter().reset();
+        world.simulator().run_until(warmup + window);
+        const auto load = metrics::summarize_load(world.network().meter(),
+                                                  world.class_map(), window);
 
-      run::schedule_catastrophe(world, warmup + window, 0.8);
-      world.simulator().run_until(warmup + window + sim::msec(1));
-      cluster += world.snapshot_overlay(true).largest_component_fraction();
+        TrialResult res;
+        res.pub_load = load.public_bytes_per_sec;
+        res.priv_load = load.private_bytes_per_sec;
+
+        run::schedule_catastrophe(world, warmup + window, 0.8);
+        world.simulator().run_until(warmup + window + sim::msec(1));
+        res.cluster = world.snapshot_overlay(true).largest_component_fraction();
+        return res;
+      });
+
+  for (std::size_t p = 0; p < std::size(redundancies); ++p) {
+    TrialResult sum;
+    for (const auto& res : grid[p]) {
+      sum.pub_load += res.pub_load;
+      sum.priv_load += res.priv_load;
+      sum.cluster += res.cluster;
     }
     const auto k = static_cast<double>(args.runs);
-    std::printf("%-12zu %14.1f %15.1f %18.3f\n", red, pub_load / k,
-                priv_load / k, cluster / k);
+    sink.raw(exp::strf("%-12zu %14.1f %15.1f %18.3f", redundancies[p],
+                       sum.pub_load / k, sum.priv_load / k, sum.cluster / k));
+    const std::string block = exp::strf("redundancy=%zu", redundancies[p]);
+    sink.value(block, "pub-load B/s", sum.pub_load / k);
+    sink.value(block, "priv-load B/s", sum.priv_load / k);
+    sink.value(block, "cluster@80%fail", sum.cluster / k);
   }
   return 0;
 }

@@ -5,49 +5,78 @@
 // proportionally); this sweep verifies that and also checks overlay
 // connectivity under loss. The paper assumes this property; here it is
 // measured.
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
+namespace {
+
+using namespace croupier;
+
+struct TrialResult {
+  double avg_err = 0;
+  double max_err = 0;
+  double cluster = 0;
+  double apl = 0;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
   const auto duration = sim::sec(args.fast ? 100 : 200);
   const double losses[] = {0.0, 0.01, 0.05, 0.10, 0.20};
 
-  std::printf(
-      "# ablation: uniform message loss vs estimation/connectivity; "
-      "%zu nodes, %zu run(s)\n",
-      n, args.runs);
-  std::printf("%-8s %12s %12s %14s %12s\n", "loss", "avg-err", "max-err",
-              "biggest-cluster", "apl");
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "ablation: uniform message loss vs estimation/connectivity; "
+      "%zu nodes, %zu run(s)",
+      n, args.runs));
+  sink.raw(exp::strf("%-8s %12s %12s %14s %12s", "loss", "avg-err",
+                     "max-err", "biggest-cluster", "apl"));
 
-  for (double loss : losses) {
-    double avg_err = 0;
-    double max_err = 0;
-    double cluster = 0;
-    double apl = 0;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      auto wcfg = bench::paper_world_config(args.seed + r * 1000);
-      wcfg.loss_probability = loss;
-      run::World world(wcfg, run::make_croupier_factory(
-                                 bench::paper_croupier_config(25, 50)));
-      bench::paper_joins(world, n / 5, n - n / 5);
-      run::EstimationRecorder rec(world, {sim::sec(1), 2});
-      rec.start(sim::sec(1));
-      world.simulator().run_until(duration);
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(losses), [&](std::size_t p, std::uint64_t seed) {
+        auto wcfg = bench::paper_world_config(seed);
+        wcfg.loss_probability = losses[p];
+        run::World world(wcfg, run::make_croupier_factory(
+                                   bench::paper_croupier_config(25, 50)));
+        bench::paper_joins(world, n / 5, n - n / 5);
+        run::EstimationRecorder rec(world, {sim::sec(1), 2});
+        rec.start(sim::sec(1));
+        world.simulator().run_until(duration);
 
-      avg_err += rec.latest().sample.avg_error;
-      max_err += rec.latest().sample.max_error;
-      const auto graph = world.snapshot_overlay();
-      cluster += graph.largest_component_fraction();
-      sim::RngStream rng(args.seed + r);
-      apl += graph.avg_path_length(rng, 128);
+        TrialResult res;
+        res.avg_err = rec.latest().sample.avg_error;
+        res.max_err = rec.latest().sample.max_error;
+        const auto graph = world.snapshot_overlay();
+        res.cluster = graph.largest_component_fraction();
+        // Forked off the trial seed so the APL sampling stream cannot
+        // alias the world's own forks.
+        sim::RngStream rng = sim::RngStream(seed).fork(0x0A91);
+        res.apl = graph.avg_path_length(rng, 128);
+        return res;
+      });
+
+  for (std::size_t p = 0; p < std::size(losses); ++p) {
+    TrialResult sum;
+    for (const auto& res : grid[p]) {
+      sum.avg_err += res.avg_err;
+      sum.max_err += res.max_err;
+      sum.cluster += res.cluster;
+      sum.apl += res.apl;
     }
     const auto k = static_cast<double>(args.runs);
-    std::printf("%-8.2f %12.5f %12.5f %14.3f %12.3f\n", loss, avg_err / k,
-                max_err / k, cluster / k, apl / k);
+    sink.raw(exp::strf("%-8.2f %12.5f %12.5f %14.3f %12.3f", losses[p],
+                       sum.avg_err / k, sum.max_err / k, sum.cluster / k,
+                       sum.apl / k));
+    const std::string block = exp::strf("loss=%.2f", losses[p]);
+    sink.value(block, "avg-err", sum.avg_err / k);
+    sink.value(block, "max-err", sum.max_err / k);
+    sink.value(block, "biggest-cluster", sum.cluster / k);
+    sink.value(block, "apl", sum.apl / k);
   }
   return 0;
 }

@@ -4,7 +4,7 @@
 // Compares the two policies for Croupier under churn on: estimation
 // error, mean age of view entries, and the fraction of view entries that
 // point at dead nodes (the quantity healer is designed to minimize).
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -12,14 +12,15 @@ namespace {
 
 using namespace croupier;
 
-struct Result {
+struct TrialResult {
   double avg_err = 0;
   double mean_age = 0;
   double dead_entry_share = 0;
 };
 
-Result measure(pss::MergePolicy policy, std::size_t n, std::uint64_t seed,
-               sim::Duration duration, double churn_rate) {
+TrialResult measure(pss::MergePolicy policy, std::size_t n,
+                    std::uint64_t seed, sim::Duration duration,
+                    double churn_rate) {
   auto cfg = bench::paper_croupier_config(25, 50);
   cfg.base.merge = policy;
   run::World world(bench::paper_world_config(seed),
@@ -32,7 +33,7 @@ Result measure(pss::MergePolicy policy, std::size_t n, std::uint64_t seed,
   rec.start(sim::sec(1));
   world.simulator().run_until(duration);
 
-  Result res;
+  TrialResult res;
   res.avg_err = rec.latest().sample.avg_error;
   double age_sum = 0;
   std::size_t entries = 0;
@@ -62,27 +63,39 @@ int main(int argc, char** argv) {
   const auto duration = sim::sec(args.fast ? 100 : 200);
   const double churn = 0.01;  // 1%/round
 
-  std::printf(
-      "# ablation: merge policy under %.0f%%/round churn; %zu nodes, "
-      "%zu run(s)\n",
-      churn * 100, n, args.runs);
-  std::printf("%-10s %10s %10s %14s\n", "policy", "avg-err", "mean-age",
-              "dead-entries");
+  const std::pair<const char*, pss::MergePolicy> policies[] = {
+      {"swapper", pss::MergePolicy::Swapper},
+      {"healer", pss::MergePolicy::Healer}};
 
-  for (const auto& [name, policy] :
-       {std::pair{"swapper", pss::MergePolicy::Swapper},
-        std::pair{"healer", pss::MergePolicy::Healer}}) {
-    Result sum;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      const auto res =
-          measure(policy, n, args.seed + r * 1000, duration, churn);
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "ablation: merge policy under %.0f%%/round churn; %zu nodes, "
+      "%zu run(s)",
+      churn * 100, n, args.runs));
+  sink.raw(exp::strf("%-10s %10s %10s %14s", "policy", "avg-err", "mean-age",
+                     "dead-entries"));
+
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(policies), [&](std::size_t p, std::uint64_t seed) {
+        return measure(policies[p].second, n, seed, duration, churn);
+      });
+
+  for (std::size_t p = 0; p < std::size(policies); ++p) {
+    TrialResult sum;
+    for (const auto& res : grid[p]) {
       sum.avg_err += res.avg_err;
       sum.mean_age += res.mean_age;
       sum.dead_entry_share += res.dead_entry_share;
     }
     const auto k = static_cast<double>(args.runs);
-    std::printf("%-10s %10.5f %10.2f %13.1f%%\n", name, sum.avg_err / k,
-                sum.mean_age / k, 100.0 * sum.dead_entry_share / k);
+    sink.raw(exp::strf("%-10s %10.5f %10.2f %13.1f%%", policies[p].first,
+                       sum.avg_err / k, sum.mean_age / k,
+                       100.0 * sum.dead_entry_share / k));
+    const std::string block = exp::strf("merge=%s", policies[p].first);
+    sink.value(block, "avg-err", sum.avg_err / k);
+    sink.value(block, "mean-age", sum.mean_age / k);
+    sink.value(block, "dead-entries %", 100.0 * sum.dead_entry_share / k);
   }
   return 0;
 }

@@ -6,7 +6,7 @@
 // imbalance between public and private nodes (sampling bias), and the
 // fraction of failed exchanges. Croupier at 80% private is printed as
 // the reference row.
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -14,21 +14,21 @@ namespace {
 
 using namespace croupier;
 
-struct Result {
+struct TrialResult {
   double cluster = 0;
   double indeg_pub = 0;
   double indeg_priv = 0;
   double nat_drop_share = 0;  // NAT-filtered / delivered+filtered
 };
 
-Result measure(run::ProtocolFactory factory, std::size_t publics,
-               std::size_t privates, std::uint64_t seed,
-               sim::Duration duration) {
-  run::World world(bench::paper_world_config(seed), std::move(factory));
+TrialResult measure(const run::ProtocolFactory& factory, std::size_t publics,
+                    std::size_t privates, std::uint64_t seed,
+                    sim::Duration duration) {
+  run::World world(bench::paper_world_config(seed), factory);
   bench::paper_joins(world, publics, privates);
   world.simulator().run_until(duration);
 
-  Result res;
+  TrialResult res;
   const auto graph = world.snapshot_overlay();
   res.cluster = graph.largest_component_fraction();
   const auto degrees = graph.in_degrees();
@@ -56,11 +56,6 @@ Result measure(run::ProtocolFactory factory, std::size_t publics,
   return res;
 }
 
-void print_row(const char* name, int private_pct, const Result& r) {
-  std::printf("%-10s %9d%% %10.3f %11.2f %12.2f %12.3f\n", name, private_pct,
-              r.cluster, r.indeg_pub, r.indeg_priv, r.nat_drop_share);
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -69,60 +64,66 @@ int main(int argc, char** argv) {
   const auto duration = sim::sec(args.fast ? 100 : 200);
   const int private_pcts[] = {0, 20, 40, 60, 80};
 
-  std::printf(
-      "# ablation: NAT-oblivious PSS on NATted populations; %zu nodes, "
-      "%zu run(s)\n",
-      n, args.runs);
-  std::printf("%-10s %10s %10s %11s %12s %12s\n", "system", "private",
-              "cluster", "indeg(pub)", "indeg(priv)", "nat-drops");
-
+  // The sweep is (private% x {cyclon, arrg}) plus one Croupier reference
+  // point at the hardest setting, flattened into a single trial grid.
+  struct Point {
+    const char* name;
+    int private_pct;
+    run::ProtocolFactory factory;
+    std::size_t publics;
+    std::size_t privates;
+  };
+  std::vector<Point> sweep;
   for (int pct : private_pcts) {
     const auto privates =
         static_cast<std::size_t>(n * static_cast<std::size_t>(pct) / 100);
     const std::size_t publics = n - privates;
+    sweep.push_back({"cyclon", pct,
+                     run::make_cyclon_factory(bench::paper_pss_config()),
+                     publics, privates});
+    sweep.push_back({"arrg", pct,
+                     run::make_arrg_factory(bench::paper_arrg_config()),
+                     publics, privates});
+  }
+  sweep.push_back(
+      {"croupier", 80,
+       run::make_croupier_factory(bench::paper_croupier_config(25, 50)),
+       n / 5, n - n / 5});
 
-    Result cy{};
-    Result ar{};
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      const auto a =
-          measure(run::make_cyclon_factory(bench::paper_pss_config()),
-                  publics, privates, args.seed + r * 1000, duration);
-      cy.cluster += a.cluster;
-      cy.indeg_pub += a.indeg_pub;
-      cy.indeg_priv += a.indeg_priv;
-      cy.nat_drop_share += a.nat_drop_share;
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "ablation: NAT-oblivious PSS on NATted populations; %zu nodes, "
+      "%zu run(s)",
+      n, args.runs));
+  sink.raw(exp::strf("%-10s %10s %10s %11s %12s %12s", "system", "private",
+                     "cluster", "indeg(pub)", "indeg(priv)", "nat-drops"));
 
-      const auto b =
-          measure(run::make_arrg_factory(bench::paper_arrg_config()), publics,
-                  privates, args.seed + r * 1000, duration);
-      ar.cluster += b.cluster;
-      ar.indeg_pub += b.indeg_pub;
-      ar.indeg_priv += b.indeg_priv;
-      ar.nat_drop_share += b.nat_drop_share;
+  const auto grid = bench::run_trial_grid(
+      pool, args, sweep.size(), [&](std::size_t p, std::uint64_t seed) {
+        const Point& pt = sweep[p];
+        return measure(pt.factory, pt.publics, pt.privates, seed, duration);
+      });
+
+  for (std::size_t p = 0; p < sweep.size(); ++p) {
+    const Point& pt = sweep[p];
+    TrialResult sum;
+    for (const auto& res : grid[p]) {
+      sum.cluster += res.cluster;
+      sum.indeg_pub += res.indeg_pub;
+      sum.indeg_priv += res.indeg_priv;
+      sum.nat_drop_share += res.nat_drop_share;
     }
     const auto k = static_cast<double>(args.runs);
-    print_row("cyclon", pct,
-              {cy.cluster / k, cy.indeg_pub / k, cy.indeg_priv / k,
-               cy.nat_drop_share / k});
-    print_row("arrg", pct,
-              {ar.cluster / k, ar.indeg_pub / k, ar.indeg_priv / k,
-               ar.nat_drop_share / k});
+    sink.raw(exp::strf("%-10s %9d%% %10.3f %11.2f %12.2f %12.3f", pt.name,
+                       pt.private_pct, sum.cluster / k, sum.indeg_pub / k,
+                       sum.indeg_priv / k, sum.nat_drop_share / k));
+    const std::string block =
+        exp::strf("%s private=%d%%", pt.name, pt.private_pct);
+    sink.value(block, "cluster", sum.cluster / k);
+    sink.value(block, "indeg-pub", sum.indeg_pub / k);
+    sink.value(block, "indeg-priv", sum.indeg_priv / k);
+    sink.value(block, "nat-drops", sum.nat_drop_share / k);
   }
-
-  // Reference: Croupier at the hardest setting.
-  Result cr{};
-  for (std::size_t r = 0; r < args.runs; ++r) {
-    const auto a = measure(
-        run::make_croupier_factory(bench::paper_croupier_config(25, 50)),
-        n / 5, n - n / 5, args.seed + r * 1000, duration);
-    cr.cluster += a.cluster;
-    cr.indeg_pub += a.indeg_pub;
-    cr.indeg_priv += a.indeg_priv;
-    cr.nat_drop_share += a.nat_drop_share;
-  }
-  const auto k = static_cast<double>(args.runs);
-  print_row("croupier", 80,
-            {cr.cluster / k, cr.indeg_pub / k, cr.indeg_priv / k,
-             cr.nat_drop_share / k});
   return 0;
 }

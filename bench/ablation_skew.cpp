@@ -9,7 +9,7 @@
 //     over-count publics, and Ê(ω) acquires a predictable upward bias of
 //     ω(1+b)/(ω(1+b)+(1-ω)) − ω. This quantifies how much the paper's
 //     assumption actually matters and validates the estimator's physics.
-#include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 
@@ -43,32 +43,58 @@ int main(int argc, char** argv) {
   const auto duration = sim::sec(args.fast ? 100 : 200);
   const double omega = 0.2;
 
-  std::printf(
-      "# ablation: round-time skew vs estimation bias; %zu nodes, "
-      "omega=0.2, %zu run(s)\n",
-      n, args.runs);
-  std::printf("# signed bias = mean(estimate - omega); ~0 is unbiased\n");
-  std::printf("%-26s %12s %12s\n", "scenario", "measured", "predicted");
+  // Both sweeps flattened into one trial grid: symmetric-skew points
+  // first, then the adversarial private-slowdown points.
+  struct Point {
+    double skew;
+    double slowdown;
+  };
+  std::vector<Point> sweep;
+  const double skews[] = {0.0, 0.01, 0.05, 0.10, 0.20};
+  const double slowdowns[] = {0.05, 0.10, 0.20, 0.50};
+  for (double skew : skews) sweep.push_back({skew, 0.0});
+  for (double slow : slowdowns) sweep.push_back({0.01, slow});
 
-  for (double skew : {0.0, 0.01, 0.05, 0.10, 0.20}) {
-    double bias = 0;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      bias += measure_bias(skew, 0.0, n, args.seed + r * 1000, duration);
-    }
-    std::printf("symmetric skew %4.0f%%      %+12.5f %+12.5f\n", skew * 100,
-                bias / static_cast<double>(args.runs), 0.0);
-  }
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "ablation: round-time skew vs estimation bias; %zu nodes, "
+      "omega=0.2, %zu run(s)",
+      n, args.runs));
+  sink.comment("signed bias = mean(estimate - omega); ~0 is unbiased");
+  sink.raw(exp::strf("%-26s %12s %12s", "scenario", "measured", "predicted"));
 
-  for (double slow : {0.05, 0.10, 0.20, 0.50}) {
+  const auto grid = bench::run_trial_grid(
+      pool, args, sweep.size(), [&](std::size_t p, std::uint64_t seed) {
+        return measure_bias(sweep[p].skew, sweep[p].slowdown, n, seed,
+                            duration);
+      });
+
+  for (std::size_t p = 0; p < sweep.size(); ++p) {
+    const Point& pt = sweep[p];
     double bias = 0;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      bias += measure_bias(0.01, slow, n, args.seed + r * 1000, duration);
+    for (double b : grid[p]) bias += b;
+    bias /= static_cast<double>(args.runs);
+
+    if (pt.slowdown == 0.0) {
+      sink.raw(exp::strf("symmetric skew %4.0f%%      %+12.5f %+12.5f",
+                         pt.skew * 100, bias, 0.0));
+      const std::string block = exp::strf("symmetric-skew=%.0f%%",
+                                          pt.skew * 100);
+      sink.value(block, "measured", bias);
+      sink.value(block, "predicted", 0.0);
+    } else {
+      const double predicted =
+          omega * (1.0 + pt.slowdown) /
+              (omega * (1.0 + pt.slowdown) + (1.0 - omega)) -
+          omega;
+      sink.raw(exp::strf("privates %3.0f%% slower      %+12.5f %+12.5f",
+                         pt.slowdown * 100, bias, predicted));
+      const std::string block = exp::strf("private-slowdown=%.0f%%",
+                                          pt.slowdown * 100);
+      sink.value(block, "measured", bias);
+      sink.value(block, "predicted", predicted);
     }
-    const double predicted =
-        omega * (1.0 + slow) / (omega * (1.0 + slow) + (1.0 - omega)) -
-        omega;
-    std::printf("privates %3.0f%% slower      %+12.5f %+12.5f\n", slow * 100,
-                bias / static_cast<double>(args.runs), predicted);
   }
   return 0;
 }

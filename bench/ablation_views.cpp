@@ -7,8 +7,7 @@
 // in-degree balance (public vs private nodes), and overlay connectivity.
 // The estimator must be insensitive to the policy; degree balance is
 // where the policies differ.
-#include <cmath>
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -16,15 +15,15 @@ namespace {
 
 using namespace croupier;
 
-struct Result {
+struct TrialResult {
   double steady_avg_err = 0;
   double mean_indeg_public = 0;
   double mean_indeg_private = 0;
   double apl = 0;
 };
 
-Result measure(const core::CroupierConfig& cfg, std::size_t n,
-               std::uint64_t seed, sim::Duration duration) {
+TrialResult measure(const core::CroupierConfig& cfg, std::size_t n,
+                    std::uint64_t seed, sim::Duration duration) {
   run::World world(bench::paper_world_config(seed),
                    run::make_croupier_factory(cfg));
   bench::paper_joins(world, n / 5, n - n / 5);
@@ -32,7 +31,7 @@ Result measure(const core::CroupierConfig& cfg, std::size_t n,
   rec.start(sim::sec(1));
   world.simulator().run_until(duration);
 
-  Result res;
+  TrialResult res;
   res.steady_avg_err = rec.latest().sample.avg_error;
 
   const auto graph = world.snapshot_overlay();
@@ -55,7 +54,7 @@ Result measure(const core::CroupierConfig& cfg, std::size_t n,
   res.mean_indeg_public = pubs > 0 ? pub_sum / static_cast<double>(pubs) : 0;
   res.mean_indeg_private =
       privs > 0 ? priv_sum / static_cast<double>(privs) : 0;
-  sim::RngStream rng(seed);
+  sim::RngStream rng = sim::RngStream(seed).fork(0x0A91);
   res.apl = graph.avg_path_length(rng, 128);
   return res;
 }
@@ -78,27 +77,39 @@ int main(int argc, char** argv) {
       {"proportional-20", core::ViewSizing::RatioProportional, 20},
   };
 
-  std::printf("# ablation: Croupier view-sizing policy; %zu nodes, %zu run(s)\n",
-              n, args.runs);
-  std::printf("%-16s %10s %12s %13s %8s\n", "policy", "avg-err",
-              "indeg(pub)", "indeg(priv)", "apl");
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "ablation: Croupier view-sizing policy; %zu nodes, %zu run(s)", n,
+      args.runs));
+  sink.raw(exp::strf("%-16s %10s %12s %13s %8s", "policy", "avg-err",
+                     "indeg(pub)", "indeg(priv)", "apl"));
 
-  for (const auto& v : variants) {
-    auto cfg = bench::paper_croupier_config(25, 50);
-    cfg.sizing = v.sizing;
-    cfg.base.view_size = v.view_size;
-    Result sum;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      const auto res = measure(cfg, n, args.seed + r * 1000, duration);
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(variants), [&](std::size_t p, std::uint64_t seed) {
+        auto cfg = bench::paper_croupier_config(25, 50);
+        cfg.sizing = variants[p].sizing;
+        cfg.base.view_size = variants[p].view_size;
+        return measure(cfg, n, seed, duration);
+      });
+
+  for (std::size_t p = 0; p < std::size(variants); ++p) {
+    TrialResult sum;
+    for (const auto& res : grid[p]) {
       sum.steady_avg_err += res.steady_avg_err;
       sum.mean_indeg_public += res.mean_indeg_public;
       sum.mean_indeg_private += res.mean_indeg_private;
       sum.apl += res.apl;
     }
     const auto k = static_cast<double>(args.runs);
-    std::printf("%-16s %10.5f %12.2f %13.2f %8.3f\n", v.name,
-                sum.steady_avg_err / k, sum.mean_indeg_public / k,
-                sum.mean_indeg_private / k, sum.apl / k);
+    sink.raw(exp::strf("%-16s %10.5f %12.2f %13.2f %8.3f", variants[p].name,
+                       sum.steady_avg_err / k, sum.mean_indeg_public / k,
+                       sum.mean_indeg_private / k, sum.apl / k));
+    const std::string block = exp::strf("sizing=%s", variants[p].name);
+    sink.value(block, "avg-err", sum.steady_avg_err / k);
+    sink.value(block, "indeg-pub", sum.mean_indeg_public / k);
+    sink.value(block, "indeg-priv", sum.mean_indeg_private / k);
+    sink.value(block, "apl", sum.apl / k);
   }
   return 0;
 }

@@ -1,5 +1,6 @@
 // Shared plumbing for the figure-regeneration benches: flag parsing,
-// paper-default protocol configurations, and series/table printing.
+// paper-default protocol configurations, parallel trial fan-out, and
+// series/table printing.
 //
 // Every bench binary regenerates one figure of the paper and prints the
 // same rows/series the figure plots. Flags:
@@ -7,7 +8,15 @@
 //              keep the full-suite wall clock modest; the paper averaged
 //              5 — pass --runs=5 for publication-grade smoothing)
 //   --seed=S   base seed (default 1)
+//   --jobs=N   worker threads for trial execution (default: hardware
+//              concurrency). Output is byte-identical for every N.
+//   --csv=PATH mirror every emitted data point into a CSV file
 //   --fast     shrink scale for smoke-testing (CI-friendly)
+//
+// All trials (runs x parameter points) run through exp::TrialPool; the
+// per-trial seed is derived with exp::trial_seed, never by ad-hoc
+// seed arithmetic, so growing --runs or reordering sweep points cannot
+// make trials share a seed lineage.
 #pragma once
 
 #include <cctype>
@@ -17,7 +26,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <iterator>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/arrg.hpp"
@@ -25,6 +36,9 @@
 #include "baselines/gozar.hpp"
 #include "baselines/nylon.hpp"
 #include "core/croupier.hpp"
+#include "exp/seeds.hpp"
+#include "exp/sink.hpp"
+#include "exp/trial_pool.hpp"
 #include "runtime/factories.hpp"
 #include "runtime/recorder.hpp"
 #include "runtime/scenario.hpp"
@@ -35,6 +49,8 @@ namespace croupier::bench {
 struct BenchArgs {
   std::size_t runs = 2;
   std::uint64_t seed = 1;
+  std::size_t jobs = 0;  // 0 = hardware concurrency
+  std::string csv;       // empty = no CSV mirror
   bool fast = false;
 
   /// Parses a full decimal number; on malformed or empty input warns on
@@ -66,16 +82,55 @@ struct BenchArgs {
         args.runs = static_cast<std::size_t>(v);
       } else if (a.rfind("--seed=", 0) == 0) {
         parse_u64("--seed", a.substr(7), args.seed);
+      } else if (a.rfind("--jobs=", 0) == 0) {
+        std::uint64_t v = args.jobs;
+        parse_u64("--jobs", a.substr(7), v);
+        args.jobs = static_cast<std::size_t>(v);
+      } else if (a.rfind("--csv=", 0) == 0) {
+        args.csv = a.substr(6);
       } else if (a == "--fast") {
         args.fast = true;
       } else if (a == "--help") {
-        std::printf("flags: --runs=N --seed=S --fast\n");
+        std::printf("flags: --runs=N --seed=S --jobs=N --csv=PATH --fast\n");
         std::exit(0);  // usage requested — don't launch the full run
       }
+    }
+    if (args.runs == 0) {
+      // --runs=0 would feed empty run sets into every aggregate
+      // (division by zero in the averages); the least surprising repair
+      // is the smallest valid trial count.
+      std::fprintf(stderr, "warning: --runs=0 is invalid; clamping to 1\n");
+      args.runs = 1;
     }
     return args;
   }
 };
+
+/// Fans the full runs x points trial grid of an experiment out on the
+/// pool and returns `results[point][run]`, always in grid order
+/// regardless of execution order or thread count. `fn(point, seed)` runs
+/// one trial; it executes concurrently on pool workers, so it must only
+/// read its captures and build its own World.
+template <typename Fn>
+auto run_trial_grid(exp::TrialPool& pool, const BenchArgs& args,
+                    std::size_t points, Fn&& fn)
+    -> std::vector<
+        std::vector<std::decay_t<decltype(fn(std::size_t{}, std::uint64_t{}))>>> {
+  using R = std::decay_t<decltype(fn(std::size_t{}, std::uint64_t{}))>;
+  auto flat = pool.map(points * args.runs, [&fn, &args](std::size_t i) {
+    const std::size_t p = i / args.runs;
+    const std::size_t r = i % args.runs;
+    return fn(p, exp::trial_seed(args.seed, p, r));
+  });
+  std::vector<std::vector<R>> out(points);
+  for (std::size_t p = 0; p < points; ++p) {
+    out[p].assign(std::make_move_iterator(flat.begin() +
+                                          static_cast<std::ptrdiff_t>(p * args.runs)),
+                  std::make_move_iterator(flat.begin() +
+                                          static_cast<std::ptrdiff_t>((p + 1) * args.runs)));
+  }
+  return out;
+}
 
 /// Paper §VII-A defaults: view 10, shuffle subset 5, 1 s rounds.
 inline pss::PssConfig paper_pss_config() {
@@ -122,16 +177,6 @@ inline run::World::Config paper_world_config(std::uint64_t seed) {
   return cfg;
 }
 
-/// gnuplot-ready series block: "# <title>" then "x y" rows.
-inline void print_series(const char* title,
-                         const std::vector<std::pair<double, double>>& xy) {
-  std::printf("# %s\n", title);
-  for (const auto& [x, y] : xy) {
-    std::printf("%.3f %.6f\n", x, y);
-  }
-  std::printf("\n");
-}
-
 /// One run of a Croupier estimation experiment (figures 1-5 all share
 /// this skeleton): build a world, apply a scenario, record the error
 /// series once per second.
@@ -145,6 +190,17 @@ struct EstimationSeries {
 /// Scenario hook: configure joins/churn/ratio changes on the fresh world.
 using ScenarioFn = std::function<void(run::World&)>;
 
+inline EstimationSeries to_series(const run::EstimationRecorder& recorder) {
+  EstimationSeries out;
+  for (const auto& p : recorder.series()) {
+    out.t.push_back(p.t_seconds);
+    out.avg_err.push_back(p.sample.avg_error);
+    out.max_err.push_back(p.sample.max_error);
+    out.truth.push_back(p.sample.truth);
+  }
+  return out;
+}
+
 inline EstimationSeries run_estimation_experiment(
     const core::CroupierConfig& cfg, std::uint64_t seed,
     sim::Duration duration, const ScenarioFn& scenario) {
@@ -154,15 +210,7 @@ inline EstimationSeries run_estimation_experiment(
   run::EstimationRecorder recorder(world, {sim::sec(1), 2});
   recorder.start(sim::sec(1));
   world.simulator().run_until(duration);
-
-  EstimationSeries out;
-  for (const auto& p : recorder.series()) {
-    out.t.push_back(p.t_seconds);
-    out.avg_err.push_back(p.sample.avg_error);
-    out.max_err.push_back(p.sample.max_error);
-    out.truth.push_back(p.sample.truth);
-  }
-  return out;
+  return to_series(recorder);
 }
 
 /// Pointwise average of several runs of the same experiment (series are

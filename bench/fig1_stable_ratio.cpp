@@ -7,7 +7,7 @@
 //
 // Expected shape: larger windows converge more slowly but to lower
 // steady-state error, on both the average (a) and maximum (b) metrics.
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -24,35 +24,40 @@ int main(int argc, char** argv) {
   const std::pair<std::size_t, std::size_t> windows[] = {
       {10, 25}, {25, 50}, {100, 250}};
 
-  std::printf(
-      "# fig1: stable-ratio estimation error; %zu public + %zu private "
-      "nodes (omega=0.2), %zu run(s)\n\n",
-      publics, privates, args.runs);
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig1: stable-ratio estimation error; %zu public + %zu private "
+      "nodes (omega=0.2), %zu run(s)",
+      publics, privates, args.runs));
+  sink.blank();
 
-  for (const auto& [alpha, gamma] : windows) {
-    const auto cfg = bench::paper_croupier_config(alpha, gamma);
-    std::vector<bench::EstimationSeries> runs;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      runs.push_back(bench::run_estimation_experiment(
-          cfg, args.seed + r * 1000, duration, [&](run::World& w) {
-            bench::paper_joins(w, publics, privates);
-          }));
-    }
-    const auto avg = bench::average_runs(runs);
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(windows), [&](std::size_t p, std::uint64_t seed) {
+        const auto& [alpha, gamma] = windows[p];
+        return bench::run_estimation_experiment(
+            bench::paper_croupier_config(alpha, gamma), seed, duration,
+            [&](run::World& w) { bench::paper_joins(w, publics, privates); });
+      });
 
-    std::printf("# fig1a avg-error alpha=%zu gamma=%zu\n", alpha, gamma);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.avg_err[i]);
-    }
-    std::printf("\n# fig1b max-error alpha=%zu gamma=%zu\n", alpha, gamma);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.max_err[i]);
-    }
-    std::printf(
-        "\n# summary alpha=%zu gamma=%zu: steady avg-err=%.5f "
-        "steady max-err=%.5f\n\n",
-        alpha, gamma, bench::steady_state(avg.avg_err),
-        bench::steady_state(avg.max_err));
+  for (std::size_t p = 0; p < std::size(windows); ++p) {
+    const auto& [alpha, gamma] = windows[p];
+    const auto avg = bench::average_runs(grid[p]);
+
+    sink.series(exp::strf("fig1a avg-error alpha=%zu gamma=%zu", alpha, gamma),
+                avg.t, avg.avg_err);
+    sink.series(exp::strf("fig1b max-error alpha=%zu gamma=%zu", alpha, gamma),
+                avg.t, avg.max_err);
+
+    const std::string block =
+        exp::strf("summary alpha=%zu gamma=%zu", alpha, gamma);
+    const double steady_avg = bench::steady_state(avg.avg_err);
+    const double steady_max = bench::steady_state(avg.max_err);
+    sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
+                           block.c_str(), steady_avg, steady_max));
+    sink.blank();
+    sink.value(block, "steady avg-err", steady_avg);
+    sink.value(block, "steady max-err", steady_max);
   }
   return 0;
 }

@@ -9,7 +9,7 @@
 //
 // Expected shape: small windows re-converge to the new ratio first;
 // large windows lag but win on final accuracy once the ratio stabilizes.
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -25,43 +25,41 @@ int main(int argc, char** argv) {
   const std::pair<std::size_t, std::size_t> windows[] = {
       {10, 25}, {25, 50}, {100, 250}};
 
-  std::printf(
-      "# fig2: dynamic-ratio estimation error; %zu+%zu nodes, +%zu publics "
-      "from t=58s at 42ms, %zu run(s)\n\n",
-      publics, privates, extra_publics, args.runs);
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig2: dynamic-ratio estimation error; %zu+%zu nodes, +%zu publics "
+      "from t=58s at 42ms, %zu run(s)",
+      publics, privates, extra_publics, args.runs));
+  sink.blank();
+
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(windows), [&](std::size_t p, std::uint64_t seed) {
+        const auto& [alpha, gamma] = windows[p];
+        return bench::run_estimation_experiment(
+            bench::paper_croupier_config(alpha, gamma), seed, duration,
+            [&](run::World& w) {
+              bench::paper_joins(w, publics, privates);
+              run::schedule_fixed_joins(w, extra_publics,
+                                        net::NatConfig::open(), sim::msec(42),
+                                        step_at);
+            });
+      });
 
   bool truth_printed = false;
-  for (const auto& [alpha, gamma] : windows) {
-    const auto cfg = bench::paper_croupier_config(alpha, gamma);
-    std::vector<bench::EstimationSeries> runs;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      runs.push_back(bench::run_estimation_experiment(
-          cfg, args.seed + r * 1000, duration, [&](run::World& w) {
-            bench::paper_joins(w, publics, privates);
-            run::schedule_fixed_joins(w, extra_publics,
-                                      net::NatConfig::open(), sim::msec(42),
-                                      step_at);
-          }));
-    }
-    const auto avg = bench::average_runs(runs);
+  for (std::size_t p = 0; p < std::size(windows); ++p) {
+    const auto& [alpha, gamma] = windows[p];
+    const auto avg = bench::average_runs(grid[p]);
 
     if (!truth_printed) {
       truth_printed = true;
-      std::printf("# fig2 true-ratio\n");
-      for (std::size_t i = 0; i < avg.t.size(); ++i) {
-        std::printf("%.0f %.6f\n", avg.t[i], avg.truth[i]);
-      }
-      std::printf("\n");
+      sink.series("fig2 true-ratio", avg.t, avg.truth);
     }
 
-    std::printf("# fig2a avg-error alpha=%zu gamma=%zu\n", alpha, gamma);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.avg_err[i]);
-    }
-    std::printf("\n# fig2b max-error alpha=%zu gamma=%zu\n", alpha, gamma);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.max_err[i]);
-    }
+    sink.series(exp::strf("fig2a avg-error alpha=%zu gamma=%zu", alpha, gamma),
+                avg.t, avg.avg_err);
+    sink.series(exp::strf("fig2b max-error alpha=%zu gamma=%zu", alpha, gamma),
+                avg.t, avg.max_err);
 
     // Re-convergence diagnostic: first time after the step that the
     // average error returns below 1%.
@@ -73,10 +71,14 @@ int main(int argc, char** argv) {
         break;
       }
     }
-    std::printf(
-        "\n# summary alpha=%zu gamma=%zu: steady avg-err=%.5f "
-        "reconverged(<1%%)@t=%.0fs\n\n",
-        alpha, gamma, bench::steady_state(avg.avg_err), reconverged);
+    const std::string block =
+        exp::strf("summary alpha=%zu gamma=%zu", alpha, gamma);
+    const double steady_avg = bench::steady_state(avg.avg_err);
+    sink.comment(exp::strf("%s: steady avg-err=%.5f reconverged(<1%%)@t=%.0fs",
+                           block.c_str(), steady_avg, reconverged));
+    sink.blank();
+    sink.value(block, "steady avg-err", steady_avg);
+    sink.value(block, "reconverged-at-s", reconverged);
   }
   return 0;
 }

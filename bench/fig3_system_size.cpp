@@ -4,7 +4,7 @@
 // Expected shape: error shrinks with system size; large improvements up
 // to a few hundred nodes, marginal beyond 1000 (paper: ~5% avg error at
 // 50 nodes, ~2.5% at 100, ~0.2-0.4% at 1000-5000).
-#include <cstdio>
+#include <span>
 
 #include "bench_common.hpp"
 
@@ -18,34 +18,40 @@ int main(int argc, char** argv) {
                                : std::span<const std::size_t>(sizes_full);
 
   const auto cfg = bench::paper_croupier_config(25, 50);
-  std::printf(
-      "# fig3: estimation error vs system size (omega=0.2, alpha=25, "
-      "gamma=50), %zu run(s)\n\n",
-      args.runs);
 
-  for (std::size_t n : sizes) {
-    const std::size_t publics = n / 5;
-    const std::size_t privates = n - publics;
-    std::vector<bench::EstimationSeries> runs;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      runs.push_back(bench::run_estimation_experiment(
-          cfg, args.seed + r * 1000, duration, [&](run::World& w) {
-            bench::paper_joins(w, publics, privates);
-          }));
-    }
-    const auto avg = bench::average_runs(runs);
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig3: estimation error vs system size (omega=0.2, alpha=25, "
+      "gamma=50), %zu run(s)",
+      args.runs));
+  sink.blank();
 
-    std::printf("# fig3a avg-error n=%zu\n", n);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.avg_err[i]);
-    }
-    std::printf("\n# fig3b max-error n=%zu\n", n);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.max_err[i]);
-    }
-    std::printf("\n# summary n=%zu: steady avg-err=%.5f steady max-err=%.5f\n\n",
-                n, bench::steady_state(avg.avg_err),
-                bench::steady_state(avg.max_err));
+  const auto grid = bench::run_trial_grid(
+      pool, args, sizes.size(), [&](std::size_t p, std::uint64_t seed) {
+        const std::size_t n = sizes[p];
+        const std::size_t publics = n / 5;
+        return bench::run_estimation_experiment(
+            cfg, seed, duration, [&](run::World& w) {
+              bench::paper_joins(w, publics, n - publics);
+            });
+      });
+
+  for (std::size_t p = 0; p < sizes.size(); ++p) {
+    const std::size_t n = sizes[p];
+    const auto avg = bench::average_runs(grid[p]);
+
+    sink.series(exp::strf("fig3a avg-error n=%zu", n), avg.t, avg.avg_err);
+    sink.series(exp::strf("fig3b max-error n=%zu", n), avg.t, avg.max_err);
+
+    const std::string block = exp::strf("summary n=%zu", n);
+    const double steady_avg = bench::steady_state(avg.avg_err);
+    const double steady_max = bench::steady_state(avg.max_err);
+    sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
+                           block.c_str(), steady_avg, steady_max));
+    sink.blank();
+    sink.value(block, "steady avg-err", steady_avg);
+    sink.value(block, "steady max-err", steady_max);
   }
   return 0;
 }

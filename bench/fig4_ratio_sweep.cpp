@@ -7,7 +7,7 @@
 // Expected shape: the average error is insensitive to ω; at ω = 0.05 the
 // maximum error is markedly worse (an outlier private node receives too
 // few distinct estimates).
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -19,36 +19,42 @@ int main(int argc, char** argv) {
   const double ratios[] = {0.05, 0.1, 0.2, 0.33, 0.5, 0.8};
 
   const auto cfg = bench::paper_croupier_config(25, 50);
-  std::printf(
-      "# fig4: estimation error vs public/private ratio (%zu nodes), "
-      "%zu run(s)\n\n",
-      n, args.runs);
 
-  for (double ratio : ratios) {
-    const auto publics =
-        static_cast<std::size_t>(ratio * static_cast<double>(n) + 0.5);
-    const std::size_t privates = n - publics;
-    std::vector<bench::EstimationSeries> runs;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      runs.push_back(bench::run_estimation_experiment(
-          cfg, args.seed + r * 1000, duration, [&](run::World& w) {
-            bench::paper_joins(w, publics, privates);
-          }));
-    }
-    const auto avg = bench::average_runs(runs);
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig4: estimation error vs public/private ratio (%zu nodes), "
+      "%zu run(s)",
+      n, args.runs));
+  sink.blank();
 
-    std::printf("# fig4a avg-error ratio=%.2f\n", ratio);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.avg_err[i]);
-    }
-    std::printf("\n# fig4b max-error ratio=%.2f\n", ratio);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.max_err[i]);
-    }
-    std::printf(
-        "\n# summary ratio=%.2f: steady avg-err=%.5f steady max-err=%.5f\n\n",
-        ratio, bench::steady_state(avg.avg_err),
-        bench::steady_state(avg.max_err));
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(ratios), [&](std::size_t p, std::uint64_t seed) {
+        const auto publics = static_cast<std::size_t>(
+            ratios[p] * static_cast<double>(n) + 0.5);
+        return bench::run_estimation_experiment(
+            cfg, seed, duration, [&](run::World& w) {
+              bench::paper_joins(w, publics, n - publics);
+            });
+      });
+
+  for (std::size_t p = 0; p < std::size(ratios); ++p) {
+    const double ratio = ratios[p];
+    const auto avg = bench::average_runs(grid[p]);
+
+    sink.series(exp::strf("fig4a avg-error ratio=%.2f", ratio), avg.t,
+                avg.avg_err);
+    sink.series(exp::strf("fig4b max-error ratio=%.2f", ratio), avg.t,
+                avg.max_err);
+
+    const std::string block = exp::strf("summary ratio=%.2f", ratio);
+    const double steady_avg = bench::steady_state(avg.avg_err);
+    const double steady_max = bench::steady_state(avg.max_err);
+    sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
+                           block.c_str(), steady_avg, steady_max));
+    sink.blank();
+    sink.value(block, "steady avg-err", steady_avg);
+    sink.value(block, "steady max-err", steady_max);
   }
   return 0;
 }

@@ -7,7 +7,7 @@
 // measured P2P session times; 5% is 50x harsher.
 //
 // Expected shape: churn up to 5 %/round has no significant effect.
-#include <cstdio>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -19,40 +19,50 @@ int main(int argc, char** argv) {
   const double churn_rates[] = {0.001, 0.01, 0.025, 0.05};
 
   const auto cfg = bench::paper_croupier_config(25, 50);
-  std::printf(
-      "# fig5: estimation error under churn (%zu nodes, omega=0.2, churn "
-      "from t=61s), %zu run(s)\n\n",
-      n, args.runs);
 
-  for (double rate : churn_rates) {
-    std::vector<bench::EstimationSeries> runs;
-    // Keep the churn processes alive for the duration of each run.
-    std::vector<std::unique_ptr<run::ChurnProcess>> churns;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      runs.push_back(bench::run_estimation_experiment(
-          cfg, args.seed + r * 1000, duration, [&](run::World& w) {
-            bench::paper_joins(w, n / 5, n - n / 5);
-            churns.push_back(std::make_unique<run::ChurnProcess>(
-                w, rate, net::NatConfig::open(), net::NatConfig::natted()));
-            churns.back()->start(sim::sec(61));
-          }));
-      churns.clear();  // world is gone after the run; drop the process
-    }
-    const auto avg = bench::average_runs(runs);
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig5: estimation error under churn (%zu nodes, omega=0.2, churn "
+      "from t=61s), %zu run(s)",
+      n, args.runs));
+  sink.blank();
 
-    std::printf("# fig5a avg-error churn=%.1f%%\n", rate * 100);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.avg_err[i]);
-    }
-    std::printf("\n# fig5b max-error churn=%.1f%%\n", rate * 100);
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      std::printf("%.0f %.6f\n", avg.t[i], avg.max_err[i]);
-    }
-    std::printf(
-        "\n# summary churn=%.1f%%: steady avg-err=%.5f steady "
-        "max-err=%.5f\n\n",
-        rate * 100, bench::steady_state(avg.avg_err),
-        bench::steady_state(avg.max_err));
+  const auto grid = bench::run_trial_grid(
+      pool, args, std::size(churn_rates),
+      [&](std::size_t p, std::uint64_t seed) {
+        // The churn process must stay alive while the world runs, so
+        // this trial owns it directly instead of going through
+        // run_estimation_experiment's scenario hook.
+        run::World world(bench::paper_world_config(seed),
+                         run::make_croupier_factory(cfg));
+        bench::paper_joins(world, n / 5, n - n / 5);
+        run::ChurnProcess churn(world, churn_rates[p], net::NatConfig::open(),
+                                net::NatConfig::natted());
+        churn.start(sim::sec(61));
+        run::EstimationRecorder recorder(world, {sim::sec(1), 2});
+        recorder.start(sim::sec(1));
+        world.simulator().run_until(duration);
+        return bench::to_series(recorder);
+      });
+
+  for (std::size_t p = 0; p < std::size(churn_rates); ++p) {
+    const double rate = churn_rates[p];
+    const auto avg = bench::average_runs(grid[p]);
+
+    sink.series(exp::strf("fig5a avg-error churn=%.1f%%", rate * 100), avg.t,
+                avg.avg_err);
+    sink.series(exp::strf("fig5b max-error churn=%.1f%%", rate * 100), avg.t,
+                avg.max_err);
+
+    const std::string block = exp::strf("summary churn=%.1f%%", rate * 100);
+    const double steady_avg = bench::steady_state(avg.avg_err);
+    const double steady_max = bench::steady_state(avg.max_err);
+    sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
+                           block.c_str(), steady_avg, steady_max));
+    sink.blank();
+    sink.value(block, "steady avg-err", steady_avg);
+    sink.value(block, "steady max-err", steady_max);
   }
   return 0;
 }

@@ -14,7 +14,6 @@
 // Croupier's clustering coefficient slightly *lower* than the rest (two
 // private nodes never exchange views directly); Gozar's path length
 // starts high while private nodes find relay parents.
-#include <cstdio>
 #include <map>
 
 #include "bench_common.hpp"
@@ -23,29 +22,23 @@ namespace {
 
 using namespace croupier;
 
-struct SystemResult {
-  std::map<std::size_t, double> indegree_hist;  // averaged over runs
-  std::vector<run::GraphStatsPoint> series;     // from the last run
+struct TrialResult {
+  std::map<std::size_t, std::size_t> indegree_hist;
+  std::vector<run::GraphStatsPoint> series;
 };
 
-SystemResult measure(run::ProtocolFactory factory, std::size_t publics,
-                     std::size_t privates, std::uint64_t seed,
-                     std::size_t runs, sim::Duration duration) {
-  SystemResult result;
-  for (std::size_t r = 0; r < runs; ++r) {
-    run::World world(bench::paper_world_config(seed + r * 1000), factory);
-    bench::paper_joins(world, publics, privates);
-    run::GraphStatsRecorder recorder(world, {sim::sec(10), 128});
-    recorder.start(sim::sec(10));
-    world.simulator().run_until(duration);
+TrialResult measure(const run::ProtocolFactory& factory, std::size_t publics,
+                    std::size_t privates, std::uint64_t seed,
+                    sim::Duration duration) {
+  run::World world(bench::paper_world_config(seed), factory);
+  bench::paper_joins(world, publics, privates);
+  run::GraphStatsRecorder recorder(world, {sim::sec(10), 128});
+  recorder.start(sim::sec(10));
+  world.simulator().run_until(duration);
 
-    const auto graph = world.snapshot_overlay();
-    for (const auto& [deg, count] : graph.in_degree_histogram()) {
-      result.indegree_hist[deg] +=
-          static_cast<double>(count) / static_cast<double>(runs);
-    }
-    if (r == runs - 1) result.series = recorder.series();
-  }
+  TrialResult result;
+  result.indegree_hist = world.snapshot_overlay().in_degree_histogram();
+  result.series = recorder.series();
   return result;
 }
 
@@ -74,36 +67,69 @@ int main(int argc, char** argv) {
   rows.push_back(
       {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
 
-  std::printf(
-      "# fig6: randomness properties; %zu nodes, 20%%%% public, view 10, "
-      "%zu run(s)\n\n",
-      n, args.runs);
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig6: randomness properties; %zu nodes, 20%% public, view 10, "
+      "%zu run(s)",
+      n, args.runs));
+  sink.blank();
 
-  for (auto& row : rows) {
-    const auto res =
-        measure(row.factory, row.all_public ? n : publics,
-                row.all_public ? 0 : n - publics, args.seed, args.runs,
-                duration);
+  const auto grid = bench::run_trial_grid(
+      pool, args, rows.size(), [&](std::size_t p, std::uint64_t seed) {
+        const Row& row = rows[p];
+        return measure(row.factory, row.all_public ? n : publics,
+                       row.all_public ? 0 : n - publics, seed, duration);
+      });
 
-    std::printf("# fig6a indegree-histogram %s (after %.0fs)\n", row.name,
-                sim::to_seconds(duration));
-    for (const auto& [deg, count] : res.indegree_hist) {
-      std::printf("%zu %.1f\n", deg, count);
+  for (std::size_t p = 0; p < rows.size(); ++p) {
+    const Row& row = rows[p];
+    // Histogram averaged over runs; the time series from the last run
+    // (one representative trajectory, as the paper plots).
+    std::map<std::size_t, double> hist;
+    for (const auto& trial : grid[p]) {
+      for (const auto& [deg, count] : trial.indegree_hist) {
+        hist[deg] +=
+            static_cast<double>(count) / static_cast<double>(args.runs);
+      }
     }
-    std::printf("\n# fig6b avg-path-length %s\n", row.name);
-    for (const auto& p : res.series) {
-      std::printf("%.0f %.4f\n", p.t_seconds, p.avg_path_length);
+    const auto& series = grid[p].back().series;
+
+    const std::string hist_name = exp::strf(
+        "fig6a indegree-histogram %s (after %.0fs)", row.name,
+        sim::to_seconds(duration));
+    std::vector<double> degs;
+    std::vector<double> counts;
+    for (const auto& [deg, count] : hist) {
+      degs.push_back(static_cast<double>(deg));
+      counts.push_back(count);
     }
-    std::printf("\n# fig6c clustering-coefficient %s\n", row.name);
-    for (const auto& p : res.series) {
-      std::printf("%.0f %.5f\n", p.t_seconds, p.clustering_coefficient);
+    sink.series(hist_name, degs, counts, "%.0f", "%.1f");
+
+    std::vector<double> t;
+    std::vector<double> apl;
+    std::vector<double> cc;
+    for (const auto& pt : series) {
+      t.push_back(pt.t_seconds);
+      apl.push_back(pt.avg_path_length);
+      cc.push_back(pt.clustering_coefficient);
     }
-    const auto& last = res.series.empty() ? run::GraphStatsPoint{}
-                                          : res.series.back();
-    std::printf(
-        "\n# summary %s: final apl=%.3f final cc=%.4f unreachable=%.4f\n\n",
-        row.name, last.avg_path_length, last.clustering_coefficient,
-        last.unreachable_fraction);
+    sink.series(exp::strf("fig6b avg-path-length %s", row.name), t, apl,
+                "%.0f", "%.4f");
+    sink.series(exp::strf("fig6c clustering-coefficient %s", row.name), t, cc,
+                "%.0f", "%.5f");
+
+    const auto& last =
+        series.empty() ? run::GraphStatsPoint{} : series.back();
+    const std::string block = exp::strf("summary %s", row.name);
+    sink.comment(exp::strf(
+        "%s: final apl=%.3f final cc=%.4f unreachable=%.4f", block.c_str(),
+        last.avg_path_length, last.clustering_coefficient,
+        last.unreachable_fraction));
+    sink.blank();
+    sink.value(block, "final apl", last.avg_path_length);
+    sink.value(block, "final cc", last.clustering_coefficient);
+    sink.value(block, "unreachable", last.unreachable_fraction);
   }
   return 0;
 }

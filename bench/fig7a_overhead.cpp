@@ -8,8 +8,6 @@
 // window after warm-up. Expected shape: Croupier cheapest in both
 // classes; private nodes in Croupier pay less than half of Gozar's and
 // less than a quarter of Nylon's load.
-#include <cstdio>
-
 #include "bench_common.hpp"
 #include "metrics/overhead.hpp"
 
@@ -23,10 +21,10 @@ struct Load {
   double priv = 0;
 };
 
-Load measure(run::ProtocolFactory factory, std::size_t publics,
+Load measure(const run::ProtocolFactory& factory, std::size_t publics,
              std::size_t privates, std::uint64_t seed,
              sim::Duration warmup, sim::Duration window) {
-  run::World world(bench::paper_world_config(seed), std::move(factory));
+  run::World world(bench::paper_world_config(seed), factory);
   run::schedule_poisson_joins(world, publics, net::NatConfig::open(),
                               sim::msec(10));
   run::schedule_poisson_joins(world, privates, net::NatConfig::natted(),
@@ -64,26 +62,35 @@ int main(int argc, char** argv) {
   rows.push_back(
       {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
 
-  std::printf(
-      "# fig7a: protocol overhead, avg load per node (B/s), %zu nodes, "
-      "20%%%% public, %zu run(s)\n",
-      n, args.runs);
-  std::printf("%-10s %14s %15s\n", "protocol", "public(B/s)", "private(B/s)");
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig7a: protocol overhead, avg load per node (B/s), %zu nodes, "
+      "20%% public, %zu run(s)",
+      n, args.runs));
+  sink.raw(exp::strf("%-10s %14s %15s", "protocol", "public(B/s)",
+                     "private(B/s)"));
 
-  for (auto& row : rows) {
+  const auto grid = bench::run_trial_grid(
+      pool, args, rows.size(), [&](std::size_t p, std::uint64_t seed) {
+        const Row& row = rows[p];
+        return measure(row.factory, row.all_public ? n : publics,
+                       row.all_public ? 0 : privates, seed, warmup, window);
+      });
+
+  for (std::size_t p = 0; p < rows.size(); ++p) {
     double pub = 0;
     double priv = 0;
-    for (std::size_t r = 0; r < args.runs; ++r) {
-      const auto load =
-          measure(row.factory, row.all_public ? n : publics,
-                  row.all_public ? 0 : privates, args.seed + r * 1000,
-                  warmup, window);
+    for (const auto& load : grid[p]) {
       pub += load.pub;
       priv += load.priv;
     }
     pub /= static_cast<double>(args.runs);
     priv /= static_cast<double>(args.runs);
-    std::printf("%-10s %14.1f %15.1f\n", row.name, pub, priv);
+    sink.raw(exp::strf("%-10s %14.1f %15.1f", rows[p].name, pub, priv));
+    const std::string block = exp::strf("fig7a %s", rows[p].name);
+    sink.value(block, "public B/s", pub);
+    sink.value(block, "private B/s", priv);
   }
   return 0;
 }

@@ -12,7 +12,8 @@
 // Expected shape: Croupier (and all-public Cyclon) retain a dominant
 // cluster even at 90% failure (paper: >85% of survivors with 80% private
 // nodes), while Gozar and Nylon degrade to ~50-60%.
-#include <cstdio>
+#include <iterator>
+#include <string>
 
 #include "bench_common.hpp"
 
@@ -20,10 +21,10 @@ namespace {
 
 using namespace croupier;
 
-double cluster_fraction(run::ProtocolFactory factory, std::size_t publics,
-                        std::size_t privates, double fail_fraction,
-                        std::uint64_t seed) {
-  run::World world(bench::paper_world_config(seed), std::move(factory));
+double cluster_fraction(const run::ProtocolFactory& factory,
+                        std::size_t publics, std::size_t privates,
+                        double fail_fraction, std::uint64_t seed) {
+  run::World world(bench::paper_world_config(seed), factory);
   bench::paper_joins(world, publics, privates);
   world.simulator().run_until(sim::sec(60));
   run::schedule_catastrophe(world, sim::sec(60), fail_fraction);
@@ -60,27 +61,39 @@ int main(int argc, char** argv) {
   rows.push_back(
       {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
 
-  std::printf(
-      "# fig7b: biggest cluster (%%%% of survivors) after catastrophic "
-      "failure; %zu nodes, 80%%%% private, %zu run(s)\n",
-      n, args.runs);
-  std::printf("%-10s", "failure%");
-  for (const auto& row : rows) std::printf(" %10s", row.name);
-  std::printf("\n");
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf(
+      "fig7b: biggest cluster (%% of survivors) after catastrophic "
+      "failure; %zu nodes, 80%% private, %zu run(s)",
+      n, args.runs));
+  std::string header = exp::strf("%-10s", "failure%");
+  for (const auto& row : rows) header += exp::strf(" %10s", row.name);
+  sink.raw(header);
 
-  for (int level : fail_levels) {
-    std::printf("%-10d", level);
-    for (auto& row : rows) {
+  // The sweep is (failure level x system); flatten it into one grid so
+  // every cell is its own parallel trial.
+  const std::size_t points = std::size(fail_levels) * rows.size();
+  const auto grid = bench::run_trial_grid(
+      pool, args, points, [&](std::size_t p, std::uint64_t seed) {
+        const int level = fail_levels[p / rows.size()];
+        const Row& row = rows[p % rows.size()];
+        return cluster_fraction(row.factory, row.all_public ? n : publics,
+                                row.all_public ? 0 : n - publics,
+                                static_cast<double>(level) / 100.0, seed);
+      });
+
+  for (std::size_t li = 0; li < std::size(fail_levels); ++li) {
+    std::string line = exp::strf("%-10d", fail_levels[li]);
+    for (std::size_t ri = 0; ri < rows.size(); ++ri) {
       double sum = 0;
-      for (std::size_t r = 0; r < args.runs; ++r) {
-        sum += cluster_fraction(
-            row.factory, row.all_public ? n : publics,
-            row.all_public ? 0 : n - publics,
-            static_cast<double>(level) / 100.0, args.seed + r * 1000);
-      }
-      std::printf(" %10.1f", 100.0 * sum / static_cast<double>(args.runs));
+      for (double frac : grid[li * rows.size() + ri]) sum += frac;
+      const double pct = 100.0 * sum / static_cast<double>(args.runs);
+      line += exp::strf(" %10.1f", pct);
+      sink.value(exp::strf("fig7b failure=%d", fail_levels[li]),
+                 rows[ri].name, pct);
     }
-    std::printf("\n");
+    sink.raw(line);
   }
   return 0;
 }

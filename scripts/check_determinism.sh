@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Determinism gate for the parallel trial harness: every figure bench
+# must produce byte-identical stdout AND --csv output for --jobs=1 and
+# --jobs=4 (the TrialPool contract: results are collected in submission
+# order, so thread count can never show up in the output).
+#
+# Usage: scripts/check_determinism.sh [--fast]
+#   BUILD_DIR=...  bench build directory (default build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build}
+MODE=${1:---fast}
+
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fail=0
+for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
+  [ -x "$bench" ] || continue
+  name=$(basename "$bench")
+  "$bench" "$MODE" --runs=2 --jobs=1 --csv="$TMP/$name.1.csv" \
+    >"$TMP/$name.1.txt" 2>/dev/null
+  "$bench" "$MODE" --runs=2 --jobs=4 --csv="$TMP/$name.4.csv" \
+    >"$TMP/$name.4.txt" 2>/dev/null
+  if cmp -s "$TMP/$name.1.txt" "$TMP/$name.4.txt" &&
+     cmp -s "$TMP/$name.1.csv" "$TMP/$name.4.csv"; then
+    echo "ok   $name"
+  else
+    echo "FAIL $name (jobs=1 vs jobs=4 output differs)"
+    fail=1
+  fi
+done
+exit "$fail"

@@ -6,6 +6,10 @@
 # Usage: scripts/run_benches.sh [output.json]
 #   BUILD_DIR=...   override the Release build directory
 #                   (default build-release)
+#   JOBS=N          worker threads per fig bench (default: nproc); trials
+#                   fan out over the exp::TrialPool, output is
+#                   byte-identical for every N
+#   CSV_DIR=...     also write each fig bench's --csv mirror there
 #
 # BENCH_micro.json layout:
 #   protocols.<Name>.rounds_per_sec   end-to-end gossip-round throughput
@@ -23,6 +27,11 @@ if [ $# -eq 0 ]; then
   OUT="$REPO_ROOT/BENCH_micro.json"
 fi
 BUILD_DIR=${BUILD_DIR:-"$REPO_ROOT/build-release"}
+JOBS=${JOBS:-$(nproc)}
+CSV_DIR=${CSV_DIR:-}
+if [ -n "$CSV_DIR" ]; then
+  mkdir -p "$CSV_DIR"
+fi
 
 # Benches only: skip the test suites and examples so the Release build
 # doesn't recompile the whole tree (CI already builds those once).
@@ -39,12 +48,16 @@ echo "== micro benchmarks =="
   --benchmark_format=json --benchmark_out="$RAW" \
   --benchmark_out_format=json >/dev/null
 
-echo "== figure benches (--fast --runs=1) =="
+echo "== figure benches (--fast --runs=1 --jobs=$JOBS) =="
 for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
   [ -x "$bench" ] || continue
   name=$(basename "$bench")
+  csv_flag=()
+  if [ -n "$CSV_DIR" ]; then
+    csv_flag=(--csv="$CSV_DIR/$name.csv")
+  fi
   start=$(date +%s.%N)
-  "$bench" --fast --runs=1 >/dev/null
+  "$bench" --fast --runs=1 --jobs="$JOBS" "${csv_flag[@]}" >/dev/null
   end=$(date +%s.%N)
   echo "$name $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')" \
     | tee -a "$FIG"

@@ -1,0 +1,26 @@
+// Deterministic per-trial seed derivation.
+//
+// A figure bench sweeps `points` parameter points and averages `runs`
+// independent seeded Worlds per point. Each (point, run) cell needs a
+// seed that is (a) a pure function of the experiment's base seed and the
+// cell coordinates — so results are reproducible regardless of thread
+// count or execution order — and (b) statistically independent of every
+// other cell's seed. Forking a stream per coordinate gives both: fork()
+// hashes (lineage, tag) through two full splitmix64 rounds, so nearby
+// coordinates land in unrelated lineages (unlike the old ad-hoc
+// `seed + r * 1000` schemes, where sweeping seeds overlapped runs).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/rng.hpp"
+
+namespace croupier::exp {
+
+/// Seed for trial cell (point, run) of an experiment with `base_seed`.
+inline std::uint64_t trial_seed(std::uint64_t base_seed, std::uint64_t point,
+                                std::uint64_t run) {
+  return sim::RngStream(base_seed).fork(point).fork(run).next_u64();
+}
+
+}  // namespace croupier::exp

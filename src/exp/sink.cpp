@@ -1,0 +1,93 @@
+#include "exp/sink.hpp"
+
+#include <cstdarg>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace croupier::exp {
+
+std::string strf(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::va_list copy;
+  va_copy(copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+  va_end(copy);
+  CROUPIER_ASSERT(needed >= 0);
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  va_end(args);
+  return out;
+}
+
+namespace {
+
+/// RFC-4180 quoting: wrap in double quotes, double any inner quote.
+std::string csv_quote(const std::string& field) {
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+ResultSink::ResultSink(std::string csv_path, std::FILE* out) : out_(out) {
+  if (csv_path.empty()) return;
+  csv_ = std::fopen(csv_path.c_str(), "w");
+  if (csv_ == nullptr) {
+    std::fprintf(stderr, "warning: cannot open --csv=%s; CSV disabled\n",
+                 csv_path.c_str());
+    return;
+  }
+  std::fprintf(csv_, "kind,block,x,y\n");
+}
+
+ResultSink::~ResultSink() {
+  if (csv_ != nullptr) std::fclose(csv_);
+}
+
+void ResultSink::comment(const std::string& text) {
+  if (out_ != nullptr) std::fprintf(out_, "# %s\n", text.c_str());
+}
+
+void ResultSink::raw(const std::string& line) {
+  if (out_ != nullptr) std::fprintf(out_, "%s\n", line.c_str());
+}
+
+void ResultSink::blank() {
+  if (out_ != nullptr) std::fputc('\n', out_);
+}
+
+void ResultSink::series(const std::string& name, std::span<const double> x,
+                        std::span<const double> y, const char* x_fmt,
+                        const char* y_fmt) {
+  CROUPIER_ASSERT(x.size() == y.size());
+  comment(name);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Format once so stdout and CSV carry the exact same values.
+    const std::string xs = strf(x_fmt, x[i]);  // NOLINT(format-security)
+    const std::string ys = strf(y_fmt, y[i]);  // NOLINT(format-security)
+    if (out_ != nullptr) std::fprintf(out_, "%s %s\n", xs.c_str(), ys.c_str());
+    csv_row("series", name, xs, ys);
+  }
+  blank();
+}
+
+void ResultSink::value(const std::string& block, const std::string& key,
+                       double v) {
+  csv_row("value", block, csv_quote(key), strf("%.6g", v));
+}
+
+void ResultSink::csv_row(const char* kind, const std::string& block,
+                         const std::string& x, const std::string& y) {
+  if (csv_ == nullptr) return;
+  std::fprintf(csv_, "%s,%s,%s,%s\n", kind, csv_quote(block).c_str(),
+               x.c_str(), y.c_str());
+}
+
+}  // namespace croupier::exp

@@ -1,0 +1,67 @@
+// Uniform result emission for the figure benches.
+//
+// ResultSink writes the gnuplot text blocks the plots consume (stdout,
+// same "# <name>" + "x y" row format the benches always printed) and
+// optionally mirrors every data point into a machine-readable CSV file
+// (--csv=PATH). All emission happens on the submitting thread after the
+// TrialPool has delivered results in submission order, so both outputs
+// are byte-identical for any --jobs value.
+//
+// CSV schema (one file per bench invocation, header included):
+//   kind,block,x,y
+//   series,"fig1a avg-error alpha=10 gamma=25",42,0.012345
+//   value,"summary alpha=10 gamma=25","steady avg-err",0.00123
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+
+namespace croupier::exp {
+
+/// printf into a std::string (series/block names are built from sweep
+/// parameters; the benches' printf formats are kept verbatim).
+[[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+
+class ResultSink {
+ public:
+  /// csv_path empty = no CSV. The file is created eagerly so a bad path
+  /// fails at startup instead of after minutes of simulation. `out` is
+  /// the text destination (nullptr silences text output — used by
+  /// tests).
+  explicit ResultSink(std::string csv_path = {}, std::FILE* out = stdout);
+  ~ResultSink();
+
+  ResultSink(const ResultSink&) = delete;
+  ResultSink& operator=(const ResultSink&) = delete;
+
+  [[nodiscard]] bool csv_enabled() const { return csv_ != nullptr; }
+
+  /// "# <text>" comment line (headers, summaries). Text output only.
+  void comment(const std::string& text);
+
+  /// Verbatim text line (the benches' aligned table rows).
+  void raw(const std::string& line);
+
+  /// Blank separator line. Text output only.
+  void blank();
+
+  /// gnuplot series block: "# <name>", one "<x> <y>" row per point, then
+  /// a blank line. Mirrored to CSV as `series` rows.
+  void series(const std::string& name, std::span<const double> x,
+              std::span<const double> y, const char* x_fmt = "%.0f",
+              const char* y_fmt = "%.6f");
+
+  /// Named scalar (summary/table cells). CSV only — the benches print
+  /// their own aligned tables via raw()/comment().
+  void value(const std::string& block, const std::string& key, double v);
+
+ private:
+  void csv_row(const char* kind, const std::string& block,
+               const std::string& x, const std::string& y);
+
+  std::FILE* out_ = nullptr;
+  std::FILE* csv_ = nullptr;
+};
+
+}  // namespace croupier::exp

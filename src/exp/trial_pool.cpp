@@ -1,0 +1,66 @@
+#include "exp/trial_pool.hpp"
+
+#include <algorithm>
+
+namespace croupier::exp {
+
+TrialPool::TrialPool(std::size_t jobs) {
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TrialPool::~TrialPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TrialPool::submit(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_ready_.notify_one();
+}
+
+void TrialPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+void TrialPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stopping_ and drained
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++active_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !first_error_) first_error_ = err;
+    --active_;
+    if (queue_.empty() && active_ == 0) all_idle_.notify_all();
+  }
+}
+
+}  // namespace croupier::exp

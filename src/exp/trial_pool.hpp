@@ -1,0 +1,80 @@
+// Parallel execution of independent simulation trials.
+//
+// Every figure bench averages `runs` independent seeded Worlds per
+// parameter point. A World is single-threaded and shares nothing with
+// other Worlds, so the trials are embarrassingly parallel: TrialPool
+// fans them out over a fixed set of worker threads while keeping every
+// observable output deterministic. Tasks may execute in any order, but
+// each one writes into its own submission-indexed result slot, so the
+// aggregation and printing that follow see results in submission order
+// and the bench output is byte-identical for any --jobs value
+// (including 1).
+//
+// Tasks must not touch shared mutable state; the first exception a task
+// throws is captured and rethrown from wait().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace croupier::exp {
+
+/// Fixed-size worker pool for share-nothing trial closures.
+class TrialPool {
+ public:
+  /// jobs = 0 selects std::thread::hardware_concurrency() (at least 1).
+  explicit TrialPool(std::size_t jobs = 0);
+  ~TrialPool();
+
+  TrialPool(const TrialPool&) = delete;
+  TrialPool& operator=(const TrialPool&) = delete;
+
+  /// Number of worker threads.
+  [[nodiscard]] std::size_t jobs() const { return workers_.size(); }
+
+  /// Enqueues a task. May be called from the submitting thread only.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first task exception, if any.
+  void wait();
+
+  /// Runs `count` indexed trials and returns their results in index
+  /// order. `fn(i)` is invoked concurrently from the workers, so it must
+  /// be thread-safe (the bench closures only read captured configs and
+  /// build their own World, which is). The result type must be
+  /// default-constructible and movable.
+  template <typename Fn>
+  auto map(std::size_t count, Fn&& fn)
+      -> std::vector<std::decay_t<decltype(fn(std::size_t{}))>> {
+    using R = std::decay_t<decltype(fn(std::size_t{}))>;
+    std::vector<R> out(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      submit([&out, &fn, i] { out[i] = fn(i); });
+    }
+    wait();
+    return out;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_idle_;
+  std::deque<std::function<void()>> queue_;  // guarded by mu_
+  std::size_t active_ = 0;                   // guarded by mu_
+  bool stopping_ = false;                    // guarded by mu_
+  std::exception_ptr first_error_;           // guarded by mu_
+};
+
+}  // namespace croupier::exp

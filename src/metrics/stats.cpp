@@ -50,19 +50,27 @@ Summary summarize(std::span<const double> values) {
   return s;
 }
 
-std::vector<std::size_t> histogram(std::span<const double> values, double lo,
-                                   double hi, std::size_t bins) {
+Histogram histogram(std::span<const double> values, double lo, double hi,
+                    std::size_t bins) {
   CROUPIER_ASSERT(bins > 0);
   CROUPIER_ASSERT(hi > lo);
-  std::vector<std::size_t> counts(bins, 0);
+  Histogram h;
+  h.counts.assign(bins, 0);
   const double width = (hi - lo) / static_cast<double>(bins);
   for (double v : values) {
-    auto bin = static_cast<std::ptrdiff_t>((v - lo) / width);
-    bin = std::clamp<std::ptrdiff_t>(bin, 0,
-                                     static_cast<std::ptrdiff_t>(bins) - 1);
-    ++counts[static_cast<std::size_t>(bin)];
+    if (v < lo) {
+      ++h.underflow;
+    } else if (!(v < hi)) {  // v >= hi, or NaN
+      ++h.overflow;
+    } else {
+      // Rounding in (v - lo) / width can land exactly on `bins` for
+      // values just under hi; keep those in the last bin.
+      const auto bin = std::min(
+          static_cast<std::size_t>((v - lo) / width), bins - 1);
+      ++h.counts[bin];
+    }
   }
-  return counts;
+  return h;
 }
 
 double ks_distance(std::span<const double> a, std::span<const double> b) {

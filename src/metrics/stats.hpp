@@ -28,10 +28,20 @@ Summary summarize(std::span<const double> values);
 /// Percentile by linear interpolation between closest ranks; q in [0,1].
 double percentile(std::span<const double> values, double q);
 
-/// Histogram with fixed-width bins over [lo, hi); values outside clamp to
-/// the edge bins. Returns bin counts.
-std::vector<std::size_t> histogram(std::span<const double> values, double lo,
-                                   double hi, std::size_t bins);
+/// Fixed-width-bin histogram over [lo, hi) plus counts of the samples
+/// that fell outside the range. Out-of-range samples are *excluded* from
+/// the bins (an earlier version clamped them into the first/last bin,
+/// silently inflating the tails); NaN counts as overflow.
+struct Histogram {
+  std::vector<std::size_t> counts;  // one entry per bin over [lo, hi)
+  std::size_t underflow = 0;        // samples < lo
+  std::size_t overflow = 0;         // samples >= hi (and NaN)
+
+  [[nodiscard]] std::size_t outliers() const { return underflow + overflow; }
+};
+
+Histogram histogram(std::span<const double> values, double lo, double hi,
+                    std::size_t bins);
 
 /// Two-sample Kolmogorov-Smirnov distance: the maximum gap between the
 /// empirical CDFs. 0 = identical distributions, 1 = disjoint.

@@ -45,8 +45,16 @@ class RngStream {
   /// Derives an independent child stream from this stream's seed lineage
   /// and a caller-chosen tag. Forking neither advances this stream nor
   /// depends on how much of it has been consumed.
+  ///
+  /// (lineage, tag) is hashed through two full splitmix64 rounds —
+  /// lineage through the first, tag absorbed before the second. The
+  /// earlier XOR-linear premix (`lineage ^ gamma*(tag+1)`) let distinct
+  /// (lineage, tag) pairs collide whenever the lineage difference
+  /// cancelled the tag difference, which nested forks (fork().fork(),
+  /// the basis of per-trial seed derivation) made easy to hit.
   [[nodiscard]] RngStream fork(std::uint64_t tag) const {
-    std::uint64_t sm = lineage_ ^ (0x9e3779b97f4a7c15ULL * (tag + 1));
+    std::uint64_t sm = lineage_;
+    sm = splitmix64(sm) ^ tag;
     return RngStream(splitmix64(sm));
   }
 

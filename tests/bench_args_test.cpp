@@ -23,12 +23,33 @@ TEST(BenchArgs, Defaults) {
   const auto args = parse({});
   EXPECT_EQ(args.runs, 2u);
   EXPECT_EQ(args.seed, 1u);
+  EXPECT_EQ(args.jobs, 0u);  // 0 = hardware concurrency
+  EXPECT_TRUE(args.csv.empty());
   EXPECT_FALSE(args.fast);
 }
 
 TEST(BenchArgs, ParsesRuns) {
   EXPECT_EQ(parse({"--runs=5"}).runs, 5u);
-  EXPECT_EQ(parse({"--runs=0"}).runs, 0u);
+}
+
+TEST(BenchArgs, ZeroRunsClampsToOne) {
+  // Regression: --runs=0 used to reach the benches unchanged and feed
+  // empty run sets into the aggregates (division by zero).
+  EXPECT_EQ(parse({"--runs=0"}).runs, 1u);
+}
+
+TEST(BenchArgs, ParsesJobs) {
+  EXPECT_EQ(parse({"--jobs=4"}).jobs, 4u);
+  EXPECT_EQ(parse({"--jobs=1"}).jobs, 1u);
+}
+
+TEST(BenchArgs, ParsesCsvPath) {
+  EXPECT_EQ(parse({"--csv=/tmp/out.csv"}).csv, "/tmp/out.csv");
+  EXPECT_TRUE(parse({"--csv="}).csv.empty());
+}
+
+TEST(BenchArgs, MalformedJobsKeepsDefault) {
+  EXPECT_EQ(parse({"--jobs=many"}).jobs, 0u);
 }
 
 TEST(BenchArgs, ParsesSeed) {

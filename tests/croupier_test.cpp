@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
 
 #include "core/croupier.hpp"
@@ -247,13 +248,22 @@ TEST_P(CroupierConvergenceSweep, EstimatesAndViewsHealthy) {
   for (double e : world.ratio_estimates()) {
     EXPECT_NEAR(e, 0.2, 0.12);
   }
-  world.for_each_sampler([&](net::NodeId, pss::PeerSampler& p) {
-    const auto& c = dynamic_cast<const Croupier&>(p);
-    // With shuffle 3 the public-view half of the budget is 2 descriptors
-    // per exchange, so the healthy floor is 2 (tail removal leaves a gap
-    // until the next response lands).
-    EXPECT_GE(c.public_view().size(), 2u);
-  });
+  // With shuffle 3 the public-view half of the budget is 2 descriptors
+  // per exchange, so the healthy floor is 2 — but tail removal leaves a
+  // transient gap until the next response lands, so a single instant can
+  // legitimately show 1. Sample one round apart and judge each node by
+  // its best of the two snapshots.
+  std::map<net::NodeId, std::size_t> peak_size;
+  for (int snapshot = 0; snapshot < 2; ++snapshot) {
+    world.simulator().run_until(sim::sec(60 + snapshot));
+    world.for_each_sampler([&](net::NodeId id, pss::PeerSampler& p) {
+      const auto& c = dynamic_cast<const Croupier&>(p);
+      peak_size[id] = std::max(peak_size[id], c.public_view().size());
+    });
+  }
+  for (const auto& [id, size] : peak_size) {
+    EXPECT_GE(size, 2u) << "node " << id;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CroupierConvergenceSweep,

@@ -1,0 +1,211 @@
+// Tests for the exp/ trial-execution subsystem: TrialPool scheduling and
+// exception behaviour, deterministic per-trial seed derivation, ResultSink
+// CSV emission, and the cornerstone guarantee of the whole harness — a
+// parallel run aggregates to byte-identical output as a serial run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "exp/seeds.hpp"
+#include "exp/sink.hpp"
+#include "exp/trial_pool.hpp"
+
+namespace croupier::exp {
+namespace {
+
+TEST(TrialPool, DefaultsToHardwareConcurrency) {
+  TrialPool pool;
+  EXPECT_GE(pool.jobs(), 1u);
+}
+
+TEST(TrialPool, RunsEverySubmittedTask) {
+  TrialPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { ++count; });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TrialPool, MapKeepsSubmissionOrder) {
+  TrialPool pool(4);
+  const auto out =
+      pool.map(64, [](std::size_t i) { return static_cast<int>(i) * 3; });
+  ASSERT_EQ(out.size(), 64u);
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 3);
+}
+
+TEST(TrialPool, WaitIsReusable) {
+  TrialPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(TrialPool, WaitRethrowsFirstTaskException) {
+  TrialPool pool(2);
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([] { throw std::runtime_error("trial failed"); });
+  }
+  EXPECT_THROW(pool.wait(), std::runtime_error);
+  // The pool survives a failed batch.
+  std::atomic<int> count{0};
+  pool.submit([&count] { ++count; });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(TrialSeed, IsDeterministic) {
+  EXPECT_EQ(trial_seed(1, 2, 3), trial_seed(1, 2, 3));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(1, 2, 4));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(1, 3, 3));
+  EXPECT_NE(trial_seed(1, 2, 3), trial_seed(2, 2, 3));
+}
+
+TEST(TrialSeed, GridCellsAreDistinct) {
+  std::set<std::uint64_t> seen;
+  std::size_t cells = 0;
+  for (std::uint64_t seed : {1ULL, 42ULL, 0xdeadbeefULL}) {
+    for (std::uint64_t point = 0; point < 20; ++point) {
+      for (std::uint64_t run = 0; run < 20; ++run) {
+        seen.insert(trial_seed(seed, point, run));
+        ++cells;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), cells);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ResultSink, WritesSeriesToCsvAndText) {
+  const std::string csv_path = ::testing::TempDir() + "sink_series.csv";
+  const std::string txt_path = ::testing::TempDir() + "sink_series.txt";
+  {
+    std::FILE* out = std::fopen(txt_path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    ResultSink sink(csv_path, out);
+    EXPECT_TRUE(sink.csv_enabled());
+    const std::vector<double> x{0.0, 1.0};
+    const std::vector<double> y{0.25, 0.5};
+    sink.series("figX avg-error", x, y);
+    sink.value("summary", "steady avg-err", 0.125);
+    std::fclose(out);
+  }
+  EXPECT_EQ(slurp(txt_path),
+            "# figX avg-error\n"
+            "0 0.250000\n"
+            "1 0.500000\n"
+            "\n");
+  EXPECT_EQ(slurp(csv_path),
+            "kind,block,x,y\n"
+            "series,\"figX avg-error\",0,0.250000\n"
+            "series,\"figX avg-error\",1,0.500000\n"
+            "value,\"summary\",\"steady avg-err\",0.125\n");
+  std::remove(csv_path.c_str());
+  std::remove(txt_path.c_str());
+}
+
+TEST(ResultSink, QuotesEmbeddedQuotesAndCommas) {
+  const std::string csv_path = ::testing::TempDir() + "sink_quote.csv";
+  {
+    ResultSink sink(csv_path, nullptr);
+    sink.value("a \"b\", c", "k", 1.0);
+  }
+  EXPECT_EQ(slurp(csv_path),
+            "kind,block,x,y\n"
+            "value,\"a \"\"b\"\", c\",\"k\",1\n");
+  std::remove(csv_path.c_str());
+}
+
+TEST(ResultSink, UnwritableCsvPathDegradesToTextOnly) {
+  ResultSink sink("/nonexistent-dir/x.csv", nullptr);
+  EXPECT_FALSE(sink.csv_enabled());
+  sink.value("block", "key", 1.0);  // must not crash
+}
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("n=%zu r=%.2f", std::size_t{5}, 0.5), "n=5 r=0.50");
+  EXPECT_EQ(strf("%s", ""), "");
+}
+
+// The cornerstone guarantee: a fig1-style experiment fanned out over 4
+// workers aggregates to *byte-identical* series as the same experiment on
+// 1 worker. Uses the real bench plumbing (run_trial_grid + average_runs +
+// ResultSink) on a miniature world so it stays fast.
+TEST(TrialGridDeterminism, FourJobsMatchSerialByteForByte) {
+  bench::BenchArgs args;
+  args.runs = 3;
+  args.seed = 7;
+  const auto duration = sim::sec(15);
+  const std::pair<std::size_t, std::size_t> windows[] = {{10, 25}, {25, 50}};
+
+  const auto run_experiment = [&](std::size_t jobs) {
+    TrialPool pool(jobs);
+    const auto grid = bench::run_trial_grid(
+        pool, args, 2, [&](std::size_t p, std::uint64_t seed) {
+          return bench::run_estimation_experiment(
+              bench::paper_croupier_config(windows[p].first,
+                                           windows[p].second),
+              seed, duration,
+              [&](run::World& w) { bench::paper_joins(w, 8, 24); });
+        });
+    std::vector<bench::EstimationSeries> avgs;
+    for (const auto& runs : grid) avgs.push_back(bench::average_runs(runs));
+    return avgs;
+  };
+
+  const auto serial = run_experiment(1);
+  const auto parallel = run_experiment(4);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t p = 0; p < serial.size(); ++p) {
+    // Bitwise equality on the aggregated doubles — not near-equality:
+    // identical trials summed in a fixed order must give identical bits.
+    EXPECT_EQ(serial[p].t, parallel[p].t);
+    EXPECT_EQ(serial[p].avg_err, parallel[p].avg_err);
+    EXPECT_EQ(serial[p].max_err, parallel[p].max_err);
+    EXPECT_EQ(serial[p].truth, parallel[p].truth);
+    EXPECT_FALSE(serial[p].t.empty());
+  }
+
+  // And the emitted artifacts match byte for byte.
+  const auto emit = [&](const std::vector<bench::EstimationSeries>& avgs,
+                        const std::string& csv_path) {
+    ResultSink sink(csv_path, nullptr);
+    for (std::size_t p = 0; p < avgs.size(); ++p) {
+      sink.series(strf("fig1a avg-error w=%zu", p), avgs[p].t,
+                  avgs[p].avg_err);
+    }
+  };
+  const std::string csv1 = ::testing::TempDir() + "det_jobs1.csv";
+  const std::string csv4 = ::testing::TempDir() + "det_jobs4.csv";
+  emit(serial, csv1);
+  emit(parallel, csv4);
+  const std::string contents1 = slurp(csv1);
+  EXPECT_EQ(contents1, slurp(csv4));
+  EXPECT_NE(contents1.find("series,"), std::string::npos);
+  std::remove(csv1.c_str());
+  std::remove(csv4.c_str());
+}
+
+}  // namespace
+}  // namespace croupier::exp

@@ -5,7 +5,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <numeric>
+#include <set>
 #include <vector>
 
 #include "sim/event_queue.hpp"
@@ -207,6 +209,44 @@ TEST(Rng, ForksWithDifferentTagsDiffer) {
   RngStream f1 = a.fork(1);
   RngStream f2 = a.fork(2);
   EXPECT_NE(f1.next_u64(), f2.next_u64());
+}
+
+TEST(Rng, ForkLinearCancellationDoesNotCollide) {
+  // Regression: the old premix was `lineage ^ gamma*(tag+1)`, so two
+  // streams whose lineages differ by exactly gamma*(t1+1) ^ gamma*(t2+1)
+  // produced *identical* children from tags t1 and t2. These lineages
+  // are constructed to collide under that scheme; the two-round
+  // splitmix64 fork must keep them apart.
+  constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+  const std::uint64_t l1 = 0x0123456789abcdefULL;
+  const std::uint64_t l2 = l1 ^ (kGamma * 2) ^ (kGamma * 3);
+  RngStream f1 = RngStream(l1).fork(1);  // old premix: l1 ^ gamma*2
+  RngStream f2 = RngStream(l2).fork(2);  // old premix: l2 ^ gamma*3 == l1 ^ gamma*2
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NestedForkGridIsCollisionFree) {
+  // Per-trial seed derivation nests forks: base.fork(point).fork(run).
+  // The first draw of every cell in a seeds x points x runs grid must be
+  // distinct (a birthday collision over 8k draws from 2^64 is ~2e-12,
+  // so any collision means the fork premix is degenerate, not bad luck).
+  std::set<std::uint64_t> seen;
+  std::size_t cells = 0;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    const RngStream base(seed);
+    for (std::uint64_t point = 0; point < 16; ++point) {
+      const RngStream mid = base.fork(point);
+      for (std::uint64_t run = 0; run < 16; ++run) {
+        seen.insert(mid.fork(run).next_u64());
+        ++cells;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), cells);
 }
 
 TEST(Rng, NextDoubleInUnitInterval) {

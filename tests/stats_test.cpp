@@ -1,6 +1,7 @@
 // Tests for the summary-statistics utilities.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "metrics/stats.hpp"
@@ -61,14 +62,36 @@ TEST(Stats, PercentileOfEmpty) {
 TEST(Stats, HistogramBinsCorrectly) {
   const std::vector<double> v{0.5, 1.5, 1.6, 2.5, 3.5};
   const auto h = histogram(v, 0.0, 4.0, 4);
-  EXPECT_EQ(h, (std::vector<std::size_t>{1, 2, 1, 1}));
+  EXPECT_EQ(h.counts, (std::vector<std::size_t>{1, 2, 1, 1}));
+  EXPECT_EQ(h.outliers(), 0u);
 }
 
-TEST(Stats, HistogramClampsOutliers) {
-  const std::vector<double> v{-5.0, 10.0};
+TEST(Stats, HistogramExcludesAndCountsOutliers) {
+  // Regression: out-of-range samples used to be clamped into the edge
+  // bins, silently inflating the tails. They must be excluded from the
+  // bins and reported separately.
+  const std::vector<double> v{-5.0, 0.5, 10.0, 20.0};
   const auto h = histogram(v, 0.0, 4.0, 4);
-  EXPECT_EQ(h.front(), 1u);
-  EXPECT_EQ(h.back(), 1u);
+  EXPECT_EQ(h.counts, (std::vector<std::size_t>{1, 0, 0, 0}));
+  EXPECT_EQ(h.underflow, 1u);
+  EXPECT_EQ(h.overflow, 2u);
+  EXPECT_EQ(h.outliers(), 3u);
+}
+
+TEST(Stats, HistogramBoundaries) {
+  // lo is in range (first bin); hi is not ([lo, hi) is half-open).
+  const std::vector<double> v{0.0, 4.0};
+  const auto h = histogram(v, 0.0, 4.0, 4);
+  EXPECT_EQ(h.counts, (std::vector<std::size_t>{1, 0, 0, 0}));
+  EXPECT_EQ(h.overflow, 1u);
+  EXPECT_EQ(h.underflow, 0u);
+}
+
+TEST(Stats, HistogramNanCountsAsOverflow) {
+  const std::vector<double> v{std::nan(""), 1.0};
+  const auto h = histogram(v, 0.0, 4.0, 4);
+  EXPECT_EQ(h.counts, (std::vector<std::size_t>{0, 1, 0, 0}));
+  EXPECT_EQ(h.overflow, 1u);
 }
 
 TEST(Stats, KsDistanceIdentical) {
