@@ -39,44 +39,47 @@ int main(int argc, char** argv) {
 
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(limits), [&](std::size_t p, std::uint64_t seed) {
-        auto cfg = bench::paper_croupier_config(25, 50);
-        cfg.estimator.share_limit = limits[p];
-        run::World world(bench::paper_world_config(seed),
-                         run::make_croupier_factory(cfg));
-        bench::paper_joins(world, n / 5, n - n / 5);
-        run::EstimationRecorder rec(world, {sim::sec(1), 2});
-        rec.start(sim::sec(1));
-        world.simulator().run_until(warmup);
-        world.network().meter().reset();
-        world.simulator().run_until(warmup + window);
+        run::Experiment experiment(
+            bench::paper_spec(n, sim::to_seconds(warmup + window))
+                .protocol(exp::strf("croupier:alpha=25,gamma=50,"
+                                    "share_limit=%zu",
+                                    limits[p]))
+                .build(),
+            seed);
+        experiment.run_until(warmup);
+        experiment.world().network().meter().reset();
+        experiment.run_until(warmup + window);
 
         TrialResult res;
-        res.avg_err = rec.latest().sample.avg_error;
-        res.max_err = rec.latest().sample.max_error;
-        const auto load = metrics::summarize_load(world.network().meter(),
-                                                  world.class_map(), window);
+        res.avg_err = experiment.estimation()->latest().sample.avg_error;
+        res.max_err = experiment.estimation()->latest().sample.max_error;
+        const auto load = metrics::summarize_load(
+            experiment.world().network().meter(),
+            experiment.world().class_map(), window);
         res.pub_load = load.public_bytes_per_sec;
         res.priv_load = load.private_bytes_per_sec;
         return res;
       });
 
   for (std::size_t p = 0; p < std::size(limits); ++p) {
-    TrialResult sum;
+    exp::Accum avg_err;
+    exp::Accum max_err;
+    exp::Accum pub_load;
+    exp::Accum priv_load;
     for (const auto& res : grid[p]) {
-      sum.avg_err += res.avg_err;
-      sum.max_err += res.max_err;
-      sum.pub_load += res.pub_load;
-      sum.priv_load += res.priv_load;
+      avg_err.add(res.avg_err);
+      max_err.add(res.max_err);
+      pub_load.add(res.pub_load);
+      priv_load.add(res.priv_load);
     }
-    const auto k = static_cast<double>(args.runs);
     sink.raw(exp::strf("%-8zu %12.5f %12.5f %14.1f %15.1f", limits[p],
-                       sum.avg_err / k, sum.max_err / k, sum.pub_load / k,
-                       sum.priv_load / k));
+                       avg_err.mean(), max_err.mean(), pub_load.mean(),
+                       priv_load.mean()));
     const std::string block = exp::strf("share-limit=%zu", limits[p]);
-    sink.value(block, "avg-err", sum.avg_err / k);
-    sink.value(block, "max-err", sum.max_err / k);
-    sink.value(block, "pub-load B/s", sum.pub_load / k);
-    sink.value(block, "priv-load B/s", sum.priv_load / k);
+    bench::emit_value(sink, block, "avg-err", avg_err);
+    bench::emit_value(sink, block, "max-err", max_err);
+    bench::emit_value(sink, block, "pub-load B/s", pub_load);
+    bench::emit_value(sink, block, "priv-load B/s", priv_load);
   }
   return 0;
 }

@@ -37,42 +37,49 @@ int main(int argc, char** argv) {
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(redundancies),
       [&](std::size_t p, std::uint64_t seed) {
-        auto cfg = bench::paper_gozar_config();
-        cfg.relay_redundancy = redundancies[p];
-
-        run::World world(bench::paper_world_config(seed),
-                         run::make_gozar_factory(cfg));
-        bench::paper_joins(world, n / 5, n - n / 5);
-        world.simulator().run_until(warmup);
-        world.network().meter().reset();
-        world.simulator().run_until(warmup + window);
-        const auto load = metrics::summarize_load(world.network().meter(),
-                                                  world.class_map(), window);
+        run::Experiment experiment(
+            bench::paper_spec(n, sim::to_seconds(warmup + window) + 0.001)
+                .protocol(exp::strf("gozar:redundancy=%zu", redundancies[p]))
+                .record_nothing()
+                .build(),
+            seed);
+        experiment.run_until(warmup);
+        experiment.world().network().meter().reset();
+        experiment.run_until(warmup + window);
+        const auto load = metrics::summarize_load(
+            experiment.world().network().meter(),
+            experiment.world().class_map(), window);
 
         TrialResult res;
         res.pub_load = load.public_bytes_per_sec;
         res.priv_load = load.private_bytes_per_sec;
 
-        run::schedule_catastrophe(world, warmup + window, 0.8);
-        world.simulator().run_until(warmup + window + sim::msec(1));
-        res.cluster = world.snapshot_overlay(true).largest_component_fraction();
+        // The crash is scheduled only after the load window has been
+        // summarized: the overhead numbers must describe the healthy
+        // overlay, not a half-dead one.
+        run::schedule_catastrophe(experiment.world(), warmup + window, 0.8);
+        experiment.run_until(warmup + window + sim::msec(1));
+        res.cluster = experiment.world()
+                          .snapshot_overlay(true)
+                          .largest_component_fraction();
         return res;
       });
 
   for (std::size_t p = 0; p < std::size(redundancies); ++p) {
-    TrialResult sum;
+    exp::Accum pub_load;
+    exp::Accum priv_load;
+    exp::Accum cluster;
     for (const auto& res : grid[p]) {
-      sum.pub_load += res.pub_load;
-      sum.priv_load += res.priv_load;
-      sum.cluster += res.cluster;
+      pub_load.add(res.pub_load);
+      priv_load.add(res.priv_load);
+      cluster.add(res.cluster);
     }
-    const auto k = static_cast<double>(args.runs);
     sink.raw(exp::strf("%-12zu %14.1f %15.1f %18.3f", redundancies[p],
-                       sum.pub_load / k, sum.priv_load / k, sum.cluster / k));
+                       pub_load.mean(), priv_load.mean(), cluster.mean()));
     const std::string block = exp::strf("redundancy=%zu", redundancies[p]);
-    sink.value(block, "pub-load B/s", sum.pub_load / k);
-    sink.value(block, "priv-load B/s", sum.priv_load / k);
-    sink.value(block, "cluster@80%fail", sum.cluster / k);
+    bench::emit_value(sink, block, "pub-load B/s", pub_load);
+    bench::emit_value(sink, block, "priv-load B/s", priv_load);
+    bench::emit_value(sink, block, "cluster@80%fail", cluster);
   }
   return 0;
 }

@@ -25,7 +25,7 @@ struct TrialResult {
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double duration = args.fast ? 100 : 200;
   const double losses[] = {0.0, 0.01, 0.05, 0.10, 0.20};
 
   exp::TrialPool pool(args.jobs);
@@ -39,19 +39,18 @@ int main(int argc, char** argv) {
 
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(losses), [&](std::size_t p, std::uint64_t seed) {
-        auto wcfg = bench::paper_world_config(seed);
-        wcfg.loss_probability = losses[p];
-        run::World world(wcfg, run::make_croupier_factory(
-                                   bench::paper_croupier_config(25, 50)));
-        bench::paper_joins(world, n / 5, n - n / 5);
-        run::EstimationRecorder rec(world, {sim::sec(1), 2});
-        rec.start(sim::sec(1));
-        world.simulator().run_until(duration);
+        run::Experiment experiment(
+            bench::paper_spec(n, duration)
+                .protocol(bench::croupier_proto(25, 50))
+                .loss(losses[p])
+                .build(),
+            seed);
+        experiment.run();
 
         TrialResult res;
-        res.avg_err = rec.latest().sample.avg_error;
-        res.max_err = rec.latest().sample.max_error;
-        const auto graph = world.snapshot_overlay();
+        res.avg_err = experiment.estimation()->latest().sample.avg_error;
+        res.max_err = experiment.estimation()->latest().sample.max_error;
+        const auto graph = experiment.world().snapshot_overlay();
         res.cluster = graph.largest_component_fraction();
         // Forked off the trial seed so the APL sampling stream cannot
         // alias the world's own forks.
@@ -61,22 +60,24 @@ int main(int argc, char** argv) {
       });
 
   for (std::size_t p = 0; p < std::size(losses); ++p) {
-    TrialResult sum;
+    exp::Accum avg_err;
+    exp::Accum max_err;
+    exp::Accum cluster;
+    exp::Accum apl;
     for (const auto& res : grid[p]) {
-      sum.avg_err += res.avg_err;
-      sum.max_err += res.max_err;
-      sum.cluster += res.cluster;
-      sum.apl += res.apl;
+      avg_err.add(res.avg_err);
+      max_err.add(res.max_err);
+      cluster.add(res.cluster);
+      apl.add(res.apl);
     }
-    const auto k = static_cast<double>(args.runs);
     sink.raw(exp::strf("%-8.2f %12.5f %12.5f %14.3f %12.3f", losses[p],
-                       sum.avg_err / k, sum.max_err / k, sum.cluster / k,
-                       sum.apl / k));
+                       avg_err.mean(), max_err.mean(), cluster.mean(),
+                       apl.mean()));
     const std::string block = exp::strf("loss=%.2f", losses[p]);
-    sink.value(block, "avg-err", sum.avg_err / k);
-    sink.value(block, "max-err", sum.max_err / k);
-    sink.value(block, "biggest-cluster", sum.cluster / k);
-    sink.value(block, "apl", sum.apl / k);
+    bench::emit_value(sink, block, "avg-err", avg_err);
+    bench::emit_value(sink, block, "max-err", max_err);
+    bench::emit_value(sink, block, "biggest-cluster", cluster);
+    bench::emit_value(sink, block, "apl", apl);
   }
   return 0;
 }

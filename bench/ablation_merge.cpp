@@ -7,6 +7,7 @@
 #include <iterator>
 
 #include "bench_common.hpp"
+#include "core/croupier.hpp"
 
 namespace {
 
@@ -18,23 +19,13 @@ struct TrialResult {
   double dead_entry_share = 0;
 };
 
-TrialResult measure(pss::MergePolicy policy, std::size_t n,
-                    std::uint64_t seed, sim::Duration duration,
-                    double churn_rate) {
-  auto cfg = bench::paper_croupier_config(25, 50);
-  cfg.base.merge = policy;
-  run::World world(bench::paper_world_config(seed),
-                   run::make_croupier_factory(cfg));
-  bench::paper_joins(world, n / 5, n - n / 5);
-  run::ChurnProcess churn(world, churn_rate, net::NatConfig::open(),
-                          net::NatConfig::natted());
-  churn.start(sim::sec(30));
-  run::EstimationRecorder rec(world, {sim::sec(1), 2});
-  rec.start(sim::sec(1));
-  world.simulator().run_until(duration);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
+  run::Experiment experiment(spec, seed);
+  experiment.run();
+  auto& world = experiment.world();
 
   TrialResult res;
-  res.avg_err = rec.latest().sample.avg_error;
+  res.avg_err = experiment.estimation()->latest().sample.avg_error;
   double age_sum = 0;
   std::size_t entries = 0;
   std::size_t dead = 0;
@@ -60,12 +51,10 @@ TrialResult measure(pss::MergePolicy policy, std::size_t n,
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double duration = args.fast ? 100 : 200;
   const double churn = 0.01;  // 1%/round
 
-  const std::pair<const char*, pss::MergePolicy> policies[] = {
-      {"swapper", pss::MergePolicy::Swapper},
-      {"healer", pss::MergePolicy::Healer}};
+  const char* policies[] = {"swapper", "healer"};
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -78,24 +67,30 @@ int main(int argc, char** argv) {
 
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(policies), [&](std::size_t p, std::uint64_t seed) {
-        return measure(policies[p].second, n, seed, duration, churn);
+        return measure(
+            bench::paper_spec(n, duration)
+                .protocol(exp::strf("croupier:alpha=25,gamma=50,merge=%s",
+                                    policies[p]))
+                .churn(churn, 30)
+                .build(),
+            seed);
       });
 
   for (std::size_t p = 0; p < std::size(policies); ++p) {
-    TrialResult sum;
+    exp::Accum avg_err;
+    exp::Accum mean_age;
+    exp::Accum dead_share;
     for (const auto& res : grid[p]) {
-      sum.avg_err += res.avg_err;
-      sum.mean_age += res.mean_age;
-      sum.dead_entry_share += res.dead_entry_share;
+      avg_err.add(res.avg_err);
+      mean_age.add(res.mean_age);
+      dead_share.add(100.0 * res.dead_entry_share);
     }
-    const auto k = static_cast<double>(args.runs);
-    sink.raw(exp::strf("%-10s %10.5f %10.2f %13.1f%%", policies[p].first,
-                       sum.avg_err / k, sum.mean_age / k,
-                       100.0 * sum.dead_entry_share / k));
-    const std::string block = exp::strf("merge=%s", policies[p].first);
-    sink.value(block, "avg-err", sum.avg_err / k);
-    sink.value(block, "mean-age", sum.mean_age / k);
-    sink.value(block, "dead-entries %", 100.0 * sum.dead_entry_share / k);
+    sink.raw(exp::strf("%-10s %10.5f %10.2f %13.1f%%", policies[p],
+                       avg_err.mean(), mean_age.mean(), dead_share.mean()));
+    const std::string block = exp::strf("merge=%s", policies[p]);
+    bench::emit_value(sink, block, "avg-err", avg_err);
+    bench::emit_value(sink, block, "mean-age", mean_age);
+    bench::emit_value(sink, block, "dead-entries %", dead_share);
   }
   return 0;
 }

@@ -21,12 +21,10 @@ struct TrialResult {
   double nat_drop_share = 0;  // NAT-filtered / delivered+filtered
 };
 
-TrialResult measure(const run::ProtocolFactory& factory, std::size_t publics,
-                    std::size_t privates, std::uint64_t seed,
-                    sim::Duration duration) {
-  run::World world(bench::paper_world_config(seed), factory);
-  bench::paper_joins(world, publics, privates);
-  world.simulator().run_until(duration);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
+  run::Experiment experiment(spec, seed);
+  experiment.run();
+  auto& world = experiment.world();
 
   TrialResult res;
   const auto graph = world.snapshot_overlay();
@@ -61,7 +59,7 @@ TrialResult measure(const run::ProtocolFactory& factory, std::size_t publics,
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double duration = args.fast ? 100 : 200;
   const int private_pcts[] = {0, 20, 40, 60, 80};
 
   // The sweep is (private% x {cyclon, arrg}) plus one Croupier reference
@@ -69,26 +67,14 @@ int main(int argc, char** argv) {
   struct Point {
     const char* name;
     int private_pct;
-    run::ProtocolFactory factory;
-    std::size_t publics;
-    std::size_t privates;
+    std::string protocol;
   };
   std::vector<Point> sweep;
   for (int pct : private_pcts) {
-    const auto privates =
-        static_cast<std::size_t>(n * static_cast<std::size_t>(pct) / 100);
-    const std::size_t publics = n - privates;
-    sweep.push_back({"cyclon", pct,
-                     run::make_cyclon_factory(bench::paper_pss_config()),
-                     publics, privates});
-    sweep.push_back({"arrg", pct,
-                     run::make_arrg_factory(bench::paper_arrg_config()),
-                     publics, privates});
+    sweep.push_back({"cyclon", pct, "cyclon"});
+    sweep.push_back({"arrg", pct, "arrg"});
   }
-  sweep.push_back(
-      {"croupier", 80,
-       run::make_croupier_factory(bench::paper_croupier_config(25, 50)),
-       n / 5, n - n / 5});
+  sweep.push_back({"croupier", 80, bench::croupier_proto(25, 50)});
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -102,28 +88,36 @@ int main(int argc, char** argv) {
   const auto grid = bench::run_trial_grid(
       pool, args, sweep.size(), [&](std::size_t p, std::uint64_t seed) {
         const Point& pt = sweep[p];
-        return measure(pt.factory, pt.publics, pt.privates, seed, duration);
+        return measure(
+            bench::paper_spec(n, duration)
+                .protocol(pt.protocol)
+                .ratio(1.0 - static_cast<double>(pt.private_pct) / 100.0)
+                .record_nothing()
+                .build(),
+            seed);
       });
 
   for (std::size_t p = 0; p < sweep.size(); ++p) {
     const Point& pt = sweep[p];
-    TrialResult sum;
+    exp::Accum cluster;
+    exp::Accum indeg_pub;
+    exp::Accum indeg_priv;
+    exp::Accum nat_drops;
     for (const auto& res : grid[p]) {
-      sum.cluster += res.cluster;
-      sum.indeg_pub += res.indeg_pub;
-      sum.indeg_priv += res.indeg_priv;
-      sum.nat_drop_share += res.nat_drop_share;
+      cluster.add(res.cluster);
+      indeg_pub.add(res.indeg_pub);
+      indeg_priv.add(res.indeg_priv);
+      nat_drops.add(res.nat_drop_share);
     }
-    const auto k = static_cast<double>(args.runs);
     sink.raw(exp::strf("%-10s %9d%% %10.3f %11.2f %12.2f %12.3f", pt.name,
-                       pt.private_pct, sum.cluster / k, sum.indeg_pub / k,
-                       sum.indeg_priv / k, sum.nat_drop_share / k));
+                       pt.private_pct, cluster.mean(), indeg_pub.mean(),
+                       indeg_priv.mean(), nat_drops.mean()));
     const std::string block =
         exp::strf("%s private=%d%%", pt.name, pt.private_pct);
-    sink.value(block, "cluster", sum.cluster / k);
-    sink.value(block, "indeg-pub", sum.indeg_pub / k);
-    sink.value(block, "indeg-priv", sum.indeg_priv / k);
-    sink.value(block, "nat-drops", sum.nat_drop_share / k);
+    bench::emit_value(sink, block, "cluster", cluster);
+    bench::emit_value(sink, block, "indeg-pub", indeg_pub);
+    bench::emit_value(sink, block, "indeg-priv", indeg_priv);
+    bench::emit_value(sink, block, "nat-drops", nat_drops);
   }
   return 0;
 }

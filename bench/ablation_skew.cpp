@@ -17,16 +17,10 @@ namespace {
 
 using namespace croupier;
 
-double measure_bias(double clock_skew, double private_slowdown,
-                    std::size_t n, std::uint64_t seed,
-                    sim::Duration duration) {
-  auto wcfg = bench::paper_world_config(seed);
-  wcfg.clock_skew = clock_skew;
-  wcfg.private_round_scale = 1.0 + private_slowdown;
-  run::World world(wcfg, run::make_croupier_factory(
-                             bench::paper_croupier_config(25, 50)));
-  bench::paper_joins(world, n / 5, n - n / 5);
-  world.simulator().run_until(duration);
+double measure_bias(const run::ExperimentSpec& spec, std::uint64_t seed) {
+  run::Experiment experiment(spec, seed);
+  experiment.run();
+  auto& world = experiment.world();
 
   double sum = 0;
   const auto estimates = world.ratio_estimates();
@@ -40,7 +34,7 @@ double measure_bias(double clock_skew, double private_slowdown,
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double duration = args.fast ? 100 : 200;
   const double omega = 0.2;
 
   // Both sweeps flattened into one trial grid: symmetric-skew points
@@ -66,22 +60,27 @@ int main(int argc, char** argv) {
 
   const auto grid = bench::run_trial_grid(
       pool, args, sweep.size(), [&](std::size_t p, std::uint64_t seed) {
-        return measure_bias(sweep[p].skew, sweep[p].slowdown, n, seed,
-                            duration);
+        return measure_bias(
+            bench::paper_spec(n, duration)
+                .protocol(bench::croupier_proto(25, 50))
+                .skew(sweep[p].skew)
+                .private_round_scale(1.0 + sweep[p].slowdown)
+                .record_nothing()
+                .build(),
+            seed);
       });
 
   for (std::size_t p = 0; p < sweep.size(); ++p) {
     const Point& pt = sweep[p];
-    double bias = 0;
-    for (double b : grid[p]) bias += b;
-    bias /= static_cast<double>(args.runs);
+    exp::Accum bias;
+    for (double b : grid[p]) bias.add(b);
 
     if (pt.slowdown == 0.0) {
       sink.raw(exp::strf("symmetric skew %4.0f%%      %+12.5f %+12.5f",
-                         pt.skew * 100, bias, 0.0));
+                         pt.skew * 100, bias.mean(), 0.0));
       const std::string block = exp::strf("symmetric-skew=%.0f%%",
                                           pt.skew * 100);
-      sink.value(block, "measured", bias);
+      bench::emit_value(sink, block, "measured", bias);
       sink.value(block, "predicted", 0.0);
     } else {
       const double predicted =
@@ -89,10 +88,10 @@ int main(int argc, char** argv) {
               (omega * (1.0 + pt.slowdown) + (1.0 - omega)) -
           omega;
       sink.raw(exp::strf("privates %3.0f%% slower      %+12.5f %+12.5f",
-                         pt.slowdown * 100, bias, predicted));
+                         pt.slowdown * 100, bias.mean(), predicted));
       const std::string block = exp::strf("private-slowdown=%.0f%%",
                                           pt.slowdown * 100);
-      sink.value(block, "measured", bias);
+      bench::emit_value(sink, block, "measured", bias);
       sink.value(block, "predicted", predicted);
     }
   }

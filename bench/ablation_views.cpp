@@ -22,17 +22,13 @@ struct TrialResult {
   double apl = 0;
 };
 
-TrialResult measure(const core::CroupierConfig& cfg, std::size_t n,
-                    std::uint64_t seed, sim::Duration duration) {
-  run::World world(bench::paper_world_config(seed),
-                   run::make_croupier_factory(cfg));
-  bench::paper_joins(world, n / 5, n - n / 5);
-  run::EstimationRecorder rec(world, {sim::sec(1), 2});
-  rec.start(sim::sec(1));
-  world.simulator().run_until(duration);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
+  run::Experiment experiment(spec, seed);
+  experiment.run();
+  auto& world = experiment.world();
 
   TrialResult res;
-  res.steady_avg_err = rec.latest().sample.avg_error;
+  res.steady_avg_err = experiment.estimation()->latest().sample.avg_error;
 
   const auto graph = world.snapshot_overlay();
   const auto degrees = graph.in_degrees();
@@ -64,17 +60,19 @@ TrialResult measure(const core::CroupierConfig& cfg, std::size_t n,
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double duration = args.fast ? 100 : 200;
 
   struct Variant {
     const char* name;
-    core::ViewSizing sizing;
-    std::size_t view_size;
+    const char* protocol;
   };
   const Variant variants[] = {
-      {"fixed-10+10", core::ViewSizing::FixedPerView, 10},
-      {"proportional-10", core::ViewSizing::RatioProportional, 10},
-      {"proportional-20", core::ViewSizing::RatioProportional, 20},
+      {"fixed-10+10",
+       "croupier:alpha=25,gamma=50,sizing=fixed,view=10"},
+      {"proportional-10",
+       "croupier:alpha=25,gamma=50,sizing=proportional,view=10"},
+      {"proportional-20",
+       "croupier:alpha=25,gamma=50,sizing=proportional,view=20"},
   };
 
   exp::TrialPool pool(args.jobs);
@@ -87,29 +85,31 @@ int main(int argc, char** argv) {
 
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(variants), [&](std::size_t p, std::uint64_t seed) {
-        auto cfg = bench::paper_croupier_config(25, 50);
-        cfg.sizing = variants[p].sizing;
-        cfg.base.view_size = variants[p].view_size;
-        return measure(cfg, n, seed, duration);
+        return measure(bench::paper_spec(n, duration)
+                           .protocol(variants[p].protocol)
+                           .build(),
+                       seed);
       });
 
   for (std::size_t p = 0; p < std::size(variants); ++p) {
-    TrialResult sum;
+    exp::Accum avg_err;
+    exp::Accum indeg_pub;
+    exp::Accum indeg_priv;
+    exp::Accum apl;
     for (const auto& res : grid[p]) {
-      sum.steady_avg_err += res.steady_avg_err;
-      sum.mean_indeg_public += res.mean_indeg_public;
-      sum.mean_indeg_private += res.mean_indeg_private;
-      sum.apl += res.apl;
+      avg_err.add(res.steady_avg_err);
+      indeg_pub.add(res.mean_indeg_public);
+      indeg_priv.add(res.mean_indeg_private);
+      apl.add(res.apl);
     }
-    const auto k = static_cast<double>(args.runs);
     sink.raw(exp::strf("%-16s %10.5f %12.2f %13.2f %8.3f", variants[p].name,
-                       sum.steady_avg_err / k, sum.mean_indeg_public / k,
-                       sum.mean_indeg_private / k, sum.apl / k));
+                       avg_err.mean(), indeg_pub.mean(), indeg_priv.mean(),
+                       apl.mean()));
     const std::string block = exp::strf("sizing=%s", variants[p].name);
-    sink.value(block, "avg-err", sum.steady_avg_err / k);
-    sink.value(block, "indeg-pub", sum.mean_indeg_public / k);
-    sink.value(block, "indeg-priv", sum.mean_indeg_private / k);
-    sink.value(block, "apl", sum.apl / k);
+    bench::emit_value(sink, block, "avg-err", avg_err);
+    bench::emit_value(sink, block, "indeg-pub", indeg_pub);
+    bench::emit_value(sink, block, "indeg-priv", indeg_priv);
+    bench::emit_value(sink, block, "apl", apl);
   }
   return 0;
 }

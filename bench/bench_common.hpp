@@ -1,26 +1,34 @@
 // Shared plumbing for the figure-regeneration benches: flag parsing,
-// paper-default protocol configurations, parallel trial fan-out, and
+// paper-default experiment specs, parallel trial fan-out, and
 // series/table printing.
 //
 // Every bench binary regenerates one figure of the paper and prints the
 // same rows/series the figure plots. Flags:
 //   --runs=N   independent seeds averaged per data point (default 2 to
 //              keep the full-suite wall clock modest; the paper averaged
-//              5 — pass --runs=5 for publication-grade smoothing)
+//              5 — pass --runs=5 for publication-grade smoothing). With
+//              --runs>1 every series row carries a third column: the
+//              across-runs standard deviation (gnuplot errorbars).
 //   --seed=S   base seed (default 1)
 //   --jobs=N   worker threads for trial execution (default: hardware
 //              concurrency). Output is byte-identical for every N.
 //   --csv=PATH mirror every emitted data point into a CSV file
 //   --fast     shrink scale for smoke-testing (CI-friendly)
+// Unknown flags warn on stderr (a typo like --run=5 must be visible, not
+// silently revert to the default).
 //
-// All trials (runs x parameter points) run through exp::TrialPool; the
-// per-trial seed is derived with exp::trial_seed, never by ad-hoc
-// seed arithmetic, so growing --runs or reordering sweep points cannot
-// make trials share a seed lineage.
+// Experiments are declarative: a bench builds run::ExperimentSpec values
+// (protocol chosen by ProtocolRegistry name, e.g.
+// "croupier:alpha=25,gamma=50") and fans the runs x points trial grid
+// out on exp::TrialPool; the per-trial seed is derived with
+// exp::trial_seed, never by ad-hoc seed arithmetic, so growing --runs or
+// reordering sweep points cannot make trials share a seed lineage.
 #pragma once
 
+#include <algorithm>
 #include <cctype>
 #include <cerrno>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,17 +39,12 @@
 #include <utility>
 #include <vector>
 
-#include "baselines/arrg.hpp"
-#include "baselines/cyclon.hpp"
-#include "baselines/gozar.hpp"
-#include "baselines/nylon.hpp"
-#include "core/croupier.hpp"
 #include "exp/seeds.hpp"
 #include "exp/sink.hpp"
 #include "exp/trial_pool.hpp"
-#include "runtime/factories.hpp"
 #include "runtime/recorder.hpp"
-#include "runtime/scenario.hpp"
+#include "runtime/registry.hpp"
+#include "runtime/spec.hpp"
 #include "runtime/world.hpp"
 
 namespace croupier::bench {
@@ -52,6 +55,10 @@ struct BenchArgs {
   std::size_t jobs = 0;  // 0 = hardware concurrency
   std::string csv;       // empty = no CSV mirror
   bool fast = false;
+
+  /// Hook for binaries with extra flags (croupier-lab): called first for
+  /// every argument; return true to consume it.
+  using ExtraFlagFn = std::function<bool(const std::string&)>;
 
   /// Parses a full decimal number; on malformed or empty input warns on
   /// stderr and leaves `out` untouched, so a typo degrades to the
@@ -72,11 +79,14 @@ struct BenchArgs {
     out = v;
   }
 
-  static BenchArgs parse(int argc, char** argv) {
+  static BenchArgs parse(int argc, char** argv,
+                         const ExtraFlagFn& extra = {}) {
     BenchArgs args;
     for (int i = 1; i < argc; ++i) {
       const std::string a = argv[i];
-      if (a.rfind("--runs=", 0) == 0) {
+      if (extra && extra(a)) {
+        // consumed by the caller
+      } else if (a.rfind("--runs=", 0) == 0) {
         std::uint64_t v = args.runs;
         parse_u64("--runs", a.substr(7), v);
         args.runs = static_cast<std::size_t>(v);
@@ -93,6 +103,11 @@ struct BenchArgs {
       } else if (a == "--help") {
         std::printf("flags: --runs=N --seed=S --jobs=N --csv=PATH --fast\n");
         std::exit(0);  // usage requested — don't launch the full run
+      } else {
+        // A typo like --run=5 silently reverting to the default cost
+        // real debugging time; make every unrecognized argument loud.
+        std::fprintf(stderr, "warning: unknown flag %s (ignored)\n",
+                     a.c_str());
       }
     }
     if (args.runs == 0) {
@@ -132,63 +147,28 @@ auto run_trial_grid(exp::TrialPool& pool, const BenchArgs& args,
   return out;
 }
 
-/// Paper §VII-A defaults: view 10, shuffle subset 5, 1 s rounds.
-inline pss::PssConfig paper_pss_config() {
-  pss::PssConfig cfg;
-  cfg.view_size = 10;
-  cfg.shuffle_size = 5;
-  cfg.round_period = sim::sec(1);
-  return cfg;
+/// Registry spec for Croupier with explicit history windows (the
+/// (α, γ) pairs the paper sweeps).
+inline std::string croupier_proto(std::size_t alpha, std::size_t gamma) {
+  return exp::strf("croupier:alpha=%zu,gamma=%zu", alpha, gamma);
 }
 
-inline core::CroupierConfig paper_croupier_config(std::size_t alpha = 25,
-                                                  std::size_t gamma = 50) {
-  core::CroupierConfig cfg;
-  cfg.base = paper_pss_config();
-  cfg.estimator.local_history = alpha;
-  cfg.estimator.neighbour_history = gamma;
-  cfg.estimator.share_limit = 10;
-  return cfg;
-}
-
-inline baselines::GozarConfig paper_gozar_config() {
-  baselines::GozarConfig cfg;
-  cfg.base = paper_pss_config();
-  return cfg;
-}
-
-inline baselines::NylonConfig paper_nylon_config() {
-  baselines::NylonConfig cfg;
-  cfg.base = paper_pss_config();
-  return cfg;
-}
-
-inline baselines::ArrgConfig paper_arrg_config() {
-  baselines::ArrgConfig cfg;
-  cfg.base = paper_pss_config();
-  return cfg;
-}
-
-inline run::World::Config paper_world_config(std::uint64_t seed) {
-  run::World::Config cfg;
-  cfg.seed = seed;
-  cfg.latency = run::World::LatencyKind::King;
-  cfg.clock_skew = 0.01;
-  return cfg;
+/// Paper §VII-A setup as a spec builder: ω = 0.2, Poisson joins with
+/// 50 ms / 13 ms inter-arrival, King latencies, 1 % clock skew. Chain
+/// further builder calls for the figure-specific workload.
+inline run::SpecBuilder paper_spec(std::size_t nodes, double duration_s) {
+  return run::SpecBuilder().nodes(nodes).ratio(0.2).duration(duration_s);
 }
 
 /// One run of a Croupier estimation experiment (figures 1-5 all share
-/// this skeleton): build a world, apply a scenario, record the error
-/// series once per second.
+/// this skeleton): build a world from the spec, record the error series
+/// once per second.
 struct EstimationSeries {
   std::vector<double> t;
   std::vector<double> avg_err;
   std::vector<double> max_err;
   std::vector<double> truth;
 };
-
-/// Scenario hook: configure joins/churn/ratio changes on the fresh world.
-using ScenarioFn = std::function<void(run::World&)>;
 
 inline EstimationSeries to_series(const run::EstimationRecorder& recorder) {
   EstimationSeries out;
@@ -201,26 +181,35 @@ inline EstimationSeries to_series(const run::EstimationRecorder& recorder) {
   return out;
 }
 
-inline EstimationSeries run_estimation_experiment(
-    const core::CroupierConfig& cfg, std::uint64_t seed,
-    sim::Duration duration, const ScenarioFn& scenario) {
-  run::World world(paper_world_config(seed),
-                   run::make_croupier_factory(cfg));
-  scenario(world);
-  run::EstimationRecorder recorder(world, {sim::sec(1), 2});
-  recorder.start(sim::sec(1));
-  world.simulator().run_until(duration);
-  return to_series(recorder);
+/// Runs a spec (which must record estimation) to its horizon and returns
+/// the error series — the standard trial body of figures 1-5.
+inline EstimationSeries run_spec_series(const run::ExperimentSpec& spec,
+                                        std::uint64_t seed) {
+  run::Experiment experiment(spec, seed);
+  experiment.run();
+  return to_series(*experiment.estimation());
 }
 
-/// Pointwise average of several runs of the same experiment (series are
-/// sampled on the same 1 s grid).
-inline EstimationSeries average_runs(
+/// Pointwise mean and across-runs standard deviation of several runs of
+/// the same experiment (series are sampled on the same 1 s grid). The
+/// means are plain sum/n in run order, so aggregation is byte-identical
+/// for every --jobs value.
+struct AggregatedSeries {
+  std::vector<double> t;
+  std::vector<double> avg_err;
+  std::vector<double> avg_err_sd;
+  std::vector<double> max_err;
+  std::vector<double> max_err_sd;
+  std::vector<double> truth;
+};
+
+inline AggregatedSeries aggregate_runs(
     const std::vector<EstimationSeries>& runs) {
-  EstimationSeries avg;
-  if (runs.empty()) return avg;
+  AggregatedSeries agg;
+  if (runs.empty()) return agg;
   std::size_t len = runs[0].t.size();
   for (const auto& r : runs) len = std::min(len, r.t.size());
+  const auto n = static_cast<double>(runs.size());
   for (std::size_t i = 0; i < len; ++i) {
     double a = 0;
     double m = 0;
@@ -230,13 +219,45 @@ inline EstimationSeries average_runs(
       m += r.max_err[i];
       tr += r.truth[i];
     }
-    const auto n = static_cast<double>(runs.size());
-    avg.t.push_back(runs[0].t[i]);
-    avg.avg_err.push_back(a / n);
-    avg.max_err.push_back(m / n);
-    avg.truth.push_back(tr / n);
+    const double a_mean = a / n;
+    const double m_mean = m / n;
+    double a_var = 0;
+    double m_var = 0;
+    for (const auto& r : runs) {
+      a_var += (r.avg_err[i] - a_mean) * (r.avg_err[i] - a_mean);
+      m_var += (r.max_err[i] - m_mean) * (r.max_err[i] - m_mean);
+    }
+    const double denom = runs.size() > 1 ? n - 1 : 1;
+    agg.t.push_back(runs[0].t[i]);
+    agg.avg_err.push_back(a_mean);
+    agg.avg_err_sd.push_back(std::sqrt(a_var / denom));
+    agg.max_err.push_back(m_mean);
+    agg.max_err_sd.push_back(std::sqrt(m_var / denom));
+    agg.truth.push_back(tr / n);
   }
-  return avg;
+  return agg;
+}
+
+/// Emits a series block, with the across-runs stddev column whenever more
+/// than one run backs each point.
+inline void emit_series(exp::ResultSink& sink, const std::string& name,
+                        const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const std::vector<double>& sd, std::size_t runs,
+                        const char* x_fmt = "%.0f",
+                        const char* y_fmt = "%.6f") {
+  if (runs > 1) {
+    sink.series(name, x, y, sd, x_fmt, y_fmt);
+  } else {
+    sink.series(name, x, y, x_fmt, y_fmt);
+  }
+}
+
+/// Emits a summary scalar plus its across-runs spread (CSV only).
+inline void emit_value(exp::ResultSink& sink, const std::string& block,
+                       const std::string& key, const exp::Accum& acc) {
+  sink.value(block, key, acc.mean());
+  if (acc.n() > 1) sink.spread(block, key, acc.stddev());
 }
 
 /// Mean of the tail (steady state) of a series.
@@ -247,16 +268,6 @@ inline double steady_state(const std::vector<double>& v,
   double sum = 0;
   for (std::size_t i = v.size() - n; i < v.size(); ++i) sum += v[i];
   return sum / static_cast<double>(n);
-}
-
-/// The paper's standard join process: public and private nodes arrive by
-/// Poisson processes with 50 ms / 12.5 ms mean inter-arrival times.
-inline void paper_joins(run::World& world, std::size_t publics,
-                        std::size_t privates) {
-  run::schedule_poisson_joins(world, publics, net::NatConfig::open(),
-                              sim::msec(50));
-  run::schedule_poisson_joins(world, privates, net::NatConfig::natted(),
-                              sim::msec(13));
 }
 
 }  // namespace croupier::bench

@@ -14,12 +14,11 @@
 int main(int argc, char** argv) {
   using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::size_t publics = args.fast ? 100 : 1000;
-  const std::size_t privates = args.fast ? 400 : 4000;
+  const std::size_t nodes = args.fast ? 500 : 5000;  // ω = 0.2
   // 350 s rather than the paper's 250: the largest history window is
   // still converging at t=250 (the paper notes it converges ~100 rounds
   // later); the longer horizon makes the accuracy crossover visible.
-  const auto duration = sim::sec(args.fast ? 120 : 350);
+  const double duration = args.fast ? 120 : 350;
 
   const std::pair<std::size_t, std::size_t> windows[] = {
       {10, 25}, {25, 50}, {100, 250}};
@@ -29,30 +28,34 @@ int main(int argc, char** argv) {
   sink.comment(exp::strf(
       "fig1: stable-ratio estimation error; %zu public + %zu private "
       "nodes (omega=0.2), %zu run(s)",
-      publics, privates, args.runs));
+      nodes / 5, nodes - nodes / 5, args.runs));
   sink.blank();
 
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(windows), [&](std::size_t p, std::uint64_t seed) {
         const auto& [alpha, gamma] = windows[p];
-        return bench::run_estimation_experiment(
-            bench::paper_croupier_config(alpha, gamma), seed, duration,
-            [&](run::World& w) { bench::paper_joins(w, publics, privates); });
+        return bench::run_spec_series(
+            bench::paper_spec(nodes, duration)
+                .protocol(bench::croupier_proto(alpha, gamma))
+                .build(),
+            seed);
       });
 
   for (std::size_t p = 0; p < std::size(windows); ++p) {
     const auto& [alpha, gamma] = windows[p];
-    const auto avg = bench::average_runs(grid[p]);
+    const auto agg = bench::aggregate_runs(grid[p]);
 
-    sink.series(exp::strf("fig1a avg-error alpha=%zu gamma=%zu", alpha, gamma),
-                avg.t, avg.avg_err);
-    sink.series(exp::strf("fig1b max-error alpha=%zu gamma=%zu", alpha, gamma),
-                avg.t, avg.max_err);
+    bench::emit_series(
+        sink, exp::strf("fig1a avg-error alpha=%zu gamma=%zu", alpha, gamma),
+        agg.t, agg.avg_err, agg.avg_err_sd, args.runs);
+    bench::emit_series(
+        sink, exp::strf("fig1b max-error alpha=%zu gamma=%zu", alpha, gamma),
+        agg.t, agg.max_err, agg.max_err_sd, args.runs);
 
     const std::string block =
         exp::strf("summary alpha=%zu gamma=%zu", alpha, gamma);
-    const double steady_avg = bench::steady_state(avg.avg_err);
-    const double steady_max = bench::steady_state(avg.max_err);
+    const double steady_avg = bench::steady_state(agg.avg_err);
+    const double steady_max = bench::steady_state(agg.max_err);
     sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
                            block.c_str(), steady_avg, steady_max));
     sink.blank();

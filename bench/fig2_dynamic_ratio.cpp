@@ -16,11 +16,10 @@
 int main(int argc, char** argv) {
   using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::size_t publics = args.fast ? 100 : 1000;
-  const std::size_t privates = args.fast ? 400 : 4000;
+  const std::size_t nodes = args.fast ? 500 : 5000;  // ω = 0.2
   const std::size_t extra_publics = args.fast ? 33 : 333;
-  const auto step_at = sim::sec(58);
-  const auto duration = sim::sec(args.fast ? 150 : 300);
+  const double step_at = 58;
+  const double duration = args.fast ? 150 : 300;
 
   const std::pair<std::size_t, std::size_t> windows[] = {
       {10, 25}, {25, 50}, {100, 250}};
@@ -30,50 +29,49 @@ int main(int argc, char** argv) {
   sink.comment(exp::strf(
       "fig2: dynamic-ratio estimation error; %zu+%zu nodes, +%zu publics "
       "from t=58s at 42ms, %zu run(s)",
-      publics, privates, extra_publics, args.runs));
+      nodes / 5, nodes - nodes / 5, extra_publics, args.runs));
   sink.blank();
 
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(windows), [&](std::size_t p, std::uint64_t seed) {
         const auto& [alpha, gamma] = windows[p];
-        return bench::run_estimation_experiment(
-            bench::paper_croupier_config(alpha, gamma), seed, duration,
-            [&](run::World& w) {
-              bench::paper_joins(w, publics, privates);
-              run::schedule_fixed_joins(w, extra_publics,
-                                        net::NatConfig::open(), sim::msec(42),
-                                        step_at);
-            });
+        return bench::run_spec_series(
+            bench::paper_spec(nodes, duration)
+                .protocol(bench::croupier_proto(alpha, gamma))
+                .join_step(extra_publics, 0, step_at, 42)
+                .build(),
+            seed);
       });
 
   bool truth_printed = false;
   for (std::size_t p = 0; p < std::size(windows); ++p) {
     const auto& [alpha, gamma] = windows[p];
-    const auto avg = bench::average_runs(grid[p]);
+    const auto agg = bench::aggregate_runs(grid[p]);
 
     if (!truth_printed) {
       truth_printed = true;
-      sink.series("fig2 true-ratio", avg.t, avg.truth);
+      sink.series("fig2 true-ratio", agg.t, agg.truth);
     }
 
-    sink.series(exp::strf("fig2a avg-error alpha=%zu gamma=%zu", alpha, gamma),
-                avg.t, avg.avg_err);
-    sink.series(exp::strf("fig2b max-error alpha=%zu gamma=%zu", alpha, gamma),
-                avg.t, avg.max_err);
+    bench::emit_series(
+        sink, exp::strf("fig2a avg-error alpha=%zu gamma=%zu", alpha, gamma),
+        agg.t, agg.avg_err, agg.avg_err_sd, args.runs);
+    bench::emit_series(
+        sink, exp::strf("fig2b max-error alpha=%zu gamma=%zu", alpha, gamma),
+        agg.t, agg.max_err, agg.max_err_sd, args.runs);
 
     // Re-convergence diagnostic: first time after the step that the
     // average error returns below 1%.
     double reconverged = -1;
-    for (std::size_t i = 0; i < avg.t.size(); ++i) {
-      if (avg.t[i] > sim::to_seconds(step_at) + 14.0 &&
-          avg.avg_err[i] < 0.01) {
-        reconverged = avg.t[i];
+    for (std::size_t i = 0; i < agg.t.size(); ++i) {
+      if (agg.t[i] > step_at + 14.0 && agg.avg_err[i] < 0.01) {
+        reconverged = agg.t[i];
         break;
       }
     }
     const std::string block =
         exp::strf("summary alpha=%zu gamma=%zu", alpha, gamma);
-    const double steady_avg = bench::steady_state(avg.avg_err);
+    const double steady_avg = bench::steady_state(agg.avg_err);
     sink.comment(exp::strf("%s: steady avg-err=%.5f reconverged(<1%%)@t=%.0fs",
                            block.c_str(), steady_avg, reconverged));
     sink.blank();

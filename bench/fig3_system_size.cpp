@@ -11,13 +11,11 @@
 int main(int argc, char** argv) {
   using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double duration = args.fast ? 100 : 200;
   const std::size_t sizes_full[] = {50, 100, 500, 1000, 5000};
   const std::size_t sizes_fast[] = {50, 100, 500};
   const auto sizes = args.fast ? std::span<const std::size_t>(sizes_fast)
                                : std::span<const std::size_t>(sizes_full);
-
-  const auto cfg = bench::paper_croupier_config(25, 50);
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -29,24 +27,25 @@ int main(int argc, char** argv) {
 
   const auto grid = bench::run_trial_grid(
       pool, args, sizes.size(), [&](std::size_t p, std::uint64_t seed) {
-        const std::size_t n = sizes[p];
-        const std::size_t publics = n / 5;
-        return bench::run_estimation_experiment(
-            cfg, seed, duration, [&](run::World& w) {
-              bench::paper_joins(w, publics, n - publics);
-            });
+        return bench::run_spec_series(
+            bench::paper_spec(sizes[p], duration)
+                .protocol(bench::croupier_proto(25, 50))
+                .build(),
+            seed);
       });
 
   for (std::size_t p = 0; p < sizes.size(); ++p) {
     const std::size_t n = sizes[p];
-    const auto avg = bench::average_runs(grid[p]);
+    const auto agg = bench::aggregate_runs(grid[p]);
 
-    sink.series(exp::strf("fig3a avg-error n=%zu", n), avg.t, avg.avg_err);
-    sink.series(exp::strf("fig3b max-error n=%zu", n), avg.t, avg.max_err);
+    bench::emit_series(sink, exp::strf("fig3a avg-error n=%zu", n), agg.t,
+                       agg.avg_err, agg.avg_err_sd, args.runs);
+    bench::emit_series(sink, exp::strf("fig3b max-error n=%zu", n), agg.t,
+                       agg.max_err, agg.max_err_sd, args.runs);
 
     const std::string block = exp::strf("summary n=%zu", n);
-    const double steady_avg = bench::steady_state(avg.avg_err);
-    const double steady_max = bench::steady_state(avg.max_err);
+    const double steady_avg = bench::steady_state(agg.avg_err);
+    const double steady_max = bench::steady_state(agg.max_err);
     sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
                            block.c_str(), steady_avg, steady_max));
     sink.blank();

@@ -15,10 +15,8 @@ int main(int argc, char** argv) {
   using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const auto duration = sim::sec(args.fast ? 100 : 200);
+  const double duration = args.fast ? 100 : 200;
   const double ratios[] = {0.05, 0.1, 0.2, 0.33, 0.5, 0.8};
-
-  const auto cfg = bench::paper_croupier_config(25, 50);
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -30,26 +28,26 @@ int main(int argc, char** argv) {
 
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(ratios), [&](std::size_t p, std::uint64_t seed) {
-        const auto publics = static_cast<std::size_t>(
-            ratios[p] * static_cast<double>(n) + 0.5);
-        return bench::run_estimation_experiment(
-            cfg, seed, duration, [&](run::World& w) {
-              bench::paper_joins(w, publics, n - publics);
-            });
+        return bench::run_spec_series(
+            bench::paper_spec(n, duration)
+                .protocol(bench::croupier_proto(25, 50))
+                .ratio(ratios[p])
+                .build(),
+            seed);
       });
 
   for (std::size_t p = 0; p < std::size(ratios); ++p) {
     const double ratio = ratios[p];
-    const auto avg = bench::average_runs(grid[p]);
+    const auto agg = bench::aggregate_runs(grid[p]);
 
-    sink.series(exp::strf("fig4a avg-error ratio=%.2f", ratio), avg.t,
-                avg.avg_err);
-    sink.series(exp::strf("fig4b max-error ratio=%.2f", ratio), avg.t,
-                avg.max_err);
+    bench::emit_series(sink, exp::strf("fig4a avg-error ratio=%.2f", ratio),
+                       agg.t, agg.avg_err, agg.avg_err_sd, args.runs);
+    bench::emit_series(sink, exp::strf("fig4b max-error ratio=%.2f", ratio),
+                       agg.t, agg.max_err, agg.max_err_sd, args.runs);
 
     const std::string block = exp::strf("summary ratio=%.2f", ratio);
-    const double steady_avg = bench::steady_state(avg.avg_err);
-    const double steady_max = bench::steady_state(avg.max_err);
+    const double steady_avg = bench::steady_state(agg.avg_err);
+    const double steady_max = bench::steady_state(agg.max_err);
     sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
                            block.c_str(), steady_avg, steady_max));
     sink.blank();

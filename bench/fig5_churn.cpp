@@ -15,10 +15,8 @@ int main(int argc, char** argv) {
   using namespace croupier;
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const auto duration = sim::sec(args.fast ? 120 : 250);
+  const double duration = args.fast ? 120 : 250;
   const double churn_rates[] = {0.001, 0.01, 0.025, 0.05};
-
-  const auto cfg = bench::paper_croupier_config(25, 50);
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -31,33 +29,30 @@ int main(int argc, char** argv) {
   const auto grid = bench::run_trial_grid(
       pool, args, std::size(churn_rates),
       [&](std::size_t p, std::uint64_t seed) {
-        // The churn process must stay alive while the world runs, so
-        // this trial owns it directly instead of going through
-        // run_estimation_experiment's scenario hook.
-        run::World world(bench::paper_world_config(seed),
-                         run::make_croupier_factory(cfg));
-        bench::paper_joins(world, n / 5, n - n / 5);
-        run::ChurnProcess churn(world, churn_rates[p], net::NatConfig::open(),
-                                net::NatConfig::natted());
-        churn.start(sim::sec(61));
-        run::EstimationRecorder recorder(world, {sim::sec(1), 2});
-        recorder.start(sim::sec(1));
-        world.simulator().run_until(duration);
-        return bench::to_series(recorder);
+        // The Experiment owns the ChurnProcess, so its lifetime spans
+        // the whole run without any per-bench bookkeeping.
+        return bench::run_spec_series(
+            bench::paper_spec(n, duration)
+                .protocol(bench::croupier_proto(25, 50))
+                .churn(churn_rates[p], 61)
+                .build(),
+            seed);
       });
 
   for (std::size_t p = 0; p < std::size(churn_rates); ++p) {
     const double rate = churn_rates[p];
-    const auto avg = bench::average_runs(grid[p]);
+    const auto agg = bench::aggregate_runs(grid[p]);
 
-    sink.series(exp::strf("fig5a avg-error churn=%.1f%%", rate * 100), avg.t,
-                avg.avg_err);
-    sink.series(exp::strf("fig5b max-error churn=%.1f%%", rate * 100), avg.t,
-                avg.max_err);
+    bench::emit_series(sink,
+                       exp::strf("fig5a avg-error churn=%.1f%%", rate * 100),
+                       agg.t, agg.avg_err, agg.avg_err_sd, args.runs);
+    bench::emit_series(sink,
+                       exp::strf("fig5b max-error churn=%.1f%%", rate * 100),
+                       agg.t, agg.max_err, agg.max_err_sd, args.runs);
 
     const std::string block = exp::strf("summary churn=%.1f%%", rate * 100);
-    const double steady_avg = bench::steady_state(avg.avg_err);
-    const double steady_max = bench::steady_state(avg.max_err);
+    const double steady_avg = bench::steady_state(agg.avg_err);
+    const double steady_max = bench::steady_state(agg.max_err);
     sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
                            block.c_str(), steady_avg, steady_max));
     sink.blank();

@@ -27,18 +27,14 @@ struct TrialResult {
   std::vector<run::GraphStatsPoint> series;
 };
 
-TrialResult measure(const run::ProtocolFactory& factory, std::size_t publics,
-                    std::size_t privates, std::uint64_t seed,
-                    sim::Duration duration) {
-  run::World world(bench::paper_world_config(seed), factory);
-  bench::paper_joins(world, publics, privates);
-  run::GraphStatsRecorder recorder(world, {sim::sec(10), 128});
-  recorder.start(sim::sec(10));
-  world.simulator().run_until(duration);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
+  run::Experiment experiment(spec, seed);
+  experiment.run();
 
   TrialResult result;
-  result.indegree_hist = world.snapshot_overlay().in_degree_histogram();
-  result.series = recorder.series();
+  result.indegree_hist =
+      experiment.world().snapshot_overlay().in_degree_histogram();
+  result.series = experiment.graph_stats()->series();
   return result;
 }
 
@@ -47,25 +43,19 @@ TrialResult measure(const run::ProtocolFactory& factory, std::size_t publics,
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 300 : 1000;
-  const std::size_t publics = n / 5;
-  const auto duration = sim::sec(args.fast ? 100 : 250);
-
-  auto croupier_cfg = bench::paper_croupier_config(25, 50);
-  croupier_cfg.sizing = core::ViewSizing::RatioProportional;
+  const double duration = args.fast ? 100 : 250;
 
   struct Row {
     const char* name;
-    run::ProtocolFactory factory;
+    const char* protocol;
     bool all_public = false;
   };
-  std::vector<Row> rows;
-  rows.push_back({"croupier", run::make_croupier_factory(croupier_cfg)});
-  rows.push_back(
-      {"gozar", run::make_gozar_factory(bench::paper_gozar_config())});
-  rows.push_back(
-      {"nylon", run::make_nylon_factory(bench::paper_nylon_config())});
-  rows.push_back(
-      {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
+  const Row rows[] = {
+      {"croupier", "croupier:alpha=25,gamma=50,sizing=proportional"},
+      {"gozar", "gozar"},
+      {"nylon", "nylon"},
+      {"cyclon", "cyclon", true},
+  };
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -76,13 +66,17 @@ int main(int argc, char** argv) {
   sink.blank();
 
   const auto grid = bench::run_trial_grid(
-      pool, args, rows.size(), [&](std::size_t p, std::uint64_t seed) {
+      pool, args, std::size(rows), [&](std::size_t p, std::uint64_t seed) {
         const Row& row = rows[p];
-        return measure(row.factory, row.all_public ? n : publics,
-                       row.all_public ? 0 : n - publics, seed, duration);
+        return measure(bench::paper_spec(n, duration)
+                           .protocol(row.protocol)
+                           .ratio(row.all_public ? 1.0 : 0.2)
+                           .record_graph(10)
+                           .build(),
+                       seed);
       });
 
-  for (std::size_t p = 0; p < rows.size(); ++p) {
+  for (std::size_t p = 0; p < std::size(rows); ++p) {
     const Row& row = rows[p];
     // Histogram averaged over runs; the time series from the last run
     // (one representative trajectory, as the paper plots).
@@ -96,8 +90,7 @@ int main(int argc, char** argv) {
     const auto& series = grid[p].back().series;
 
     const std::string hist_name = exp::strf(
-        "fig6a indegree-histogram %s (after %.0fs)", row.name,
-        sim::to_seconds(duration));
+        "fig6a indegree-histogram %s (after %.0fs)", row.name, duration);
     std::vector<double> degs;
     std::vector<double> counts;
     for (const auto& [deg, count] : hist) {

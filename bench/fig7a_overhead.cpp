@@ -8,59 +8,52 @@
 // window after warm-up. Expected shape: Croupier cheapest in both
 // classes; private nodes in Croupier pay less than half of Gozar's and
 // less than a quarter of Nylon's load.
+#include <iterator>
+
 #include "bench_common.hpp"
 #include "metrics/overhead.hpp"
 
 namespace {
 
 using namespace croupier;
-using bench::BenchArgs;
 
 struct Load {
   double pub = 0;
   double priv = 0;
 };
 
-Load measure(const run::ProtocolFactory& factory, std::size_t publics,
-             std::size_t privates, std::uint64_t seed,
+Load measure(const run::ExperimentSpec& spec, std::uint64_t seed,
              sim::Duration warmup, sim::Duration window) {
-  run::World world(bench::paper_world_config(seed), factory);
-  run::schedule_poisson_joins(world, publics, net::NatConfig::open(),
-                              sim::msec(10));
-  run::schedule_poisson_joins(world, privates, net::NatConfig::natted(),
-                              sim::msec(10));
-  world.simulator().run_until(warmup);
-  world.network().meter().reset();
-  world.simulator().run_until(warmup + window);
-  const auto load = metrics::summarize_load(world.network().meter(),
-                                            world.class_map(), window);
+  run::Experiment experiment(spec, seed);
+  experiment.run_until(warmup);
+  experiment.world().network().meter().reset();
+  experiment.run_until(warmup + window);
+  const auto load = metrics::summarize_load(
+      experiment.world().network().meter(), experiment.world().class_map(),
+      window);
   return Load{load.public_bytes_per_sec, load.private_bytes_per_sec};
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const auto args = BenchArgs::parse(argc, argv);
+  const auto args = bench::BenchArgs::parse(argc, argv);
   const std::size_t n = args.fast ? 200 : 1000;
-  const std::size_t publics = n / 5;  // ω = 0.2
-  const std::size_t privates = n - publics;
   const auto warmup = sim::sec(args.fast ? 30 : 60);
   const auto window = sim::sec(args.fast ? 30 : 60);
 
-  // Paper fig. 7a uses γ=100 for this experiment.
-  auto croupier_cfg = bench::paper_croupier_config(25, 100);
-
   struct Row {
     const char* name;
-    run::ProtocolFactory factory;
+    const char* protocol;
     bool all_public = false;
   };
-  std::vector<Row> rows;
-  rows.push_back({"croupier", run::make_croupier_factory(croupier_cfg)});
-  rows.push_back({"gozar", run::make_gozar_factory(bench::paper_gozar_config())});
-  rows.push_back({"nylon", run::make_nylon_factory(bench::paper_nylon_config())});
-  rows.push_back(
-      {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
+  const Row rows[] = {
+      // Paper fig. 7a uses γ=100 for this experiment.
+      {"croupier", "croupier:alpha=25,gamma=100"},
+      {"gozar", "gozar"},
+      {"nylon", "nylon"},
+      {"cyclon", "cyclon", true},
+  };
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -72,25 +65,32 @@ int main(int argc, char** argv) {
                      "private(B/s)"));
 
   const auto grid = bench::run_trial_grid(
-      pool, args, rows.size(), [&](std::size_t p, std::uint64_t seed) {
+      pool, args, std::size(rows), [&](std::size_t p, std::uint64_t seed) {
         const Row& row = rows[p];
-        return measure(row.factory, row.all_public ? n : publics,
-                       row.all_public ? 0 : privates, seed, warmup, window);
+        // Joins compressed to 10 ms inter-arrival for both classes so the
+        // population is complete well before the measurement window.
+        return measure(
+            bench::paper_spec(n, sim::to_seconds(warmup + window))
+                .protocol(row.protocol)
+                .ratio(row.all_public ? 1.0 : 0.2)
+                .poisson_joins(10, 10)
+                .record_nothing()
+                .build(),
+            seed, warmup, window);
       });
 
-  for (std::size_t p = 0; p < rows.size(); ++p) {
-    double pub = 0;
-    double priv = 0;
+  for (std::size_t p = 0; p < std::size(rows); ++p) {
+    exp::Accum pub;
+    exp::Accum priv;
     for (const auto& load : grid[p]) {
-      pub += load.pub;
-      priv += load.priv;
+      pub.add(load.pub);
+      priv.add(load.priv);
     }
-    pub /= static_cast<double>(args.runs);
-    priv /= static_cast<double>(args.runs);
-    sink.raw(exp::strf("%-10s %14.1f %15.1f", rows[p].name, pub, priv));
+    sink.raw(exp::strf("%-10s %14.1f %15.1f", rows[p].name, pub.mean(),
+                       priv.mean()));
     const std::string block = exp::strf("fig7a %s", rows[p].name);
-    sink.value(block, "public B/s", pub);
-    sink.value(block, "private B/s", priv);
+    bench::emit_value(sink, block, "public B/s", pub);
+    bench::emit_value(sink, block, "private B/s", priv);
   }
   return 0;
 }

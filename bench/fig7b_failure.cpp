@@ -21,16 +21,15 @@ namespace {
 
 using namespace croupier;
 
-double cluster_fraction(const run::ProtocolFactory& factory,
-                        std::size_t publics, std::size_t privates,
-                        double fail_fraction, std::uint64_t seed) {
-  run::World world(bench::paper_world_config(seed), factory);
-  bench::paper_joins(world, publics, privates);
-  world.simulator().run_until(sim::sec(60));
-  run::schedule_catastrophe(world, sim::sec(60), fail_fraction);
-  // Measure right after the crash (before any healing rounds).
-  world.simulator().run_until(sim::sec(60) + sim::msec(1));
-  return world.snapshot_overlay(/*usable_only=*/true)
+double cluster_fraction(const run::ExperimentSpec& spec,
+                        std::uint64_t seed) {
+  run::Experiment experiment(spec, seed);
+  // The spec crashes the nodes at t=60 s and the horizon stops 1 ms
+  // later: the largest usable cluster is measured right after the crash,
+  // before any healing rounds.
+  experiment.run();
+  return experiment.world()
+      .snapshot_overlay(/*usable_only=*/true)
       .largest_component_fraction();
 }
 
@@ -38,28 +37,22 @@ double cluster_fraction(const run::ProtocolFactory& factory,
 
 int main(int argc, char** argv) {
   const auto args = bench::BenchArgs::parse(argc, argv);
-  const std::size_t n = args.fast ? 300 : 1000;
-  const std::size_t publics = n / 5;  // 80% private, as in the paper's text
+  const std::size_t n = args.fast ? 300 : 1000;  // 80% private, as the paper
   const int fail_levels[] = {40, 50, 60, 70, 80, 90};
-
-  // Like-for-like with the single-view systems: Croupier's two views
-  // share the 10-slot budget (see DESIGN.md "View-size policy").
-  auto croupier_cfg = bench::paper_croupier_config(25, 50);
-  croupier_cfg.sizing = core::ViewSizing::RatioProportional;
 
   struct Row {
     const char* name;
-    run::ProtocolFactory factory;
+    const char* protocol;
     bool all_public = false;
   };
-  std::vector<Row> rows;
-  rows.push_back({"croupier", run::make_croupier_factory(croupier_cfg)});
-  rows.push_back(
-      {"gozar", run::make_gozar_factory(bench::paper_gozar_config())});
-  rows.push_back(
-      {"nylon", run::make_nylon_factory(bench::paper_nylon_config())});
-  rows.push_back(
-      {"cyclon", run::make_cyclon_factory(bench::paper_pss_config()), true});
+  const Row rows[] = {
+      // Like-for-like with the single-view systems: Croupier's two views
+      // share the 10-slot budget (see DESIGN.md "View-size policy").
+      {"croupier", "croupier:alpha=25,gamma=50,sizing=proportional"},
+      {"gozar", "gozar"},
+      {"nylon", "nylon"},
+      {"cyclon", "cyclon", true},
+  };
 
   exp::TrialPool pool(args.jobs);
   exp::ResultSink sink(args.csv);
@@ -73,25 +66,33 @@ int main(int argc, char** argv) {
 
   // The sweep is (failure level x system); flatten it into one grid so
   // every cell is its own parallel trial.
-  const std::size_t points = std::size(fail_levels) * rows.size();
+  const std::size_t points = std::size(fail_levels) * std::size(rows);
   const auto grid = bench::run_trial_grid(
       pool, args, points, [&](std::size_t p, std::uint64_t seed) {
-        const int level = fail_levels[p / rows.size()];
-        const Row& row = rows[p % rows.size()];
-        return cluster_fraction(row.factory, row.all_public ? n : publics,
-                                row.all_public ? 0 : n - publics,
-                                static_cast<double>(level) / 100.0, seed);
+        const int level = fail_levels[p / std::size(rows)];
+        const Row& row = rows[p % std::size(rows)];
+        return cluster_fraction(
+            bench::paper_spec(n, 60.001)
+                .protocol(row.protocol)
+                .ratio(row.all_public ? 1.0 : 0.2)
+                .catastrophe(static_cast<double>(level) / 100.0, 60)
+                .record_nothing()
+                .build(),
+            seed);
       });
 
   for (std::size_t li = 0; li < std::size(fail_levels); ++li) {
     std::string line = exp::strf("%-10d", fail_levels[li]);
-    for (std::size_t ri = 0; ri < rows.size(); ++ri) {
-      double sum = 0;
-      for (double frac : grid[li * rows.size() + ri]) sum += frac;
-      const double pct = 100.0 * sum / static_cast<double>(args.runs);
-      line += exp::strf(" %10.1f", pct);
-      sink.value(exp::strf("fig7b failure=%d", fail_levels[li]),
-                 rows[ri].name, pct);
+    for (std::size_t ri = 0; ri < std::size(rows); ++ri) {
+      exp::Accum pct;
+      for (double frac : grid[li * std::size(rows) + ri]) {
+        pct.add(100.0 * frac);
+      }
+      line += exp::strf(" %10.1f", pct.mean());
+      const std::string block =
+          exp::strf("fig7b failure=%d", fail_levels[li]);
+      sink.value(block, rows[ri].name, pct.mean());
+      if (args.runs > 1) sink.spread(block, rows[ri].name, pct.stddev());
     }
     sink.raw(line);
   }

@@ -6,13 +6,12 @@
 
 #include <numeric>
 
-#include "bench_common.hpp"
 #include "core/croupier.hpp"
 #include "core/estimator.hpp"
 #include "metrics/graph.hpp"
 #include "net/nat.hpp"
 #include "pss/view.hpp"
-#include "runtime/factories.hpp"
+#include "runtime/registry.hpp"
 #include "runtime/world.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -204,16 +203,17 @@ void BM_ProtocolRounds(benchmark::State& state, run::ProtocolFactory factory) {
       static_cast<std::int64_t>(total_rounds(world) - before));
 }
 
+// Paper-default configurations come straight from the registry names.
 BENCHMARK_CAPTURE(BM_ProtocolRounds, Croupier,
-                  run::make_croupier_factory(bench::paper_croupier_config()));
+                  run::ProtocolRegistry::instance().make("croupier"));
 BENCHMARK_CAPTURE(BM_ProtocolRounds, Cyclon,
-                  run::make_cyclon_factory(bench::paper_pss_config()));
+                  run::ProtocolRegistry::instance().make("cyclon"));
 BENCHMARK_CAPTURE(BM_ProtocolRounds, Gozar,
-                  run::make_gozar_factory(bench::paper_gozar_config()));
+                  run::ProtocolRegistry::instance().make("gozar"));
 BENCHMARK_CAPTURE(BM_ProtocolRounds, Nylon,
-                  run::make_nylon_factory(bench::paper_nylon_config()));
+                  run::ProtocolRegistry::instance().make("nylon"));
 BENCHMARK_CAPTURE(BM_ProtocolRounds, Arrg,
-                  run::make_arrg_factory(bench::paper_arrg_config()));
+                  run::ProtocolRegistry::instance().make("arrg"));
 
 }  // namespace
 

@@ -15,7 +15,7 @@
 #include <memory>
 #include <unordered_map>
 
-#include "runtime/factories.hpp"
+#include "runtime/spec.hpp"
 #include "runtime/world.hpp"
 
 namespace {
@@ -98,12 +98,18 @@ class AveragingApp final : public net::MessageHandler {
 }  // namespace
 
 int main() {
-  run::World::Config config;
-  config.seed = 5;
-  run::World world(config, run::make_croupier_factory({}));
-
-  for (int i = 0; i < 80; ++i) world.spawn(net::NatConfig::open());
-  for (int i = 0; i < 320; ++i) world.spawn(net::NatConfig::natted());
+  // 80 public + 320 private nodes, all present from the start; the
+  // application drives its own clock below, so nothing is recorded.
+  run::Experiment experiment(run::SpecBuilder()
+                                 .protocol("croupier")
+                                 .nodes(400)
+                                 .ratio(0.2)
+                                 .instant_joins()
+                                 .duration(120)
+                                 .record_nothing()
+                                 .build(),
+                             /*seed=*/5);
+  run::World& world = experiment.world();
   world.simulator().run_until(sim::sec(30));  // PSS warm-up
 
   // Synthetic sensor readings: mean 20.0 with wide spread.

@@ -7,19 +7,26 @@
 // message cost.
 #include <cstdio>
 
-#include "runtime/factories.hpp"
+#include "runtime/spec.hpp"
 #include "runtime/world.hpp"
 
 int main() {
   using namespace croupier;
 
-  run::World::Config config;
-  config.seed = 7;
-  config.use_natid_protocol = true;  // joiners classify themselves
-  run::World world(config, run::make_croupier_factory({}));
-
-  // Operator-seeded public nodes: the protocol needs existing responders.
-  for (int i = 0; i < 4; ++i) world.spawn_seeded(net::NatConfig::open());
+  // natid + instant joins: the initial publics are operator-seeded
+  // responders (ground-truth classified), exactly what a fresh deployment
+  // needs before the identification protocol has anyone to test against.
+  run::Experiment experiment(run::SpecBuilder()
+                                 .protocol("croupier")
+                                 .nodes(4)
+                                 .ratio(1.0)
+                                 .instant_joins()
+                                 .natid()
+                                 .duration(60)
+                                 .record_nothing()
+                                 .build(),
+                             /*seed=*/7);
+  run::World& world = experiment.world();
   world.simulator().run_until(sim::sec(2));
 
   struct Case {

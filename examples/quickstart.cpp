@@ -4,51 +4,51 @@
 //   $ ./quickstart
 //
 // Walks through the whole public API surface:
-//  1. configure the protocol (view sizes, estimator windows);
-//  2. build a World (simulator + NATted network + bootstrap oracle);
-//  3. add nodes — 20% open-Internet, 80% behind address-restricted NATs;
-//  4. run simulated time;
-//  5. draw uniform random samples at a node and inspect the ratio
+//  1. describe the experiment declaratively (protocol by registry name
+//     with key=value overrides, population, workload, horizon);
+//  2. materialize it — Experiment builds the World (simulator + NATted
+//     network + bootstrap oracle) and schedules the join processes;
+//  3. run simulated time;
+//  4. draw uniform random samples at a node and inspect the ratio
 //     estimate the sampling relies on.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
 
 #include "core/croupier.hpp"
-#include "runtime/factories.hpp"
-#include "runtime/scenario.hpp"
-#include "runtime/world.hpp"
+#include "runtime/spec.hpp"
 
 int main() {
   using namespace croupier;
 
-  // 1. Protocol configuration (paper defaults: view 10, shuffle 5,
-  //    1 s rounds, alpha=25, gamma=50).
-  core::CroupierConfig protocol;
-  protocol.base.view_size = 10;
-  protocol.base.shuffle_size = 5;
-  protocol.estimator.local_history = 25;     // alpha
-  protocol.estimator.neighbour_history = 50; // gamma
+  // 1. The whole experiment as data. Protocol options ride in the
+  //    registry spec string (paper defaults: view 10, shuffle 5, 1 s
+  //    rounds, alpha=25, gamma=50); population is 100 public + 400
+  //    private nodes (omega = 0.2) joining as two Poisson processes like
+  //    the paper's experiments. The same spec round-trips through text:
+  //    run::ExperimentSpec::parse(spec.to_string()) == spec.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier:alpha=25,gamma=50")
+                        .nodes(500)
+                        .ratio(0.2)
+                        .poisson_joins(50, 13)
+                        .duration(120)
+                        .record_nothing()
+                        .build();
+  std::printf("spec: %s\n\n", spec.to_string().c_str());
 
-  // 2. World: deterministic simulator + network with King-like latencies.
-  run::World::Config config;
-  config.seed = 42;
-  run::World world(config, run::make_croupier_factory(protocol));
+  // 2. Materialize: deterministic simulator + network with King-like
+  //    latencies, one Croupier instance per node.
+  run::Experiment experiment(spec, /*seed=*/42);
+  run::World& world = experiment.world();
 
-  // 3. Population: 100 public, 400 private (omega = 0.2), joining as two
-  //    Poisson processes like the paper's experiments.
-  run::schedule_poisson_joins(world, 100, net::NatConfig::open(),
-                              sim::msec(50));
-  run::schedule_poisson_joins(world, 400, net::NatConfig::natted(),
-                              sim::msec(13));
-
-  // 4. Let the gossip run for two simulated minutes.
-  world.simulator().run_until(sim::sec(120));
+  // 3. Let the gossip run for two simulated minutes.
+  experiment.run();
 
   std::printf("nodes alive:        %zu\n", world.alive_count());
   std::printf("true ratio omega:   %.3f\n", world.true_ratio());
 
-  // 5. Consume the PSS at an arbitrary node.
+  // 4. Consume the PSS at an arbitrary node.
   const net::NodeId me = world.alive_ids().front();
   auto* sampler = world.sampler(me);
   const auto* node = dynamic_cast<const core::Croupier*>(sampler);

@@ -17,8 +17,7 @@
 #include <unordered_map>
 
 #include "core/croupier.hpp"
-#include "runtime/factories.hpp"
-#include "runtime/scenario.hpp"
+#include "runtime/spec.hpp"
 #include "runtime/world.hpp"
 
 namespace {
@@ -111,18 +110,18 @@ class RumorApp final : public net::MessageHandler {
 }  // namespace
 
 int main() {
-  run::World::Config config;
-  config.seed = 11;
-  run::World world(config, run::make_croupier_factory({}));
-
   const std::size_t publics = 100;
   const std::size_t privates = 400;
-  for (std::size_t i = 0; i < publics; ++i) {
-    world.spawn(net::NatConfig::open());
-  }
-  for (std::size_t i = 0; i < privates; ++i) {
-    world.spawn(net::NatConfig::natted());
-  }
+  run::Experiment experiment(run::SpecBuilder()
+                                 .protocol("croupier")
+                                 .nodes(publics + privates)
+                                 .ratio(0.2)
+                                 .instant_joins()
+                                 .duration(90)
+                                 .record_nothing()
+                                 .build(),
+                             /*seed=*/11);
+  run::World& world = experiment.world();
 
   // Let the PSS warm up before the application starts.
   world.simulator().run_until(sim::sec(30));

@@ -13,10 +13,10 @@
 // 80%-private population: Cyclon's samples collapse onto public nodes.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <unordered_map>
 
-#include "runtime/factories.hpp"
-#include "runtime/scenario.hpp"
+#include "runtime/spec.hpp"
 #include "runtime/world.hpp"
 
 namespace {
@@ -31,21 +31,23 @@ struct Quality {
   double nat_drop_share = 0;  // protocol packets eaten by NAT filters
 };
 
-Quality measure(run::ProtocolFactory factory, std::uint64_t seed) {
-  run::World world(run::World::Config{.seed = seed}, std::move(factory));
-  const std::size_t publics = 100;
-  const std::size_t privates = 400;
-  for (std::size_t i = 0; i < publics; ++i) world.spawn(net::NatConfig::open());
-  for (std::size_t i = 0; i < privates; ++i) {
-    world.spawn(net::NatConfig::natted());
-  }
+Quality measure(const std::string& protocol, std::uint64_t seed) {
+  // Continuous churn from t=30 s: stale descriptors then point at dead
+  // nodes, so a sampler that fails to refresh its views hands out dead
+  // peers. Both systems run the identical spec — only the protocol name
+  // differs.
+  run::Experiment experiment(run::SpecBuilder()
+                                 .protocol(protocol)
+                                 .nodes(500)
+                                 .ratio(0.2)
+                                 .instant_joins()
+                                 .churn(0.01, 30)
+                                 .duration(330)
+                                 .record_nothing()
+                                 .build(),
+                             seed);
+  run::World& world = experiment.world();
   world.simulator().run_until(sim::sec(30));
-
-  // Continuous churn: stale descriptors now point at dead nodes, so a
-  // sampler that fails to refresh its views hands out dead peers.
-  run::ChurnProcess churn(world, 0.01, net::NatConfig::open(),
-                          net::NatConfig::natted());
-  churn.start(world.simulator().now());
 
   net::NodeId observer = world.alive_ids().front();
   std::unordered_map<net::NodeId, std::size_t> counts;
@@ -105,15 +107,13 @@ int main() {
   std::printf("%-10s %14s %12s %16s %11s %11s\n", "system", "public-share",
               "dead-share", "distinct-peers", "chi2/cell", "nat-drops");
 
-  const auto croupier_q =
-      measure(run::make_croupier_factory({}), /*seed=*/3);
+  const auto croupier_q = measure("croupier", /*seed=*/3);
   std::printf("%-10s %13.1f%% %11.1f%% %15.1f%% %11.2f %10.1f%%\n",
               "croupier", croupier_q.public_share * 100,
               croupier_q.dead_share * 100, croupier_q.distinct_frac * 100,
               croupier_q.chi2_per_cell, croupier_q.nat_drop_share * 100);
 
-  const auto cyclon_q =
-      measure(run::make_cyclon_factory({}), /*seed=*/3);
+  const auto cyclon_q = measure("cyclon", /*seed=*/3);
   std::printf("%-10s %13.1f%% %11.1f%% %15.1f%% %11.2f %10.1f%%\n", "cyclon",
               cyclon_q.public_share * 100, cyclon_q.dead_share * 100,
               cyclon_q.distinct_frac * 100, cyclon_q.chi2_per_cell,

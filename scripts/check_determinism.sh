@@ -31,4 +31,40 @@ for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
     fail=1
   fi
 done
+
+# croupier-lab: same jobs-determinism contract, plus the API-redesign
+# acceptance check — a lab sweep of fig1's three (alpha,gamma) specs must
+# reproduce the dedicated bench's series rows byte for byte at the same
+# seed (the sweep points share fig1's trial-seed grid coordinates).
+LAB="$BUILD_DIR/tools/croupier-lab"
+if [ -x "$LAB" ]; then
+  lab_flags=(--protocol=croupier:alpha=10,gamma=25
+             --protocol=croupier:alpha=25,gamma=50
+             --protocol=croupier:alpha=100,gamma=250
+             --nodes=500 --ratio=0.2 --duration=120 --runs=2)
+  "$LAB" "${lab_flags[@]}" --jobs=1 --csv="$TMP/lab.1.csv" \
+    >"$TMP/lab.1.txt" 2>/dev/null
+  "$LAB" "${lab_flags[@]}" --jobs=4 --csv="$TMP/lab.4.csv" \
+    >"$TMP/lab.4.txt" 2>/dev/null
+  if cmp -s "$TMP/lab.1.txt" "$TMP/lab.4.txt" &&
+     cmp -s "$TMP/lab.1.csv" "$TMP/lab.4.csv"; then
+    echo "ok   croupier-lab"
+  else
+    echo "FAIL croupier-lab (jobs=1 vs jobs=4 output differs)"
+    fail=1
+  fi
+
+  "$BUILD_DIR/bench/fig1_stable_ratio" --fast --runs=2 --jobs=4 \
+    2>/dev/null | grep -E '^[0-9]' >"$TMP/fig1.rows"
+  grep -E '^[0-9]' "$TMP/lab.4.txt" >"$TMP/lab.rows"
+  if cmp -s "$TMP/fig1.rows" "$TMP/lab.rows"; then
+    echo "ok   croupier-lab == fig1_stable_ratio (series rows)"
+  else
+    echo "FAIL croupier-lab vs fig1_stable_ratio (series rows differ)"
+    fail=1
+  fi
+else
+  echo "FAIL croupier-lab binary missing at $LAB"
+  fail=1
+fi
 exit "$fail"

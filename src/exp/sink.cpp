@@ -1,11 +1,17 @@
 #include "exp/sink.hpp"
 
+#include <cmath>
 #include <cstdarg>
 #include <vector>
 
 #include "common/assert.hpp"
 
 namespace croupier::exp {
+
+double Accum::stddev() const {
+  if (n_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(n_ - 1));
+}
 
 std::string strf(const char* fmt, ...) {
   std::va_list args;
@@ -78,9 +84,33 @@ void ResultSink::series(const std::string& name, std::span<const double> x,
   blank();
 }
 
+void ResultSink::series(const std::string& name, std::span<const double> x,
+                        std::span<const double> y, std::span<const double> sd,
+                        const char* x_fmt, const char* y_fmt) {
+  CROUPIER_ASSERT(x.size() == y.size());
+  CROUPIER_ASSERT(x.size() == sd.size());
+  comment(name);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::string xs = strf(x_fmt, x[i]);   // NOLINT(format-security)
+    const std::string ys = strf(y_fmt, y[i]);   // NOLINT(format-security)
+    const std::string ss = strf(y_fmt, sd[i]);  // NOLINT(format-security)
+    if (out_ != nullptr) {
+      std::fprintf(out_, "%s %s %s\n", xs.c_str(), ys.c_str(), ss.c_str());
+    }
+    csv_row("series", name, xs, ys);
+    csv_row("spread", name, xs, ss);
+  }
+  blank();
+}
+
 void ResultSink::value(const std::string& block, const std::string& key,
                        double v) {
   csv_row("value", block, csv_quote(key), strf("%.6g", v));
+}
+
+void ResultSink::spread(const std::string& block, const std::string& key,
+                        double sd) {
+  csv_row("spread", block, csv_quote(key), strf("%.6g", sd));
 }
 
 void ResultSink::csv_row(const char* kind, const std::string& block,

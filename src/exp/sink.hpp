@@ -10,9 +10,16 @@
 // CSV schema (one file per bench invocation, header included):
 //   kind,block,x,y
 //   series,"fig1a avg-error alpha=10 gamma=25",42,0.012345
+//   spread,"fig1a avg-error alpha=10 gamma=25",42,0.000317
 //   value,"summary alpha=10 gamma=25","steady avg-err",0.00123
+//
+// `spread` rows carry the across-runs standard deviation of the `series`
+// (or `value`) row with the same block and x — the error bars the
+// benches emit when --runs > 1. Consumers that filter kind == series see
+// the pre-spread schema unchanged.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
 #include <span>
 #include <string>
@@ -22,6 +29,32 @@ namespace croupier::exp {
 /// printf into a std::string (series/block names are built from sweep
 /// parameters; the benches' printf formats are kept verbatim).
 [[gnu::format(printf, 1, 2)]] std::string strf(const char* fmt, ...);
+
+/// Streaming mean / standard deviation over per-run scalars (Welford's
+/// update, numerically stable). Benches feed one value per run in
+/// submission order, then print mean() beside spread columns — the same
+/// recurrence the ROADMAP's cross-trial streaming aggregation will build
+/// on.
+class Accum {
+ public:
+  void add(double v) {
+    ++n_;
+    const double delta = v - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (v - mean_);
+  }
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] double mean() const { return mean_; }
+
+  /// Sample standard deviation (n-1 denominator); 0 below two samples.
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
 
 class ResultSink {
  public:
@@ -52,9 +85,20 @@ class ResultSink {
               std::span<const double> y, const char* x_fmt = "%.0f",
               const char* y_fmt = "%.6f");
 
+  /// Series with error bars: "<x> <y> <sd>" rows (gnuplot `with
+  /// errorbars` reads exactly this), mirrored to CSV as paired
+  /// `series` + `spread` rows.
+  void series(const std::string& name, std::span<const double> x,
+              std::span<const double> y, std::span<const double> sd,
+              const char* x_fmt = "%.0f", const char* y_fmt = "%.6f");
+
   /// Named scalar (summary/table cells). CSV only — the benches print
   /// their own aligned tables via raw()/comment().
   void value(const std::string& block, const std::string& key, double v);
+
+  /// Across-runs standard deviation of the same block/key. CSV only,
+  /// kind `spread`.
+  void spread(const std::string& block, const std::string& key, double sd);
 
  private:
   void csv_row(const char* kind, const std::string& block,

@@ -1,0 +1,94 @@
+// ProtocolRegistry: string-keyed protocol construction.
+//
+// The public entry point for building a World's ProtocolFactory. Every
+// PSS implementation is registered under a stable name ("croupier",
+// "cyclon", "gozar", "nylon", "arrg") and can be instantiated from a
+// textual spec with per-protocol `key=value` overrides on top of the
+// paper-default configuration:
+//
+//   auto factory = run::ProtocolRegistry::instance()
+//                      .make_from_spec("croupier:alpha=25,gamma=50");
+//   run::World world(cfg, factory);
+//
+// This is what makes experiments *data*: a protocol choice is a string a
+// bench flag, an ExperimentSpec field, or a config file can carry, not a
+// hand-wired make_*_factory call. Errors (unknown protocol, unknown
+// option, malformed value) throw std::invalid_argument with a message
+// naming the offender and the accepted alternatives.
+#pragma once
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "baselines/arrg.hpp"
+#include "baselines/cyclon.hpp"
+#include "baselines/gozar.hpp"
+#include "baselines/nylon.hpp"
+#include "core/croupier.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::run {
+
+/// Parsed `key=value` overrides for one protocol instantiation. Ordered
+/// so error messages and help output are deterministic.
+using ProtocolOptions = std::map<std::string, std::string>;
+
+/// Typed config builders: paper defaults with `opts` applied. Exposed so
+/// tests and advanced callers can inspect or further tweak a parsed
+/// config before wrapping it in a factory. All throw std::invalid_argument
+/// on unknown keys or malformed values.
+///
+/// Options shared by every protocol: view, shuffle, fanout,
+/// merge=swapper|healer.
+[[nodiscard]] core::CroupierConfig make_croupier_config(
+    const ProtocolOptions& opts);  // + alpha, gamma, share_limit,
+                                   //   sizing=fixed|proportional, min_slots
+[[nodiscard]] pss::PssConfig make_cyclon_config(const ProtocolOptions& opts);
+[[nodiscard]] baselines::GozarConfig make_gozar_config(
+    const ProtocolOptions& opts);  // + parents, keepalive, parent_timeout,
+                                   //   redundancy
+[[nodiscard]] baselines::NylonConfig make_nylon_config(
+    const ProtocolOptions& opts);  // + rvp_links, keepalive, rvp_ttl,
+                                   //   punch_hops, routing_table, routing_ttl
+[[nodiscard]] baselines::ArrgConfig make_arrg_config(
+    const ProtocolOptions& opts);  // + open_list
+
+class ProtocolRegistry {
+ public:
+  /// The process-wide registry of the five built-in protocols.
+  static const ProtocolRegistry& instance();
+
+  /// Registered protocol names, sorted.
+  [[nodiscard]] std::vector<std::string> names() const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Factory for `name` with `opts` applied over the paper defaults.
+  [[nodiscard]] ProtocolFactory make(const std::string& name,
+                                     const ProtocolOptions& opts = {}) const;
+
+  /// Factory from a full spec string: `name` or `name:k=v,k=v,...`, e.g.
+  /// "croupier:alpha=25,gamma=50".
+  [[nodiscard]] ProtocolFactory make_from_spec(const std::string& spec) const;
+
+  /// Splits a spec string into (name, options). Validates syntax only —
+  /// the name and keys are checked when the factory is built.
+  static std::pair<std::string, ProtocolOptions> parse_spec(
+      const std::string& spec);
+
+  /// One-line `key=value` reference for the protocol's options (for
+  /// --help output). Throws on unknown name.
+  [[nodiscard]] const std::string& options_help(const std::string& name) const;
+
+ private:
+  ProtocolRegistry();
+
+  struct Entry {
+    std::function<ProtocolFactory(const ProtocolOptions&)> build;
+    std::string help;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace croupier::run

@@ -1,0 +1,466 @@
+#include "runtime/spec.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "runtime/registry.hpp"
+
+namespace croupier::run {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& message) {
+  throw std::invalid_argument(message);
+}
+
+sim::Duration from_ms(double ms) {
+  return static_cast<sim::Duration>(std::llround(ms * 1000.0));
+}
+
+sim::Duration from_s(double s) {
+  return static_cast<sim::Duration>(std::llround(s * 1e6));
+}
+
+/// Shortest decimal form that parses back to the exact same double, so
+/// to_string() stays human-readable ("0.2", not "0.2000000000000000111")
+/// while parse(to_string(s)) == s holds bit-for-bit.
+std::string fmt_double(double v) {
+  char buf[40];
+  for (int precision : {6, 10, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+double parse_double(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (text.empty() || std::isspace(static_cast<unsigned char>(text[0])) ||
+      end != text.c_str() + text.size() || errno == ERANGE ||
+      !std::isfinite(v)) {
+    fail("spec: malformed value for '" + key + "': \"" + text + "\"");
+  }
+  return v;
+}
+
+std::size_t parse_size(const std::string& key, const std::string& text) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0])) ||
+      end != text.c_str() + text.size() || errno == ERANGE) {
+    fail("spec: malformed value for '" + key + "': \"" + text + "\"");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+const char* join_name(ExperimentSpec::JoinKind k) {
+  switch (k) {
+    case ExperimentSpec::JoinKind::Poisson: return "poisson";
+    case ExperimentSpec::JoinKind::Fixed: return "fixed";
+    case ExperimentSpec::JoinKind::Instant: return "instant";
+  }
+  return "poisson";
+}
+
+const char* latency_name(World::LatencyKind k) {
+  switch (k) {
+    case World::LatencyKind::King: return "king";
+    case World::LatencyKind::Constant: return "constant";
+    case World::LatencyKind::Coordinate: return "coordinate";
+  }
+  return "king";
+}
+
+const char* record_name(ExperimentSpec::RecordKind k) {
+  switch (k) {
+    case ExperimentSpec::RecordKind::None: return "none";
+    case ExperimentSpec::RecordKind::Estimation: return "estimation";
+    case ExperimentSpec::RecordKind::Graph: return "graph";
+  }
+  return "estimation";
+}
+
+}  // namespace
+
+std::size_t ExperimentSpec::publics() const {
+  return static_cast<std::size_t>(ratio * static_cast<double>(nodes) + 0.5);
+}
+
+sim::Duration ExperimentSpec::duration() const { return from_s(duration_s); }
+
+void ExperimentSpec::validate() const {
+  const auto check = [](bool ok, const char* what) {
+    if (!ok) fail(std::string("spec: ") + what);
+  };
+  check(!protocol.empty(), "protocol must be non-empty");
+  check(nodes > 0, "nodes must be >= 1");
+  check(ratio >= 0.0 && ratio <= 1.0, "ratio must be in [0, 1]");
+  check(join == JoinKind::Instant ||
+            (join_public_ms > 0.0 && join_private_ms > 0.0),
+        "join intervals must be positive");
+  check(step_publics + step_privates == 0 || step_every_ms > 0.0,
+        "step-every-ms must be positive");
+  check(step_at_s >= 0.0, "step-at must be >= 0");
+  check(churn >= 0.0 && churn < 1.0, "churn must be in [0, 1)");
+  check(churn_at_s >= 0.0, "churn-at must be >= 0");
+  check(catastrophe >= 0.0 && catastrophe <= 1.0,
+        "catastrophe must be in [0, 1]");
+  check(catastrophe_at_s >= 0.0, "catastrophe-at must be >= 0");
+  check(loss >= 0.0 && loss <= 1.0, "loss must be in [0, 1]");
+  check(skew >= 0.0 && skew < 1.0, "skew must be in [0, 1)");
+  check(private_round_scale > 0.0, "private-round-scale must be positive");
+  check(latency_ms > 0.0, "latency-ms must be positive");
+  check(round_ms > 0.0, "round-ms must be positive");
+  check(duration_s > 0.0, "duration must be positive");
+  check(record_every_s >= 0.0, "record-every must be >= 0");
+  // Fail on an unknown protocol name, option key, or malformed option
+  // value at validation time, not mid-trial: specs are often validated
+  // once and then fanned out over a pool, where a late throw would
+  // surface as a TrialPool::wait() rethrow instead of a clean error.
+  (void)ProtocolRegistry::instance().make_from_spec(protocol);
+}
+
+std::string ExperimentSpec::to_string() const {
+  static const ExperimentSpec defaults;
+  std::ostringstream out;
+  out << "protocol=" << protocol;
+  out << " nodes=" << nodes;
+  out << " ratio=" << fmt_double(ratio);
+
+  const auto emit_d = [&](const char* key, double v, double dflt) {
+    if (v != dflt) out << ' ' << key << '=' << fmt_double(v);
+  };
+  const auto emit_n = [&](const char* key, std::size_t v, std::size_t dflt) {
+    if (v != dflt) out << ' ' << key << '=' << v;
+  };
+
+  if (join != defaults.join) out << " join=" << join_name(join);
+  emit_d("join-public-ms", join_public_ms, defaults.join_public_ms);
+  emit_d("join-private-ms", join_private_ms, defaults.join_private_ms);
+  emit_n("step-publics", step_publics, defaults.step_publics);
+  emit_n("step-privates", step_privates, defaults.step_privates);
+  emit_d("step-at", step_at_s, defaults.step_at_s);
+  emit_d("step-every-ms", step_every_ms, defaults.step_every_ms);
+  emit_d("churn", churn, defaults.churn);
+  emit_d("churn-at", churn_at_s, defaults.churn_at_s);
+  emit_d("catastrophe", catastrophe, defaults.catastrophe);
+  emit_d("catastrophe-at", catastrophe_at_s, defaults.catastrophe_at_s);
+  emit_d("loss", loss, defaults.loss);
+  emit_d("skew", skew, defaults.skew);
+  emit_d("private-round-scale", private_round_scale,
+         defaults.private_round_scale);
+  if (latency != defaults.latency) out << " latency=" << latency_name(latency);
+  emit_d("latency-ms", latency_ms, defaults.latency_ms);
+  emit_d("round-ms", round_ms, defaults.round_ms);
+  if (natid) out << " natid=1";
+  out << " duration=" << fmt_double(duration_s);
+  if (record != defaults.record) out << " record=" << record_name(record);
+  emit_d("record-every", record_every_s, defaults.record_every_s);
+  return out.str();
+}
+
+ExperimentSpec ExperimentSpec::parse(const std::string& text) {
+  ExperimentSpec spec;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == 0 || eq == std::string::npos) {
+      fail("spec: expected key=value, got \"" + token + "\"");
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "protocol") {
+      spec.protocol = value;
+    } else if (key == "nodes") {
+      spec.nodes = parse_size(key, value);
+    } else if (key == "ratio") {
+      spec.ratio = parse_double(key, value);
+    } else if (key == "join") {
+      if (value == "poisson") spec.join = JoinKind::Poisson;
+      else if (value == "fixed") spec.join = JoinKind::Fixed;
+      else if (value == "instant") spec.join = JoinKind::Instant;
+      else fail("spec: join must be poisson|fixed|instant, got \"" + value +
+                "\"");
+    } else if (key == "join-public-ms") {
+      spec.join_public_ms = parse_double(key, value);
+    } else if (key == "join-private-ms") {
+      spec.join_private_ms = parse_double(key, value);
+    } else if (key == "step-publics") {
+      spec.step_publics = parse_size(key, value);
+    } else if (key == "step-privates") {
+      spec.step_privates = parse_size(key, value);
+    } else if (key == "step-at") {
+      spec.step_at_s = parse_double(key, value);
+    } else if (key == "step-every-ms") {
+      spec.step_every_ms = parse_double(key, value);
+    } else if (key == "churn") {
+      spec.churn = parse_double(key, value);
+    } else if (key == "churn-at") {
+      spec.churn_at_s = parse_double(key, value);
+    } else if (key == "catastrophe") {
+      spec.catastrophe = parse_double(key, value);
+    } else if (key == "catastrophe-at") {
+      spec.catastrophe_at_s = parse_double(key, value);
+    } else if (key == "loss") {
+      spec.loss = parse_double(key, value);
+    } else if (key == "skew") {
+      spec.skew = parse_double(key, value);
+    } else if (key == "private-round-scale") {
+      spec.private_round_scale = parse_double(key, value);
+    } else if (key == "latency") {
+      if (value == "king") spec.latency = World::LatencyKind::King;
+      else if (value == "constant") spec.latency = World::LatencyKind::Constant;
+      else if (value == "coordinate")
+        spec.latency = World::LatencyKind::Coordinate;
+      else fail("spec: latency must be king|constant|coordinate, got \"" +
+                value + "\"");
+    } else if (key == "latency-ms") {
+      spec.latency_ms = parse_double(key, value);
+    } else if (key == "round-ms") {
+      spec.round_ms = parse_double(key, value);
+    } else if (key == "natid") {
+      if (value == "0") spec.natid = false;
+      else if (value == "1") spec.natid = true;
+      else fail("spec: natid must be 0|1, got \"" + value + "\"");
+    } else if (key == "duration") {
+      spec.duration_s = parse_double(key, value);
+    } else if (key == "record") {
+      if (value == "none") spec.record = RecordKind::None;
+      else if (value == "estimation") spec.record = RecordKind::Estimation;
+      else if (value == "graph") spec.record = RecordKind::Graph;
+      else fail("spec: record must be none|estimation|graph, got \"" + value +
+                "\"");
+    } else if (key == "record-every") {
+      spec.record_every_s = parse_double(key, value);
+    } else {
+      fail("spec: unknown key '" + key + "'");
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+SpecBuilder& SpecBuilder::protocol(std::string spec) {
+  spec_.protocol = std::move(spec);
+  return *this;
+}
+SpecBuilder& SpecBuilder::nodes(std::size_t n) {
+  spec_.nodes = n;
+  return *this;
+}
+SpecBuilder& SpecBuilder::ratio(double omega) {
+  spec_.ratio = omega;
+  return *this;
+}
+SpecBuilder& SpecBuilder::poisson_joins(double public_ms, double private_ms) {
+  spec_.join = ExperimentSpec::JoinKind::Poisson;
+  spec_.join_public_ms = public_ms;
+  spec_.join_private_ms = private_ms;
+  return *this;
+}
+SpecBuilder& SpecBuilder::fixed_joins(double public_ms, double private_ms) {
+  spec_.join = ExperimentSpec::JoinKind::Fixed;
+  spec_.join_public_ms = public_ms;
+  spec_.join_private_ms = private_ms;
+  return *this;
+}
+SpecBuilder& SpecBuilder::instant_joins() {
+  spec_.join = ExperimentSpec::JoinKind::Instant;
+  return *this;
+}
+SpecBuilder& SpecBuilder::join_step(std::size_t publics, std::size_t privates,
+                                    double at_s, double every_ms) {
+  spec_.step_publics = publics;
+  spec_.step_privates = privates;
+  spec_.step_at_s = at_s;
+  spec_.step_every_ms = every_ms;
+  return *this;
+}
+SpecBuilder& SpecBuilder::churn(double fraction, double at_s) {
+  spec_.churn = fraction;
+  spec_.churn_at_s = at_s;
+  return *this;
+}
+SpecBuilder& SpecBuilder::catastrophe(double fraction, double at_s) {
+  spec_.catastrophe = fraction;
+  spec_.catastrophe_at_s = at_s;
+  return *this;
+}
+SpecBuilder& SpecBuilder::loss(double probability) {
+  spec_.loss = probability;
+  return *this;
+}
+SpecBuilder& SpecBuilder::skew(double fraction) {
+  spec_.skew = fraction;
+  return *this;
+}
+SpecBuilder& SpecBuilder::private_round_scale(double scale) {
+  spec_.private_round_scale = scale;
+  return *this;
+}
+SpecBuilder& SpecBuilder::king_latency() {
+  spec_.latency = World::LatencyKind::King;
+  return *this;
+}
+SpecBuilder& SpecBuilder::constant_latency(double ms) {
+  spec_.latency = World::LatencyKind::Constant;
+  spec_.latency_ms = ms;
+  return *this;
+}
+SpecBuilder& SpecBuilder::coordinate_latency() {
+  spec_.latency = World::LatencyKind::Coordinate;
+  return *this;
+}
+SpecBuilder& SpecBuilder::round_period(double ms) {
+  spec_.round_ms = ms;
+  return *this;
+}
+SpecBuilder& SpecBuilder::natid(bool enabled) {
+  spec_.natid = enabled;
+  return *this;
+}
+SpecBuilder& SpecBuilder::duration(double seconds) {
+  spec_.duration_s = seconds;
+  return *this;
+}
+SpecBuilder& SpecBuilder::record_estimation(double every_s) {
+  spec_.record = ExperimentSpec::RecordKind::Estimation;
+  spec_.record_every_s = every_s;
+  return *this;
+}
+SpecBuilder& SpecBuilder::record_graph(double every_s) {
+  spec_.record = ExperimentSpec::RecordKind::Graph;
+  spec_.record_every_s = every_s;
+  return *this;
+}
+SpecBuilder& SpecBuilder::record_nothing() {
+  spec_.record = ExperimentSpec::RecordKind::None;
+  spec_.record_every_s = 0.0;
+  return *this;
+}
+
+ExperimentSpec SpecBuilder::build() const {
+  spec_.validate();
+  return spec_;
+}
+
+Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed)
+    : spec_(spec) {
+  spec_.validate();
+
+  World::Config cfg;
+  cfg.seed = seed;
+  cfg.loss_probability = spec_.loss;
+  cfg.round_period = from_ms(spec_.round_ms);
+  cfg.clock_skew = spec_.skew;
+  cfg.private_round_scale = spec_.private_round_scale;
+  cfg.latency = spec_.latency;
+  cfg.constant_latency = from_ms(spec_.latency_ms);
+  cfg.use_natid_protocol = spec_.natid;
+  world_ = std::make_unique<World>(
+      cfg, ProtocolRegistry::instance().make_from_spec(spec_.protocol));
+
+  // Scheduling order mirrors what the benches always did by hand —
+  // joins, then churn, then catastrophe, then recorders — so a spec-built
+  // world replays a hand-built one event for event.
+  const std::size_t pubs = spec_.publics();
+  const std::size_t privs = spec_.privates();
+  switch (spec_.join) {
+    case ExperimentSpec::JoinKind::Poisson:
+      schedule_poisson_joins(*world_, pubs, net::NatConfig::open(),
+                             from_ms(spec_.join_public_ms));
+      schedule_poisson_joins(*world_, privs, net::NatConfig::natted(),
+                             from_ms(spec_.join_private_ms));
+      break;
+    case ExperimentSpec::JoinKind::Fixed:
+      schedule_fixed_joins(*world_, pubs, net::NatConfig::open(),
+                           from_ms(spec_.join_public_ms));
+      schedule_fixed_joins(*world_, privs, net::NatConfig::natted(),
+                           from_ms(spec_.join_private_ms));
+      break;
+    case ExperimentSpec::JoinKind::Instant:
+      // With the NAT-ID protocol on, the initial publics are operator
+      // seeds: the identification protocol needs existing public
+      // responders before any node can classify itself.
+      for (std::size_t i = 0; i < pubs; ++i) {
+        if (spec_.natid) {
+          world_->spawn_seeded(net::NatConfig::open());
+        } else {
+          world_->spawn(net::NatConfig::open());
+        }
+      }
+      for (std::size_t i = 0; i < privs; ++i) {
+        world_->spawn(net::NatConfig::natted());
+      }
+      break;
+  }
+
+  if (spec_.step_publics > 0) {
+    schedule_fixed_joins(*world_, spec_.step_publics, net::NatConfig::open(),
+                         from_ms(spec_.step_every_ms),
+                         from_s(spec_.step_at_s));
+  }
+  if (spec_.step_privates > 0) {
+    schedule_fixed_joins(*world_, spec_.step_privates,
+                         net::NatConfig::natted(),
+                         from_ms(spec_.step_every_ms),
+                         from_s(spec_.step_at_s));
+  }
+
+  if (spec_.churn > 0.0) {
+    churn_ = std::make_unique<ChurnProcess>(*world_, spec_.churn,
+                                            net::NatConfig::open(),
+                                            net::NatConfig::natted());
+    churn_->start(from_s(spec_.churn_at_s));
+  }
+
+  if (spec_.catastrophe > 0.0) {
+    // Double indirection on purpose: the hand-built fig7b ran the world
+    // up to the crash instant and only then scheduled the kill, so the
+    // kill executed after every already-queued event of that timestamp.
+    // Scheduling the real kill event from inside a same-time event
+    // reproduces that tie-break (fresh event ids sort last), keeping the
+    // spec-built world bit-compatible with the historic bench.
+    const sim::SimTime at = from_s(spec_.catastrophe_at_s);
+    const double fraction = spec_.catastrophe;
+    World* world = world_.get();
+    world_->simulator().schedule_at(at, [world, at, fraction] {
+      schedule_catastrophe(*world, at, fraction);
+    });
+  }
+
+  switch (spec_.record) {
+    case ExperimentSpec::RecordKind::None:
+      break;
+    case ExperimentSpec::RecordKind::Estimation: {
+      const sim::Duration every = spec_.record_every_s > 0.0
+                                      ? from_s(spec_.record_every_s)
+                                      : sim::sec(1);
+      estimation_ = std::make_unique<EstimationRecorder>(
+          *world_, EstimationRecorderOptions{every, 2});
+      estimation_->start(every);
+      break;
+    }
+    case ExperimentSpec::RecordKind::Graph: {
+      const sim::Duration every = spec_.record_every_s > 0.0
+                                      ? from_s(spec_.record_every_s)
+                                      : sim::sec(10);
+      graph_stats_ = std::make_unique<GraphStatsRecorder>(
+          *world_, GraphStatsRecorderOptions{every, 128});
+      graph_stats_->start(every);
+      break;
+    }
+  }
+}
+
+}  // namespace croupier::run

@@ -1,0 +1,178 @@
+// ExperimentSpec: one experiment as a value.
+//
+// Everything the figure benches used to hand-roll — population size and
+// public/private ratio, join process, churn, catastrophic failure,
+// message loss, clock skew, latency model, duration, and what to record —
+// lives in one serializable struct. A spec plus a seed fully determines a
+// run: `Experiment(spec, seed)` builds the World through the
+// ProtocolRegistry, schedules every scenario process, attaches the
+// requested recorder, and `run()` plays it out.
+//
+// Specs round-trip through text (`parse` / `to_string`), so an experiment
+// can be carried in a CLI flag, a file, or a CSV column:
+//
+//   protocol=croupier:alpha=25,gamma=50 nodes=1000 ratio=0.2 churn=0.01
+//   duration=250
+//
+// The format is whitespace-separated `key=value` tokens; to_string emits
+// the canonical minimal form (defaults omitted, fixed key order), and
+// parse(to_string(s)) == s for every valid spec.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "runtime/recorder.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::run {
+
+struct ExperimentSpec {
+  enum class JoinKind : std::uint8_t {
+    Poisson,  // exponential inter-arrival (the paper's join model)
+    Fixed,    // fixed inter-arrival
+    Instant,  // all nodes spawn before t=0 events run
+  };
+  enum class RecordKind : std::uint8_t { None, Estimation, Graph };
+
+  /// ProtocolRegistry spec, options included ("croupier:alpha=25,gamma=50").
+  std::string protocol = "croupier";
+
+  // Population: `nodes` total, `ratio` of them public (ω). The public
+  // count is round-half-up of ratio*nodes, matching the benches' historic
+  // n/5-style arithmetic at every paper operating point.
+  std::size_t nodes = 1000;
+  double ratio = 0.2;
+
+  // Join process (public and private nodes as two parallel processes).
+  JoinKind join = JoinKind::Poisson;
+  double join_public_ms = 50.0;   // poisson mean / fixed interval
+  double join_private_ms = 13.0;
+
+  // Optional second join wave (fig. 2's ratio step): extra nodes at a
+  // fixed interval starting at step_at_s.
+  std::size_t step_publics = 0;
+  std::size_t step_privates = 0;
+  double step_at_s = 0.0;
+  double step_every_ms = 42.0;
+
+  // Continuous churn (fraction of each class replaced per round).
+  double churn = 0.0;
+  double churn_at_s = 61.0;
+
+  // Catastrophic failure (fraction of all nodes crashing at one instant).
+  double catastrophe = 0.0;
+  double catastrophe_at_s = 60.0;
+
+  // Network conditions.
+  double loss = 0.0;
+  double skew = 0.01;                // World::Config::clock_skew
+  double private_round_scale = 1.0;  // ablation_skew's adversarial bias
+  World::LatencyKind latency = World::LatencyKind::King;
+  double latency_ms = 50.0;          // constant-latency model only
+  double round_ms = 1000.0;          // gossip round period
+  bool natid = false;                // joiners run the NAT-ID protocol
+
+  // Horizon and recording.
+  double duration_s = 200.0;
+  RecordKind record = RecordKind::Estimation;
+  double record_every_s = 0.0;  // 0 = kind default (1 s est., 10 s graph)
+
+  [[nodiscard]] std::size_t publics() const;
+  [[nodiscard]] std::size_t privates() const { return nodes - publics(); }
+  [[nodiscard]] sim::Duration duration() const;
+
+  /// Throws std::invalid_argument on out-of-range fields (ratio outside
+  /// [0,1], churn outside [0,1), zero nodes, non-positive duration, ...).
+  void validate() const;
+
+  /// Canonical textual form; defaults omitted except the identifying
+  /// quartet protocol/nodes/ratio/duration.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the `key=value ...` form. Throws std::invalid_argument on
+  /// unknown keys, malformed values, or a spec that fails validate().
+  static ExperimentSpec parse(const std::string& text);
+
+  friend bool operator==(const ExperimentSpec&,
+                         const ExperimentSpec&) = default;
+};
+
+/// Fluent construction for C++ call sites (benches, examples, tests):
+///
+///   auto spec = SpecBuilder()
+///                   .protocol("croupier:alpha=25,gamma=50")
+///                   .nodes(1000).ratio(0.2)
+///                   .churn(0.01)
+///                   .duration(250)
+///                   .build();
+///
+/// build() validates and returns the value.
+class SpecBuilder {
+ public:
+  SpecBuilder& protocol(std::string spec);
+  SpecBuilder& nodes(std::size_t n);
+  SpecBuilder& ratio(double omega);
+  SpecBuilder& poisson_joins(double public_ms, double private_ms);
+  SpecBuilder& fixed_joins(double public_ms, double private_ms);
+  SpecBuilder& instant_joins();
+  SpecBuilder& join_step(std::size_t publics, std::size_t privates,
+                         double at_s, double every_ms);
+  SpecBuilder& churn(double fraction, double at_s = 61.0);
+  SpecBuilder& catastrophe(double fraction, double at_s);
+  SpecBuilder& loss(double probability);
+  SpecBuilder& skew(double fraction);
+  SpecBuilder& private_round_scale(double scale);
+  SpecBuilder& king_latency();
+  SpecBuilder& constant_latency(double ms);
+  SpecBuilder& coordinate_latency();
+  SpecBuilder& round_period(double ms);
+  SpecBuilder& natid(bool enabled = true);
+  SpecBuilder& duration(double seconds);
+  SpecBuilder& record_estimation(double every_s = 0.0);
+  SpecBuilder& record_graph(double every_s = 0.0);
+  SpecBuilder& record_nothing();
+
+  /// Validates and returns the spec (throws std::invalid_argument).
+  [[nodiscard]] ExperimentSpec build() const;
+
+ private:
+  ExperimentSpec spec_;
+};
+
+/// One materialized run of a spec: owns the World, the scenario processes
+/// whose lifetime must span the run (churn), and the requested recorder.
+/// Construction schedules everything; run() plays the full horizon, or
+/// drive the simulator in slices with run_until() for mid-run
+/// measurements (overhead windows, meter resets).
+class Experiment {
+ public:
+  Experiment(const ExperimentSpec& spec, std::uint64_t seed);
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  [[nodiscard]] const ExperimentSpec& spec() const { return spec_; }
+  [[nodiscard]] World& world() { return *world_; }
+
+  void run() { run_until(spec_.duration()); }
+  void run_until(sim::SimTime t) { world_->simulator().run_until(t); }
+
+  /// Recorder for the spec's RecordKind; nullptr when not requested.
+  [[nodiscard]] const EstimationRecorder* estimation() const {
+    return estimation_.get();
+  }
+  [[nodiscard]] const GraphStatsRecorder* graph_stats() const {
+    return graph_stats_.get();
+  }
+
+ private:
+  ExperimentSpec spec_;
+  std::unique_ptr<World> world_;
+  std::unique_ptr<ChurnProcess> churn_;
+  std::unique_ptr<EstimationRecorder> estimation_;
+  std::unique_ptr<GraphStatsRecorder> graph_stats_;
+};
+
+}  // namespace croupier::run

@@ -105,10 +105,52 @@ TEST(BenchArgs, HelpPrintsUsageAndExits) {
   EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0), "");
 }
 
-TEST(BenchArgs, UnknownFlagsAreIgnored) {
+TEST(BenchArgs, UnknownFlagsAreIgnoredButWarn) {
+  // Regression: a typo like --run=5 used to be swallowed silently and the
+  // bench ran with the default; it must now be called out on stderr.
+  ::testing::internal::CaptureStderr();
   const auto args = parse({"--bogus", "stray", "--fast"});
+  const std::string err = ::testing::internal::GetCapturedStderr();
   EXPECT_TRUE(args.fast);
   EXPECT_EQ(args.runs, 2u);
+  EXPECT_NE(err.find("unknown flag --bogus"), std::string::npos) << err;
+  EXPECT_NE(err.find("unknown flag stray"), std::string::npos) << err;
+}
+
+TEST(BenchArgs, TypoedFlagWarns) {
+  ::testing::internal::CaptureStderr();
+  const auto args = parse({"--run=5"});  // meant --runs=5
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(args.runs, 2u);
+  EXPECT_NE(err.find("unknown flag --run=5"), std::string::npos) << err;
+}
+
+TEST(BenchArgs, KnownFlagsDoNotWarn) {
+  ::testing::internal::CaptureStderr();
+  (void)parse({"--runs=3", "--seed=2", "--jobs=1", "--csv=/tmp/x", "--fast"});
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+TEST(BenchArgs, ExtraFlagHookConsumesBeforeWarning) {
+  std::vector<std::string> seen;
+  ::testing::internal::CaptureStderr();
+  std::vector<std::string> argv{"bench", "--protocol=croupier", "--fast"};
+  std::vector<char*> raw;
+  for (auto& a : argv) raw.push_back(a.data());
+  const auto args = BenchArgs::parse(
+      static_cast<int>(raw.size()), raw.data(),
+      [&seen](const std::string& a) {
+        if (a.rfind("--protocol=", 0) == 0) {
+          seen.push_back(a);
+          return true;
+        }
+        return false;
+      });
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(args.fast);
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "--protocol=croupier");
+  EXPECT_TRUE(err.empty()) << err;
 }
 
 }  // namespace

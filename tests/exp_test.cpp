@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <numeric>
@@ -124,6 +125,58 @@ TEST(ResultSink, WritesSeriesToCsvAndText) {
   std::remove(txt_path.c_str());
 }
 
+TEST(ResultSink, SeriesWithSpreadEmitsThirdColumnAndSpreadRows) {
+  const std::string csv_path = ::testing::TempDir() + "sink_spread.csv";
+  const std::string txt_path = ::testing::TempDir() + "sink_spread.txt";
+  {
+    std::FILE* out = std::fopen(txt_path.c_str(), "w");
+    ASSERT_NE(out, nullptr);
+    ResultSink sink(csv_path, out);
+    const std::vector<double> x{0.0, 1.0};
+    const std::vector<double> y{0.25, 0.5};
+    const std::vector<double> sd{0.01, 0.02};
+    sink.series("figX avg-error", x, y, sd);
+    sink.value("summary", "steady avg-err", 0.125);
+    sink.spread("summary", "steady avg-err", 0.004);
+    std::fclose(out);
+  }
+  EXPECT_EQ(slurp(txt_path),
+            "# figX avg-error\n"
+            "0 0.250000 0.010000\n"
+            "1 0.500000 0.020000\n"
+            "\n");
+  EXPECT_EQ(slurp(csv_path),
+            "kind,block,x,y\n"
+            "series,\"figX avg-error\",0,0.250000\n"
+            "spread,\"figX avg-error\",0,0.010000\n"
+            "series,\"figX avg-error\",1,0.500000\n"
+            "spread,\"figX avg-error\",1,0.020000\n"
+            "value,\"summary\",\"steady avg-err\",0.125\n"
+            "spread,\"summary\",\"steady avg-err\",0.004\n");
+  std::remove(csv_path.c_str());
+  std::remove(txt_path.c_str());
+}
+
+TEST(Accum, WelfordMeanAndSampleStddev) {
+  Accum acc;
+  EXPECT_EQ(acc.n(), 0u);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+  acc.add(2.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);  // one sample: no spread yet
+  acc.add(4.0);
+  acc.add(4.0);
+  acc.add(4.0);
+  acc.add(5.0);
+  acc.add(5.0);
+  acc.add(7.0);
+  acc.add(9.0);
+  EXPECT_EQ(acc.n(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample variance of {2,4,4,4,5,5,7,9} is 32/7.
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
 TEST(ResultSink, QuotesEmbeddedQuotesAndCommas) {
   const std::string csv_path = ::testing::TempDir() + "sink_quote.csv";
   {
@@ -149,28 +202,29 @@ TEST(Strf, FormatsLikePrintf) {
 
 // The cornerstone guarantee: a fig1-style experiment fanned out over 4
 // workers aggregates to *byte-identical* series as the same experiment on
-// 1 worker. Uses the real bench plumbing (run_trial_grid + average_runs +
-// ResultSink) on a miniature world so it stays fast.
+// 1 worker. Uses the real bench plumbing (run_trial_grid + specs +
+// aggregate_runs + ResultSink) on a miniature world so it stays fast.
 TEST(TrialGridDeterminism, FourJobsMatchSerialByteForByte) {
   bench::BenchArgs args;
   args.runs = 3;
   args.seed = 7;
-  const auto duration = sim::sec(15);
   const std::pair<std::size_t, std::size_t> windows[] = {{10, 25}, {25, 50}};
 
   const auto run_experiment = [&](std::size_t jobs) {
     TrialPool pool(jobs);
     const auto grid = bench::run_trial_grid(
         pool, args, 2, [&](std::size_t p, std::uint64_t seed) {
-          return bench::run_estimation_experiment(
-              bench::paper_croupier_config(windows[p].first,
-                                           windows[p].second),
-              seed, duration,
-              [&](run::World& w) { bench::paper_joins(w, 8, 24); });
+          return bench::run_spec_series(
+              bench::paper_spec(32, 15)
+                  .protocol(bench::croupier_proto(windows[p].first,
+                                                  windows[p].second))
+                  .ratio(0.25)
+                  .build(),
+              seed);
         });
-    std::vector<bench::EstimationSeries> avgs;
-    for (const auto& runs : grid) avgs.push_back(bench::average_runs(runs));
-    return avgs;
+    std::vector<bench::AggregatedSeries> aggs;
+    for (const auto& runs : grid) aggs.push_back(bench::aggregate_runs(runs));
+    return aggs;
   };
 
   const auto serial = run_experiment(1);
@@ -182,18 +236,20 @@ TEST(TrialGridDeterminism, FourJobsMatchSerialByteForByte) {
     // identical trials summed in a fixed order must give identical bits.
     EXPECT_EQ(serial[p].t, parallel[p].t);
     EXPECT_EQ(serial[p].avg_err, parallel[p].avg_err);
+    EXPECT_EQ(serial[p].avg_err_sd, parallel[p].avg_err_sd);
     EXPECT_EQ(serial[p].max_err, parallel[p].max_err);
+    EXPECT_EQ(serial[p].max_err_sd, parallel[p].max_err_sd);
     EXPECT_EQ(serial[p].truth, parallel[p].truth);
     EXPECT_FALSE(serial[p].t.empty());
   }
 
-  // And the emitted artifacts match byte for byte.
-  const auto emit = [&](const std::vector<bench::EstimationSeries>& avgs,
+  // And the emitted artifacts match byte for byte, spread column included.
+  const auto emit = [&](const std::vector<bench::AggregatedSeries>& aggs,
                         const std::string& csv_path) {
     ResultSink sink(csv_path, nullptr);
-    for (std::size_t p = 0; p < avgs.size(); ++p) {
-      sink.series(strf("fig1a avg-error w=%zu", p), avgs[p].t,
-                  avgs[p].avg_err);
+    for (std::size_t p = 0; p < aggs.size(); ++p) {
+      sink.series(strf("fig1a avg-error w=%zu", p), aggs[p].t,
+                  aggs[p].avg_err, aggs[p].avg_err_sd);
     }
   };
   const std::string csv1 = ::testing::TempDir() + "det_jobs1.csv";
@@ -203,6 +259,7 @@ TEST(TrialGridDeterminism, FourJobsMatchSerialByteForByte) {
   const std::string contents1 = slurp(csv1);
   EXPECT_EQ(contents1, slurp(csv4));
   EXPECT_NE(contents1.find("series,"), std::string::npos);
+  EXPECT_NE(contents1.find("spread,"), std::string::npos);
   std::remove(csv1.c_str());
   std::remove(csv4.c_str());
 }

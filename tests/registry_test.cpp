@@ -1,0 +1,162 @@
+// ProtocolRegistry: the string-keyed protocol construction surface.
+// Covers name lookup and error reporting, option parsing per protocol
+// (typed config builders), spec-string syntax, and end-to-end factory
+// construction through a World.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "runtime/registry.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::run {
+namespace {
+
+const ProtocolRegistry& reg() { return ProtocolRegistry::instance(); }
+
+TEST(ProtocolRegistry, KnowsAllFiveProtocols) {
+  const auto names = reg().names();
+  EXPECT_EQ(names, (std::vector<std::string>{"arrg", "croupier", "cyclon",
+                                             "gozar", "nylon"}));
+  for (const auto& name : names) EXPECT_TRUE(reg().contains(name));
+  EXPECT_FALSE(reg().contains("chord"));
+}
+
+TEST(ProtocolRegistry, UnknownProtocolThrowsWithKnownNames) {
+  try {
+    (void)reg().make("chord");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown protocol \"chord\""), std::string::npos)
+        << msg;
+    // The error must teach the fix: every registered name is listed.
+    EXPECT_NE(msg.find("croupier"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cyclon"), std::string::npos) << msg;
+  }
+}
+
+TEST(ProtocolRegistry, UnknownOptionKeyThrows) {
+  try {
+    (void)reg().make("croupier", {{"aplha", "25"}});  // typo
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("croupier"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("aplha"), std::string::npos) << msg;
+  }
+}
+
+TEST(ProtocolRegistry, MalformedOptionValueThrows) {
+  EXPECT_THROW((void)reg().make("croupier", {{"alpha", "many"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg().make("croupier", {{"alpha", "-3"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg().make("croupier", {{"alpha", ""}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg().make("croupier", {{"sizing", "diagonal"}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)reg().make("cyclon", {{"view", "0"}}),
+               std::invalid_argument);
+}
+
+TEST(ProtocolRegistry, CroupierOptionsApplyOverPaperDefaults) {
+  const auto dflt = make_croupier_config({});
+  EXPECT_EQ(dflt.estimator.local_history, 25u);     // paper alpha
+  EXPECT_EQ(dflt.estimator.neighbour_history, 50u); // paper gamma
+  EXPECT_EQ(dflt.estimator.share_limit, 10u);
+  EXPECT_EQ(dflt.base.view_size, 10u);
+  EXPECT_EQ(dflt.base.shuffle_size, 5u);
+  EXPECT_EQ(dflt.sizing, core::ViewSizing::FixedPerView);
+
+  const auto cfg = make_croupier_config({{"alpha", "100"},
+                                         {"gamma", "250"},
+                                         {"share_limit", "5"},
+                                         {"sizing", "proportional"},
+                                         {"view", "20"},
+                                         {"merge", "healer"}});
+  EXPECT_EQ(cfg.estimator.local_history, 100u);
+  EXPECT_EQ(cfg.estimator.neighbour_history, 250u);
+  EXPECT_EQ(cfg.estimator.share_limit, 5u);
+  EXPECT_EQ(cfg.sizing, core::ViewSizing::RatioProportional);
+  EXPECT_EQ(cfg.base.view_size, 20u);
+  EXPECT_EQ(cfg.base.merge, pss::MergePolicy::Healer);
+}
+
+TEST(ProtocolRegistry, BaselineOptionsApply) {
+  const auto gozar = make_gozar_config({{"redundancy", "3"},
+                                        {"parents", "5"},
+                                        {"keepalive", "7"}});
+  EXPECT_EQ(gozar.relay_redundancy, 3u);
+  EXPECT_EQ(gozar.num_parents, 5u);
+  EXPECT_EQ(gozar.keepalive_rounds, 7u);
+
+  const auto nylon = make_nylon_config({{"punch_hops", "8"},
+                                        {"rvp_links", "40"}});
+  EXPECT_EQ(nylon.max_punch_hops, 8u);
+  EXPECT_EQ(nylon.max_rvp_links, 40u);
+  EXPECT_THROW((void)make_nylon_config({{"punch_hops", "300"}}),
+               std::invalid_argument);  // > uint8
+
+  const auto arrg = make_arrg_config({{"open_list", "11"}});
+  EXPECT_EQ(arrg.open_list_size, 11u);
+
+  const auto cyclon = make_cyclon_config({{"shuffle", "4"}});
+  EXPECT_EQ(cyclon.shuffle_size, 4u);
+}
+
+TEST(ProtocolRegistry, ParseSpecSplitsNameAndOptions) {
+  const auto [name, opts] =
+      ProtocolRegistry::parse_spec("croupier:alpha=25,gamma=50");
+  EXPECT_EQ(name, "croupier");
+  ASSERT_EQ(opts.size(), 2u);
+  EXPECT_EQ(opts.at("alpha"), "25");
+  EXPECT_EQ(opts.at("gamma"), "50");
+
+  const auto [bare, none] = ProtocolRegistry::parse_spec("nylon");
+  EXPECT_EQ(bare, "nylon");
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(ProtocolRegistry, ParseSpecRejectsBadSyntax) {
+  EXPECT_THROW((void)ProtocolRegistry::parse_spec(""),
+               std::invalid_argument);
+  EXPECT_THROW((void)ProtocolRegistry::parse_spec(":alpha=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ProtocolRegistry::parse_spec("croupier:"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ProtocolRegistry::parse_spec("croupier:alpha"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ProtocolRegistry::parse_spec("croupier:alpha=1,"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ProtocolRegistry::parse_spec("croupier:=1"),
+               std::invalid_argument);
+}
+
+TEST(ProtocolRegistry, OptionsHelpNamesEveryKey) {
+  EXPECT_NE(reg().options_help("croupier").find("alpha"), std::string::npos);
+  EXPECT_NE(reg().options_help("gozar").find("redundancy"),
+            std::string::npos);
+  EXPECT_THROW((void)reg().options_help("chord"), std::invalid_argument);
+}
+
+// End to end: every registry name yields a factory that builds a working
+// sampler inside a World.
+TEST(ProtocolRegistry, FactoriesBuildWorkingWorlds) {
+  for (const auto& name : reg().names()) {
+    World::Config cfg;
+    cfg.seed = 9;
+    cfg.latency = World::LatencyKind::Constant;
+    cfg.constant_latency = sim::msec(20);
+    World world(cfg, reg().make_from_spec(name));
+    for (int i = 0; i < 8; ++i) world.spawn(net::NatConfig::open());
+    world.simulator().run_until(sim::sec(10));
+    EXPECT_EQ(world.alive_count(), 8u) << name;
+    const auto* sampler = world.sampler(world.alive_ids().front());
+    ASSERT_NE(sampler, nullptr) << name;
+    EXPECT_FALSE(sampler->out_neighbors().empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace croupier::run

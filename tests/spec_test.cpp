@@ -1,0 +1,224 @@
+// ExperimentSpec / SpecBuilder / Experiment: the declarative experiment
+// surface. Covers the parse/to_string round-trip, validation, population
+// arithmetic, and the load-bearing equivalence guarantee: a spec-built
+// Experiment replays a hand-built World event for event (identical
+// recorded series at the same seed).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/factories.hpp"
+#include "runtime/recorder.hpp"
+#include "runtime/registry.hpp"
+#include "runtime/scenario.hpp"
+#include "runtime/spec.hpp"
+
+namespace croupier::run {
+namespace {
+
+TEST(ExperimentSpec, DefaultsRoundTripMinimally) {
+  const ExperimentSpec spec;
+  EXPECT_EQ(spec.to_string(),
+            "protocol=croupier nodes=1000 ratio=0.2 duration=200");
+  EXPECT_EQ(ExperimentSpec::parse(spec.to_string()), spec);
+}
+
+TEST(ExperimentSpec, FullyLoadedSpecRoundTrips) {
+  const auto spec = SpecBuilder()
+                        .protocol("croupier:alpha=10,gamma=25,merge=healer")
+                        .nodes(1234)
+                        .ratio(0.33)
+                        .fixed_joins(42.5, 13)
+                        .join_step(333, 7, 58, 42)
+                        .churn(0.025, 61)
+                        .catastrophe(0.8, 60)
+                        .loss(0.05)
+                        .skew(0.1)
+                        .private_round_scale(1.2)
+                        .constant_latency(20)
+                        .round_period(500)
+                        .natid()
+                        .duration(123.456)
+                        .record_graph(2.5)
+                        .build();
+  const auto text = spec.to_string();
+  EXPECT_EQ(ExperimentSpec::parse(text), spec) << text;
+  // And the canonical form is stable (parse -> to_string is idempotent).
+  EXPECT_EQ(ExperimentSpec::parse(text).to_string(), text);
+}
+
+TEST(ExperimentSpec, ParseRejectsUnknownKeysAndBadValues) {
+  EXPECT_THROW((void)ExperimentSpec::parse("bogus=1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("nodes"), std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("nodes=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("ratio=1.5"),
+               std::invalid_argument);  // validate() runs after parsing
+  EXPECT_THROW((void)ExperimentSpec::parse("join=sometimes"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("record=everything"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("natid=maybe"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("protocol=chorder:x"),
+               std::invalid_argument);  // bad option syntax caught early
+  // An unknown protocol name or option must fail at validation time, not
+  // later inside a TrialPool worker where the throw would abort the run.
+  EXPECT_THROW((void)ExperimentSpec::parse("protocol=chord"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().protocol("croupier:aplha=25").build(),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, ValidateRejectsOutOfRangeFields) {
+  EXPECT_THROW((void)SpecBuilder().nodes(0).build(), std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().ratio(-0.1).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().churn(1.0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().loss(2.0).build(), std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().duration(0).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().poisson_joins(0, 13).build(),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)SpecBuilder().build());
+}
+
+TEST(ExperimentSpec, PopulationArithmeticMatchesHistoricBenches) {
+  // The benches historically used n/5-style integer division; the spec's
+  // round-half-up must agree at every paper operating point.
+  const auto publics = [](std::size_t nodes, double ratio) {
+    ExperimentSpec s;
+    s.nodes = nodes;
+    s.ratio = ratio;
+    return s.publics();
+  };
+  EXPECT_EQ(publics(5000, 0.2), 1000u);
+  EXPECT_EQ(publics(1000, 0.2), 200u);
+  EXPECT_EQ(publics(300, 0.2), 60u);
+  EXPECT_EQ(publics(50, 0.2), 10u);
+  EXPECT_EQ(publics(1000, 0.33), 330u);
+  EXPECT_EQ(publics(1000, 0.05), 50u);
+  EXPECT_EQ(publics(300, 1.0), 300u);
+  EXPECT_EQ(publics(300, 0.0), 0u);
+
+  ExperimentSpec s;
+  s.nodes = 500;
+  s.ratio = 0.2;
+  EXPECT_EQ(s.privates(), 400u);
+}
+
+TEST(ExperimentSpec, DurationIsExactForSubMillisecondHorizons) {
+  ExperimentSpec s;
+  s.duration_s = 60.001;  // fig7b: measure 1 ms after the crash
+  EXPECT_EQ(s.duration(), sim::sec(60) + sim::msec(1));
+}
+
+// The load-bearing guarantee behind the bench migration: the spec-built
+// world replays the hand-built one event for event, so the recorded
+// series match bit for bit.
+TEST(Experiment, ReproducesHandBuiltWorldBitForBit) {
+  const std::uint64_t seed = 4242;
+  const auto duration = sim::sec(20);
+
+  // Hand-built, exactly as the pre-registry fig benches did it.
+  metrics::ErrorSeries manual;
+  {
+    core::CroupierConfig cfg;
+    cfg.estimator.local_history = 10;
+    cfg.estimator.neighbour_history = 25;
+    World::Config wcfg;
+    wcfg.seed = seed;
+    wcfg.latency = World::LatencyKind::King;
+    wcfg.clock_skew = 0.01;
+    World world(wcfg, make_croupier_factory(cfg));
+    schedule_poisson_joins(world, 10, net::NatConfig::open(), sim::msec(50));
+    schedule_poisson_joins(world, 40, net::NatConfig::natted(),
+                           sim::msec(13));
+    EstimationRecorder recorder(world, {sim::sec(1), 2});
+    recorder.start(sim::sec(1));
+    world.simulator().run_until(duration);
+    manual = recorder.series();
+  }
+
+  // Declarative.
+  Experiment experiment(SpecBuilder()
+                            .protocol("croupier:alpha=10,gamma=25")
+                            .nodes(50)
+                            .ratio(0.2)
+                            .duration(20)
+                            .record_estimation()
+                            .build(),
+                        seed);
+  experiment.run();
+  const auto& spec_series = experiment.estimation()->series();
+
+  ASSERT_EQ(spec_series.size(), manual.size());
+  ASSERT_FALSE(manual.empty());
+  for (std::size_t i = 0; i < manual.size(); ++i) {
+    EXPECT_EQ(spec_series[i].t_seconds, manual[i].t_seconds);
+    EXPECT_EQ(spec_series[i].sample.avg_error, manual[i].sample.avg_error);
+    EXPECT_EQ(spec_series[i].sample.max_error, manual[i].sample.max_error);
+    EXPECT_EQ(spec_series[i].sample.truth, manual[i].sample.truth);
+  }
+}
+
+TEST(Experiment, ChurnReplacesNodesAndKeepsPopulation) {
+  Experiment experiment(SpecBuilder()
+                            .protocol("croupier")
+                            .nodes(60)
+                            .ratio(0.2)
+                            .instant_joins()
+                            .churn(0.05, 5)
+                            .duration(30)
+                            .record_nothing()
+                            .build(),
+                        7);
+  experiment.run();
+  EXPECT_EQ(experiment.world().alive_count(), 60u);
+  // 5%/round for ~25 rounds must have replaced a noticeable share: the
+  // maximum live node id keeps growing as fresh nodes join.
+  net::NodeId max_id = 0;
+  for (const auto id : experiment.world().alive_ids()) {
+    max_id = std::max(max_id, id);
+  }
+  EXPECT_GT(max_id, 80u);
+}
+
+TEST(Experiment, CatastropheKillsTheRequestedFraction) {
+  Experiment experiment(SpecBuilder()
+                            .protocol("croupier")
+                            .nodes(100)
+                            .ratio(0.2)
+                            .instant_joins()
+                            .catastrophe(0.6, 10)
+                            .duration(10.001)
+                            .record_nothing()
+                            .build(),
+                        3);
+  experiment.run();
+  EXPECT_EQ(experiment.world().alive_count(), 40u);
+}
+
+TEST(Experiment, GraphRecordingProducesSeries) {
+  Experiment experiment(SpecBuilder()
+                            .protocol("cyclon")
+                            .nodes(40)
+                            .ratio(1.0)
+                            .instant_joins()
+                            .duration(21)
+                            .record_graph(5)
+                            .build(),
+                        11);
+  experiment.run();
+  ASSERT_NE(experiment.graph_stats(), nullptr);
+  EXPECT_EQ(experiment.estimation(), nullptr);
+  ASSERT_GE(experiment.graph_stats()->series().size(), 4u);
+  EXPECT_GT(experiment.graph_stats()->series().back().avg_path_length, 0.0);
+}
+
+}  // namespace
+}  // namespace croupier::run

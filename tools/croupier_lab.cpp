@@ -1,0 +1,315 @@
+// croupier-lab: the declarative experiment driver.
+//
+// Runs any run::ExperimentSpec through the exp::TrialPool / ResultSink
+// pipeline — the one binary that replaces writing a new bench for every
+// new scenario. A sweep is a list of specs: pass --protocol repeatedly to
+// compare samplers under identical conditions (PeerSwap-style), or
+// --spec repeatedly to run arbitrary serialized specs.
+//
+//   croupier-lab --protocol=croupier --nodes=1000 --ratio=0.2
+//                --churn=0.01 --runs=5 --csv=out.csv
+//   croupier-lab --protocol=croupier:alpha=10,gamma=25
+//                --protocol=croupier:alpha=25,gamma=50 --duration=350
+//   croupier-lab --spec="protocol=gozar nodes=500 ratio=0.2 duration=120"
+//
+// Output matches the fig benches: gnuplot series blocks on stdout (avg-
+// and max-error per spec for estimation recording; path length and
+// clustering for graph recording), stddev third column when --runs>1,
+// optional CSV mirror. Spec points are trial-grid points, so the seed of
+// (point p, run r) is exp::trial_seed(seed, p, r) — invoking croupier-lab
+// with fig1's three (alpha,gamma) specs reproduces fig1's series
+// byte-for-byte at the same --seed/--runs.
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace croupier;
+
+constexpr const char* kUsage =
+    "croupier-lab: run declarative peer-sampling experiments\n"
+    "\n"
+    "spec selection (one sweep point per flag occurrence):\n"
+    "  --protocol=NAME[:k=v,...]  protocol for the shared scenario; repeat\n"
+    "                             to sweep several samplers (croupier,\n"
+    "                             cyclon, gozar, nylon, arrg)\n"
+    "  --spec=\"k=v k=v ...\"       full ExperimentSpec string; repeat to\n"
+    "                             sweep (exclusive with scenario flags)\n"
+    "scenario (shared by every --protocol point):\n"
+    "  --nodes=N                  population size (default 1000)\n"
+    "  --ratio=R                  public fraction omega (default 0.2)\n"
+    "  --join=poisson|fixed|instant   join process (default poisson)\n"
+    "  --join-public-ms=MS --join-private-ms=MS   inter-arrival times\n"
+    "  --churn=F                  fraction replaced per round (default 0)\n"
+    "  --churn-at=S               churn start (default 61)\n"
+    "  --catastrophe=F            fraction crashing at one instant\n"
+    "  --catastrophe-at=S         crash time (default 60)\n"
+    "  --loss=P                   uniform message loss probability\n"
+    "  --skew=S                   clock skew fraction (default 0.01)\n"
+    "  --latency=king|constant|coordinate   latency model (default king)\n"
+    "  --latency-ms=MS            constant-latency value (default 50)\n"
+    "  --natid                    joiners run the NAT-ID protocol\n"
+    "  --duration=S               horizon in seconds (default 200)\n"
+    "  --record=estimation|graph  what to record (default estimation)\n"
+    "  --record-every=S           sampling interval (default 1 / 10)\n"
+    "harness:\n"
+    "  --runs=N --seed=S --jobs=N --csv=PATH   as in the fig benches;\n"
+    "                             with --runs>1 series rows gain a stddev\n"
+    "                             column and the CSV gains `spread` rows\n"
+    "  --print-spec               print canonical spec strings and exit\n";
+
+struct LabFlags {
+  std::vector<std::string> protocols;
+  std::vector<std::string> raw_specs;
+  std::vector<std::pair<std::string, std::string>> scenario;  // key, value
+  bool print_spec = false;
+
+  /// BenchArgs extra-flag hook: true when `arg` is a lab flag.
+  bool consume(const std::string& arg) {
+    static constexpr const char* kSpecKeys[] = {
+        "nodes",          "ratio",     "join",       "join-public-ms",
+        "join-private-ms", "churn",    "churn-at",   "catastrophe",
+        "catastrophe-at", "loss",      "skew",       "latency",
+        "latency-ms",     "duration",  "record",     "record-every",
+    };
+    if (arg == "--help") {
+      std::fputs(kUsage, stdout);
+      std::exit(0);
+    }
+    if (arg == "--fast") {
+      // The fig benches shrink their hard-coded scale under --fast; the
+      // lab's scale is explicit, so accepting it silently would be the
+      // same trap the unknown-flag warning exists to close.
+      std::fprintf(stderr,
+                   "warning: croupier-lab has no --fast mode; set "
+                   "--nodes/--duration explicitly (flag ignored)\n");
+      return true;
+    }
+    if (arg == "--print-spec") {
+      print_spec = true;
+      return true;
+    }
+    if (arg == "--natid") {
+      scenario.emplace_back("natid", "1");
+      return true;
+    }
+    if (arg.rfind("--protocol=", 0) == 0) {
+      protocols.push_back(arg.substr(11));
+      return true;
+    }
+    if (arg.rfind("--spec=", 0) == 0) {
+      raw_specs.push_back(arg.substr(7));
+      return true;
+    }
+    for (const char* key : kSpecKeys) {
+      const std::string prefix = std::string("--") + key + "=";
+      if (arg.rfind(prefix, 0) == 0) {
+        scenario.emplace_back(key, arg.substr(prefix.size()));
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+/// The sweep: one ExperimentSpec per point, built either from --spec
+/// strings or from the shared scenario flags times the protocol list.
+std::vector<run::ExperimentSpec> build_specs(const LabFlags& flags) {
+  std::vector<run::ExperimentSpec> specs;
+  if (!flags.raw_specs.empty()) {
+    if (!flags.protocols.empty() || !flags.scenario.empty()) {
+      std::fprintf(stderr,
+                   "error: --spec is exclusive with --protocol and the "
+                   "scenario flags\n");
+      std::exit(1);
+    }
+    for (const auto& raw : flags.raw_specs) {
+      specs.push_back(run::ExperimentSpec::parse(raw));
+    }
+    return specs;
+  }
+
+  // Scenario flags reuse the ExperimentSpec string syntax key for key, so
+  // the base spec is just their concatenation.
+  std::string base_text;
+  for (const auto& [key, value] : flags.scenario) {
+    base_text += key + "=" + value + " ";
+  }
+  const auto protocols = flags.protocols.empty()
+                             ? std::vector<std::string>{"croupier"}
+                             : flags.protocols;
+  for (const auto& protocol : protocols) {
+    specs.push_back(
+        run::ExperimentSpec::parse(base_text + "protocol=" + protocol));
+  }
+  return specs;
+}
+
+struct GraphSeries {
+  std::vector<double> t;
+  std::vector<double> apl;
+  std::vector<double> cc;
+};
+
+GraphSeries to_graph_series(const run::GraphStatsRecorder& recorder) {
+  GraphSeries out;
+  for (const auto& p : recorder.series()) {
+    out.t.push_back(p.t_seconds);
+    out.apl.push_back(p.avg_path_length);
+    out.cc.push_back(p.clustering_coefficient);
+  }
+  return out;
+}
+
+/// Pointwise mean/stddev over equally-gridded runs of (t, y) pairs.
+void aggregate_column(const std::vector<GraphSeries>& runs,
+                      std::vector<double> GraphSeries::*column,
+                      std::vector<double>& mean, std::vector<double>& sd) {
+  if (runs.empty()) return;
+  std::size_t len = runs[0].t.size();
+  for (const auto& r : runs) len = std::min(len, r.t.size());
+  const auto n = static_cast<double>(runs.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    double sum = 0;
+    for (const auto& r : runs) sum += (r.*column)[i];
+    const double m = sum / n;
+    double var = 0;
+    for (const auto& r : runs) {
+      var += ((r.*column)[i] - m) * ((r.*column)[i] - m);
+    }
+    mean.push_back(m);
+    sd.push_back(std::sqrt(var / (runs.size() > 1 ? n - 1 : 1)));
+  }
+}
+
+void emit_estimation(exp::ResultSink& sink, const std::string& label,
+                     const std::vector<bench::EstimationSeries>& runs,
+                     std::size_t n_runs) {
+  const auto agg = bench::aggregate_runs(runs);
+  bench::emit_series(sink, label + " avg-error", agg.t, agg.avg_err,
+                     agg.avg_err_sd, n_runs);
+  bench::emit_series(sink, label + " max-error", agg.t, agg.max_err,
+                     agg.max_err_sd, n_runs);
+  const std::string block = "summary " + label;
+  const double steady_avg = bench::steady_state(agg.avg_err);
+  const double steady_max = bench::steady_state(agg.max_err);
+  sink.comment(exp::strf("%s: steady avg-err=%.5f steady max-err=%.5f",
+                         block.c_str(), steady_avg, steady_max));
+  sink.blank();
+  sink.value(block, "steady avg-err", steady_avg);
+  sink.value(block, "steady max-err", steady_max);
+}
+
+void emit_graph(exp::ResultSink& sink, const std::string& label,
+                const std::vector<GraphSeries>& runs, std::size_t n_runs) {
+  std::vector<double> apl;
+  std::vector<double> apl_sd;
+  std::vector<double> cc;
+  std::vector<double> cc_sd;
+  aggregate_column(runs, &GraphSeries::apl, apl, apl_sd);
+  aggregate_column(runs, &GraphSeries::cc, cc, cc_sd);
+  std::vector<double> t(runs.empty() ? std::vector<double>{}
+                                     : std::vector<double>(
+                                           runs[0].t.begin(),
+                                           runs[0].t.begin() +
+                                               static_cast<std::ptrdiff_t>(
+                                                   apl.size())));
+  bench::emit_series(sink, label + " avg-path-length", t, apl, apl_sd,
+                     n_runs, "%.0f", "%.4f");
+  bench::emit_series(sink, label + " clustering-coefficient", t, cc, cc_sd,
+                     n_runs, "%.0f", "%.5f");
+  const std::string block = "summary " + label;
+  const double final_apl = apl.empty() ? 0.0 : apl.back();
+  const double final_cc = cc.empty() ? 0.0 : cc.back();
+  sink.comment(exp::strf("%s: final apl=%.3f final cc=%.4f", block.c_str(),
+                         final_apl, final_cc));
+  sink.blank();
+  sink.value(block, "final apl", final_apl);
+  sink.value(block, "final cc", final_cc);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  LabFlags flags;
+  const auto args = bench::BenchArgs::parse(
+      argc, argv, [&flags](const std::string& a) { return flags.consume(a); });
+
+  std::vector<run::ExperimentSpec> specs;
+  try {
+    specs = build_specs(flags);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  if (flags.print_spec) {
+    for (const auto& spec : specs) {
+      std::printf("%s\n", spec.to_string().c_str());
+    }
+    return 0;
+  }
+  for (const auto& spec : specs) {
+    if (spec.record == run::ExperimentSpec::RecordKind::None) {
+      std::fprintf(stderr,
+                   "error: record=none records nothing to report; use "
+                   "record=estimation or record=graph\n");
+      return 1;
+    }
+    if (spec.record != specs[0].record) {
+      std::fprintf(stderr,
+                   "error: every spec of one sweep must record the same "
+                   "kind\n");
+      return 1;
+    }
+  }
+
+  // Series labels default to the protocol spec; sweep points that share
+  // one (several --spec strings varying only the scenario) are suffixed
+  // with their point index so no two output blocks collide.
+  std::vector<std::string> labels;
+  labels.reserve(specs.size());
+  for (const auto& spec : specs) labels.push_back(spec.protocol);
+  const std::vector<std::string> plain = labels;
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    std::size_t same = 0;
+    for (const auto& label : plain) same += label == plain[p] ? 1 : 0;
+    if (same > 1) labels[p] += exp::strf(" #%zu", p);
+  }
+
+  exp::TrialPool pool(args.jobs);
+  exp::ResultSink sink(args.csv);
+  sink.comment(exp::strf("croupier-lab: %zu spec(s), %zu run(s), seed %llu",
+                         specs.size(), args.runs,
+                         static_cast<unsigned long long>(args.seed)));
+  for (const auto& spec : specs) sink.comment(spec.to_string());
+  sink.blank();
+
+  const bool graph =
+      specs[0].record == run::ExperimentSpec::RecordKind::Graph;
+  if (graph) {
+    const auto grid = bench::run_trial_grid(
+        pool, args, specs.size(), [&](std::size_t p, std::uint64_t seed) {
+          run::Experiment experiment(specs[p], seed);
+          experiment.run();
+          return to_graph_series(*experiment.graph_stats());
+        });
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      emit_graph(sink, labels[p], grid[p], args.runs);
+    }
+  } else {
+    const auto grid = bench::run_trial_grid(
+        pool, args, specs.size(), [&](std::size_t p, std::uint64_t seed) {
+          return bench::run_spec_series(specs[p], seed);
+        });
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      emit_estimation(sink, labels[p], grid[p], args.runs);
+    }
+  }
+  return 0;
+}
