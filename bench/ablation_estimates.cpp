@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   const auto window = sim::sec(60);
   const std::size_t limits[] = {1, 2, 5, 10, 20};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "ablation: estimate share limit (paper: 10); %zu nodes, %zu run(s)",
@@ -45,7 +45,7 @@ int main(int argc, char** argv) {
                                     "share_limit=%zu",
                                     limits[p]))
                 .build(),
-            seed);
+            seed, args.world_jobs);
         experiment.run_until(warmup);
         experiment.world().network().meter().reset();
         experiment.run_until(warmup + window);

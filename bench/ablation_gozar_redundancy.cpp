@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
   const auto window = sim::sec(60);
   const std::size_t redundancies[] = {1, 2, 3};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "ablation: Gozar relay redundancy; %zu nodes, 80%% private, "
@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
                 .protocol(exp::strf("gozar:redundancy=%zu", redundancies[p]))
                 .record_nothing()
                 .build(),
-            seed);
+            seed, args.world_jobs);
         experiment.run_until(warmup);
         experiment.world().network().meter().reset();
         experiment.run_until(warmup + window);

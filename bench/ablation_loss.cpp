@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
   const double duration = args.fast ? 100 : 200;
   const double losses[] = {0.0, 0.01, 0.05, 0.10, 0.20};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "ablation: uniform message loss vs estimation/connectivity; "
@@ -44,7 +44,7 @@ int main(int argc, char** argv) {
                 .protocol(bench::croupier_proto(25, 50))
                 .loss(losses[p])
                 .build(),
-            seed);
+            seed, args.world_jobs);
         experiment.run();
 
         TrialResult res;

@@ -19,8 +19,9 @@ struct TrialResult {
   double dead_entry_share = 0;
 };
 
-TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
-  run::Experiment experiment(spec, seed);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed,
+                    std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
   experiment.run();
   auto& world = experiment.world();
 
@@ -56,7 +57,7 @@ int main(int argc, char** argv) {
 
   const char* policies[] = {"swapper", "healer"};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "ablation: merge policy under %.0f%%/round churn; %zu nodes, "
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
                                     policies[p]))
                 .churn(churn, 30)
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < std::size(policies); ++p) {

@@ -21,8 +21,9 @@ struct TrialResult {
   double nat_drop_share = 0;  // NAT-filtered / delivered+filtered
 };
 
-TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
-  run::Experiment experiment(spec, seed);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed,
+                    std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
   experiment.run();
   auto& world = experiment.world();
 
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
   }
   sweep.push_back({"croupier", 80, bench::croupier_proto(25, 50)});
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "ablation: NAT-oblivious PSS on NATted populations; %zu nodes, "
@@ -94,7 +95,7 @@ int main(int argc, char** argv) {
                 .ratio(1.0 - static_cast<double>(pt.private_pct) / 100.0)
                 .record_nothing()
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < sweep.size(); ++p) {

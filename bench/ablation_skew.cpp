@@ -17,8 +17,9 @@ namespace {
 
 using namespace croupier;
 
-double measure_bias(const run::ExperimentSpec& spec, std::uint64_t seed) {
-  run::Experiment experiment(spec, seed);
+double measure_bias(const run::ExperimentSpec& spec, std::uint64_t seed,
+                    std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
   experiment.run();
   auto& world = experiment.world();
 
@@ -49,7 +50,7 @@ int main(int argc, char** argv) {
   for (double skew : skews) sweep.push_back({skew, 0.0});
   for (double slow : slowdowns) sweep.push_back({0.01, slow});
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "ablation: round-time skew vs estimation bias; %zu nodes, "
@@ -67,7 +68,7 @@ int main(int argc, char** argv) {
                 .private_round_scale(1.0 + sweep[p].slowdown)
                 .record_nothing()
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < sweep.size(); ++p) {

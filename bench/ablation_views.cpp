@@ -22,8 +22,9 @@ struct TrialResult {
   double apl = 0;
 };
 
-TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
-  run::Experiment experiment(spec, seed);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed,
+                    std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
   experiment.run();
   auto& world = experiment.world();
 
@@ -75,7 +76,7 @@ int main(int argc, char** argv) {
        "croupier:alpha=25,gamma=50,sizing=proportional,view=20"},
   };
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "ablation: Croupier view-sizing policy; %zu nodes, %zu run(s)", n,
@@ -88,7 +89,7 @@ int main(int argc, char** argv) {
         return measure(bench::paper_spec(n, duration)
                            .protocol(variants[p].protocol)
                            .build(),
-                       seed);
+                       seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < std::size(variants); ++p) {

@@ -10,8 +10,13 @@
 //              --runs>1 every series row carries a third column: the
 //              across-runs standard deviation (gnuplot errorbars).
 //   --seed=S   base seed (default 1)
-//   --jobs=N   worker threads for trial execution (default: hardware
+//   --jobs=N   total worker-thread budget (default: hardware
 //              concurrency). Output is byte-identical for every N.
+//   --world-jobs=N  workers *inside* each trial World (the
+//              round-synchronous parallel engine; default 1). The trial
+//              pool divides --jobs by this so trial-level and
+//              world-level parallelism share one core budget. Output is
+//              byte-identical for every N.
 //   --csv=PATH mirror every emitted data point into a CSV file
 //   --fast     shrink scale for smoke-testing (CI-friendly)
 // Unknown flags warn on stderr (a typo like --run=5 must be visible, not
@@ -36,6 +41,7 @@
 #include <functional>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -52,9 +58,22 @@ namespace croupier::bench {
 struct BenchArgs {
   std::size_t runs = 2;
   std::uint64_t seed = 1;
-  std::size_t jobs = 0;  // 0 = hardware concurrency
-  std::string csv;       // empty = no CSV mirror
+  std::size_t jobs = 0;        // 0 = hardware concurrency
+  std::size_t world_jobs = 1;  // workers inside each trial World
+  std::string csv;             // empty = no CSV mirror
   bool fast = false;
+
+  /// The trial pool's worker count: --jobs is the *total* core budget,
+  /// and every trial World consumes world_jobs of it, so trial-level and
+  /// world-level parallelism compose instead of oversubscribing.
+  [[nodiscard]] std::size_t trial_jobs() const {
+    const std::size_t total =
+        jobs != 0 ? jobs
+                  : std::max<std::size_t>(
+                        1, std::thread::hardware_concurrency());
+    return std::max<std::size_t>(1,
+                                 total / std::max<std::size_t>(1, world_jobs));
+  }
 
   /// Hook for binaries with extra flags (croupier-lab): called first for
   /// every argument; return true to consume it.
@@ -96,12 +115,18 @@ struct BenchArgs {
         std::uint64_t v = args.jobs;
         parse_u64("--jobs", a.substr(7), v);
         args.jobs = static_cast<std::size_t>(v);
+      } else if (a.rfind("--world-jobs=", 0) == 0) {
+        std::uint64_t v = args.world_jobs;
+        parse_u64("--world-jobs", a.substr(13), v);
+        args.world_jobs = static_cast<std::size_t>(v);
       } else if (a.rfind("--csv=", 0) == 0) {
         args.csv = a.substr(6);
       } else if (a == "--fast") {
         args.fast = true;
       } else if (a == "--help") {
-        std::printf("flags: --runs=N --seed=S --jobs=N --csv=PATH --fast\n");
+        std::printf(
+            "flags: --runs=N --seed=S --jobs=N --world-jobs=N --csv=PATH "
+            "--fast\n");
         std::exit(0);  // usage requested — don't launch the full run
       } else {
         // A typo like --run=5 silently reverting to the default cost
@@ -116,6 +141,25 @@ struct BenchArgs {
       // is the smallest valid trial count.
       std::fprintf(stderr, "warning: --runs=0 is invalid; clamping to 1\n");
       args.runs = 1;
+    }
+    if (args.world_jobs == 0) {
+      std::fprintf(stderr,
+                   "warning: --world-jobs=0 is invalid; clamping to 1\n");
+      args.world_jobs = 1;
+    }
+    const std::size_t budget =
+        args.jobs != 0 ? args.jobs
+                       : std::max<std::size_t>(
+                             1, std::thread::hardware_concurrency());
+    if (args.world_jobs > budget) {
+      // --jobs is the *total* core budget the two axes share; shards
+      // beyond it would silently oversubscribe (output is identical
+      // either way, so clamping is safe).
+      std::fprintf(stderr,
+                   "warning: --world-jobs=%zu exceeds the --jobs budget "
+                   "(%zu); clamping\n",
+                   args.world_jobs, budget);
+      args.world_jobs = budget;
     }
     return args;
   }
@@ -183,17 +227,18 @@ inline EstimationSeries to_series(const run::EstimationRecorder& recorder) {
 
 /// Runs a spec (which must record estimation) to its horizon and returns
 /// the error series — the standard trial body of figures 1-5.
+/// `world_jobs` picks the engine inside the trial's World (byte-identical
+/// output for every value).
 inline EstimationSeries run_spec_series(const run::ExperimentSpec& spec,
-                                        std::uint64_t seed) {
-  run::Experiment experiment(spec, seed);
+                                        std::uint64_t seed,
+                                        std::size_t world_jobs = 1) {
+  run::Experiment experiment(spec, seed, world_jobs);
   experiment.run();
   return to_series(*experiment.estimation());
 }
 
 /// Pointwise mean and across-runs standard deviation of several runs of
-/// the same experiment (series are sampled on the same 1 s grid). The
-/// means are plain sum/n in run order, so aggregation is byte-identical
-/// for every --jobs value.
+/// the same experiment (series are sampled on the same 1 s grid).
 struct AggregatedSeries {
   std::vector<double> t;
   std::vector<double> avg_err;
@@ -203,39 +248,61 @@ struct AggregatedSeries {
   std::vector<double> truth;
 };
 
-inline AggregatedSeries aggregate_runs(
-    const std::vector<EstimationSeries>& runs) {
-  AggregatedSeries agg;
-  if (runs.empty()) return agg;
-  std::size_t len = runs[0].t.size();
-  for (const auto& r : runs) len = std::min(len, r.t.size());
-  const auto n = static_cast<double>(runs.size());
-  for (std::size_t i = 0; i < len; ++i) {
-    double a = 0;
-    double m = 0;
-    double tr = 0;
-    for (const auto& r : runs) {
-      a += r.avg_err[i];
-      m += r.max_err[i];
-      tr += r.truth[i];
-    }
-    const double a_mean = a / n;
-    const double m_mean = m / n;
-    double a_var = 0;
-    double m_var = 0;
-    for (const auto& r : runs) {
-      a_var += (r.avg_err[i] - a_mean) * (r.avg_err[i] - a_mean);
-      m_var += (r.max_err[i] - m_mean) * (r.max_err[i] - m_mean);
-    }
-    const double denom = runs.size() > 1 ? n - 1 : 1;
-    agg.t.push_back(runs[0].t[i]);
-    agg.avg_err.push_back(a_mean);
-    agg.avg_err_sd.push_back(std::sqrt(a_var / denom));
-    agg.max_err.push_back(m_mean);
-    agg.max_err_sd.push_back(std::sqrt(m_var / denom));
-    agg.truth.push_back(tr / n);
+/// Streaming accumulator for one sweep point: folds each finished trial's
+/// EstimationSeries into pointwise Welford accumulators (exp::SeriesAccum)
+/// and frees it, instead of materialising all --runs series. Runs must be
+/// folded in run order (TrialPool::map_fold guarantees it), which keeps
+/// the aggregate byte-identical for every --jobs value.
+struct SeriesFold {
+  std::vector<double> t;  // grid of the first run; truncated in finish()
+  exp::SeriesAccum avg_err;
+  exp::SeriesAccum max_err;
+  exp::SeriesAccum truth;
+
+  void add(const EstimationSeries& run) {
+    if (t.empty()) t = run.t;
+    avg_err.add(run.avg_err);
+    max_err.add(run.max_err);
+    truth.add(run.truth);
   }
-  return agg;
+
+  [[nodiscard]] AggregatedSeries finish() const {
+    AggregatedSeries agg;
+    const std::size_t len = avg_err.size();
+    agg.t.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(len));
+    agg.avg_err = avg_err.means();
+    agg.avg_err_sd = avg_err.stddevs();
+    agg.max_err = max_err.means();
+    agg.max_err_sd = max_err.stddevs();
+    agg.truth = truth.means();
+    return agg;
+  }
+};
+
+/// Fans the runs x points grid of a series experiment out on the pool and
+/// streams each finished trial into its point's SeriesFold — the
+/// cross-trial streaming aggregation path: peak memory holds ~--jobs
+/// series instead of all points x runs. Results come back in grid order
+/// whatever the worker count.
+template <typename Fn>
+std::vector<AggregatedSeries> run_series_grid(exp::TrialPool& pool,
+                                              const BenchArgs& args,
+                                              std::size_t points, Fn&& fn) {
+  std::vector<SeriesFold> folds(points);
+  pool.map_fold(
+      points * args.runs,
+      [&fn, &args](std::size_t i) {
+        const std::size_t p = i / args.runs;
+        const std::size_t r = i % args.runs;
+        return fn(p, exp::trial_seed(args.seed, p, r));
+      },
+      [&folds, &args](std::size_t i, EstimationSeries&& series) {
+        folds[i / args.runs].add(series);
+      });
+  std::vector<AggregatedSeries> out;
+  out.reserve(points);
+  for (const auto& fold : folds) out.push_back(fold.finish());
+  return out;
 }
 
 /// Emits a series block, with the across-runs stddev column whenever more

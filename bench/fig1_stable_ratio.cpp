@@ -23,7 +23,7 @@ int main(int argc, char** argv) {
   const std::pair<std::size_t, std::size_t> windows[] = {
       {10, 25}, {25, 50}, {100, 250}};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig1: stable-ratio estimation error; %zu public + %zu private "
@@ -31,19 +31,19 @@ int main(int argc, char** argv) {
       nodes / 5, nodes - nodes / 5, args.runs));
   sink.blank();
 
-  const auto grid = bench::run_trial_grid(
+  const auto grid = bench::run_series_grid(
       pool, args, std::size(windows), [&](std::size_t p, std::uint64_t seed) {
         const auto& [alpha, gamma] = windows[p];
         return bench::run_spec_series(
             bench::paper_spec(nodes, duration)
                 .protocol(bench::croupier_proto(alpha, gamma))
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < std::size(windows); ++p) {
     const auto& [alpha, gamma] = windows[p];
-    const auto agg = bench::aggregate_runs(grid[p]);
+    const auto& agg = grid[p];
 
     bench::emit_series(
         sink, exp::strf("fig1a avg-error alpha=%zu gamma=%zu", alpha, gamma),

@@ -24,7 +24,7 @@ int main(int argc, char** argv) {
   const std::pair<std::size_t, std::size_t> windows[] = {
       {10, 25}, {25, 50}, {100, 250}};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig2: dynamic-ratio estimation error; %zu+%zu nodes, +%zu publics "
@@ -32,7 +32,7 @@ int main(int argc, char** argv) {
       nodes / 5, nodes - nodes / 5, extra_publics, args.runs));
   sink.blank();
 
-  const auto grid = bench::run_trial_grid(
+  const auto grid = bench::run_series_grid(
       pool, args, std::size(windows), [&](std::size_t p, std::uint64_t seed) {
         const auto& [alpha, gamma] = windows[p];
         return bench::run_spec_series(
@@ -40,13 +40,13 @@ int main(int argc, char** argv) {
                 .protocol(bench::croupier_proto(alpha, gamma))
                 .join_step(extra_publics, 0, step_at, 42)
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   bool truth_printed = false;
   for (std::size_t p = 0; p < std::size(windows); ++p) {
     const auto& [alpha, gamma] = windows[p];
-    const auto agg = bench::aggregate_runs(grid[p]);
+    const auto& agg = grid[p];
 
     if (!truth_printed) {
       truth_printed = true;

@@ -17,7 +17,7 @@ int main(int argc, char** argv) {
   const auto sizes = args.fast ? std::span<const std::size_t>(sizes_fast)
                                : std::span<const std::size_t>(sizes_full);
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig3: estimation error vs system size (omega=0.2, alpha=25, "
@@ -25,18 +25,18 @@ int main(int argc, char** argv) {
       args.runs));
   sink.blank();
 
-  const auto grid = bench::run_trial_grid(
+  const auto grid = bench::run_series_grid(
       pool, args, sizes.size(), [&](std::size_t p, std::uint64_t seed) {
         return bench::run_spec_series(
             bench::paper_spec(sizes[p], duration)
                 .protocol(bench::croupier_proto(25, 50))
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < sizes.size(); ++p) {
     const std::size_t n = sizes[p];
-    const auto agg = bench::aggregate_runs(grid[p]);
+    const auto& agg = grid[p];
 
     bench::emit_series(sink, exp::strf("fig3a avg-error n=%zu", n), agg.t,
                        agg.avg_err, agg.avg_err_sd, args.runs);

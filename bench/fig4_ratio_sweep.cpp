@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const double duration = args.fast ? 100 : 200;
   const double ratios[] = {0.05, 0.1, 0.2, 0.33, 0.5, 0.8};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig4: estimation error vs public/private ratio (%zu nodes), "
@@ -26,19 +26,19 @@ int main(int argc, char** argv) {
       n, args.runs));
   sink.blank();
 
-  const auto grid = bench::run_trial_grid(
+  const auto grid = bench::run_series_grid(
       pool, args, std::size(ratios), [&](std::size_t p, std::uint64_t seed) {
         return bench::run_spec_series(
             bench::paper_spec(n, duration)
                 .protocol(bench::croupier_proto(25, 50))
                 .ratio(ratios[p])
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < std::size(ratios); ++p) {
     const double ratio = ratios[p];
-    const auto agg = bench::aggregate_runs(grid[p]);
+    const auto& agg = grid[p];
 
     bench::emit_series(sink, exp::strf("fig4a avg-error ratio=%.2f", ratio),
                        agg.t, agg.avg_err, agg.avg_err_sd, args.runs);

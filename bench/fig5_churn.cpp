@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const double duration = args.fast ? 120 : 250;
   const double churn_rates[] = {0.001, 0.01, 0.025, 0.05};
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig5: estimation error under churn (%zu nodes, omega=0.2, churn "
@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
       n, args.runs));
   sink.blank();
 
-  const auto grid = bench::run_trial_grid(
+  const auto grid = bench::run_series_grid(
       pool, args, std::size(churn_rates),
       [&](std::size_t p, std::uint64_t seed) {
         // The Experiment owns the ChurnProcess, so its lifetime spans
@@ -36,12 +36,12 @@ int main(int argc, char** argv) {
                 .protocol(bench::croupier_proto(25, 50))
                 .churn(churn_rates[p], 61)
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < std::size(churn_rates); ++p) {
     const double rate = churn_rates[p];
-    const auto agg = bench::aggregate_runs(grid[p]);
+    const auto& agg = grid[p];
 
     bench::emit_series(sink,
                        exp::strf("fig5a avg-error churn=%.1f%%", rate * 100),

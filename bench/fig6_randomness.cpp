@@ -27,8 +27,9 @@ struct TrialResult {
   std::vector<run::GraphStatsPoint> series;
 };
 
-TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed) {
-  run::Experiment experiment(spec, seed);
+TrialResult measure(const run::ExperimentSpec& spec, std::uint64_t seed,
+                    std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
   experiment.run();
 
   TrialResult result;
@@ -57,7 +58,7 @@ int main(int argc, char** argv) {
       {"cyclon", "cyclon", true},
   };
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig6: randomness properties; %zu nodes, 20%% public, view 10, "
@@ -73,7 +74,7 @@ int main(int argc, char** argv) {
                            .ratio(row.all_public ? 1.0 : 0.2)
                            .record_graph(10)
                            .build(),
-                       seed);
+                       seed, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < std::size(rows); ++p) {

@@ -23,8 +23,9 @@ struct Load {
 };
 
 Load measure(const run::ExperimentSpec& spec, std::uint64_t seed,
-             sim::Duration warmup, sim::Duration window) {
-  run::Experiment experiment(spec, seed);
+             sim::Duration warmup, sim::Duration window,
+             std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
   experiment.run_until(warmup);
   experiment.world().network().meter().reset();
   experiment.run_until(warmup + window);
@@ -55,7 +56,7 @@ int main(int argc, char** argv) {
       {"cyclon", "cyclon", true},
   };
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig7a: protocol overhead, avg load per node (B/s), %zu nodes, "
@@ -76,7 +77,7 @@ int main(int argc, char** argv) {
                 .poisson_joins(10, 10)
                 .record_nothing()
                 .build(),
-            seed, warmup, window);
+            seed, warmup, window, args.world_jobs);
       });
 
   for (std::size_t p = 0; p < std::size(rows); ++p) {

@@ -21,9 +21,9 @@ namespace {
 
 using namespace croupier;
 
-double cluster_fraction(const run::ExperimentSpec& spec,
-                        std::uint64_t seed) {
-  run::Experiment experiment(spec, seed);
+double cluster_fraction(const run::ExperimentSpec& spec, std::uint64_t seed,
+                        std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
   // The spec crashes the nodes at t=60 s and the horizon stops 1 ms
   // later: the largest usable cluster is measured right after the crash,
   // before any healing rounds.
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       {"cyclon", "cyclon", true},
   };
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf(
       "fig7b: biggest cluster (%% of survivors) after catastrophic "
@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
                 .catastrophe(static_cast<double>(level) / 100.0, 60)
                 .record_nothing()
                 .build(),
-            seed);
+            seed, args.world_jobs);
       });
 
   for (std::size_t li = 0; li < std::size(fail_levels); ++li) {

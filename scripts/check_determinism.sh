@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# Determinism gate for the parallel trial harness: every figure bench
-# must produce byte-identical stdout AND --csv output for --jobs=1 and
-# --jobs=4 (the TrialPool contract: results are collected in submission
-# order, so thread count can never show up in the output).
+# Determinism gate for both parallelism axes of the harness:
+#
+#  - trial-level (--jobs): the TrialPool contract — results are folded in
+#    submission order, so worker count can never show up in the output;
+#  - world-level (--world-jobs): the round-synchronous parallel engine
+#    contract — events are sharded by node and their effects merged in
+#    (time, seq) order, so the engine is byte-identical to the sequential
+#    one.
+#
+# Every figure bench must produce byte-identical stdout AND --csv output
+# for (--jobs=1 --world-jobs=1), (--jobs=4 --world-jobs=1) and
+# (--jobs=4 --world-jobs=4). croupier-lab additionally must reproduce
+# fig1's series rows byte for byte (the PR-3 API-redesign acceptance).
 #
 # Usage: scripts/check_determinism.sh [--fast]
 #   BUILD_DIR=...  bench build directory (default build)
@@ -16,47 +25,57 @@ TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 fail=0
+run_config() {  # binary tag extra-flags...
+  local bin=$1 tag=$2
+  shift 2
+  "$bin" "$@" --csv="$TMP/$tag.csv" >"$TMP/$tag.txt" 2>/dev/null
+}
+
+check_same() {  # name base other
+  local name=$1 base=$2 other=$3
+  if cmp -s "$TMP/$base.txt" "$TMP/$other.txt" &&
+     cmp -s "$TMP/$base.csv" "$TMP/$other.csv"; then
+    return 0
+  fi
+  echo "FAIL $name ($base vs $other output differs)"
+  fail=1
+  return 1
+}
+
 for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
   [ -x "$bench" ] || continue
   name=$(basename "$bench")
-  "$bench" "$MODE" --runs=2 --jobs=1 --csv="$TMP/$name.1.csv" \
-    >"$TMP/$name.1.txt" 2>/dev/null
-  "$bench" "$MODE" --runs=2 --jobs=4 --csv="$TMP/$name.4.csv" \
-    >"$TMP/$name.4.txt" 2>/dev/null
-  if cmp -s "$TMP/$name.1.txt" "$TMP/$name.4.txt" &&
-     cmp -s "$TMP/$name.1.csv" "$TMP/$name.4.csv"; then
-    echo "ok   $name"
-  else
-    echo "FAIL $name (jobs=1 vs jobs=4 output differs)"
-    fail=1
-  fi
+  run_config "$bench" "$name.j1" "$MODE" --runs=2 --jobs=1 --world-jobs=1
+  run_config "$bench" "$name.j4" "$MODE" --runs=2 --jobs=4 --world-jobs=1
+  run_config "$bench" "$name.w4" "$MODE" --runs=2 --jobs=4 --world-jobs=4
+  ok=1
+  check_same "$name" "$name.j1" "$name.j4" || ok=0
+  check_same "$name" "$name.j1" "$name.w4" || ok=0
+  [ "$ok" = 1 ] && echo "ok   $name (jobs 1/4, world-jobs 1/4)"
 done
 
-# croupier-lab: same jobs-determinism contract, plus the API-redesign
-# acceptance check — a lab sweep of fig1's three (alpha,gamma) specs must
-# reproduce the dedicated bench's series rows byte for byte at the same
-# seed (the sweep points share fig1's trial-seed grid coordinates).
+# croupier-lab: same determinism contracts on both axes, plus the
+# API-redesign acceptance check — a lab sweep of fig1's three
+# (alpha,gamma) specs must reproduce the dedicated bench's series rows
+# byte for byte at the same seed (the sweep points share fig1's
+# trial-seed grid coordinates).
 LAB="$BUILD_DIR/tools/croupier-lab"
 if [ -x "$LAB" ]; then
   lab_flags=(--protocol=croupier:alpha=10,gamma=25
              --protocol=croupier:alpha=25,gamma=50
              --protocol=croupier:alpha=100,gamma=250
              --nodes=500 --ratio=0.2 --duration=120 --runs=2)
-  "$LAB" "${lab_flags[@]}" --jobs=1 --csv="$TMP/lab.1.csv" \
-    >"$TMP/lab.1.txt" 2>/dev/null
-  "$LAB" "${lab_flags[@]}" --jobs=4 --csv="$TMP/lab.4.csv" \
-    >"$TMP/lab.4.txt" 2>/dev/null
-  if cmp -s "$TMP/lab.1.txt" "$TMP/lab.4.txt" &&
-     cmp -s "$TMP/lab.1.csv" "$TMP/lab.4.csv"; then
-    echo "ok   croupier-lab"
-  else
-    echo "FAIL croupier-lab (jobs=1 vs jobs=4 output differs)"
-    fail=1
-  fi
+  run_config "$LAB" "lab.j1" "${lab_flags[@]}" --jobs=1 --world-jobs=1
+  run_config "$LAB" "lab.j4" "${lab_flags[@]}" --jobs=4 --world-jobs=1
+  run_config "$LAB" "lab.w4" "${lab_flags[@]}" --jobs=4 --world-jobs=4
+  ok=1
+  check_same "croupier-lab" "lab.j1" "lab.j4" || ok=0
+  check_same "croupier-lab" "lab.j1" "lab.w4" || ok=0
+  [ "$ok" = 1 ] && echo "ok   croupier-lab (jobs 1/4, world-jobs 1/4)"
 
   "$BUILD_DIR/bench/fig1_stable_ratio" --fast --runs=2 --jobs=4 \
     2>/dev/null | grep -E '^[0-9]' >"$TMP/fig1.rows"
-  grep -E '^[0-9]' "$TMP/lab.4.txt" >"$TMP/lab.rows"
+  grep -E '^[0-9]' "$TMP/lab.w4.txt" >"$TMP/lab.rows"
   if cmp -s "$TMP/fig1.rows" "$TMP/lab.rows"; then
     echo "ok   croupier-lab == fig1_stable_ratio (series rows)"
   else

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Markdown link check for the reference docs: every relative link target
+# in README.md and docs/*.md must exist in the tree, so the architecture
+# and spec reference pages cannot rot as files move. External http(s)
+# links are not fetched (CI must not depend on the network); anchors are
+# stripped before the existence check.
+#
+# Usage: scripts/check_links.sh [file.md ...]   (default: README + docs)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  files=(README.md docs/*.md)
+fi
+
+fail=0
+for file in "${files[@]}"; do
+  if [ ! -f "$file" ]; then
+    echo "FAIL $file (file missing)"
+    fail=1
+    continue
+  fi
+  dir=$(dirname "$file")
+  bad=0
+  # Inline links: [text](target). Reference-style links are not used in
+  # this repo; add them here if that changes.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+    esac
+    path=${target%%#*}
+    [ -z "$path" ] && continue  # same-file anchor
+    if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+      echo "FAIL $file -> $target (no such file)"
+      bad=1
+      fail=1
+    fi
+  done < <(grep -oE '\]\(([^)]+)\)' "$file" | sed -E 's/^\]\(//; s/\)$//')
+  [ "$bad" = 0 ] && echo "ok   $file"
+done
+exit "$fail"

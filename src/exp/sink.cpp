@@ -13,6 +13,30 @@ double Accum::stddev() const {
   return std::sqrt(m2_ / static_cast<double>(n_ - 1));
 }
 
+void SeriesAccum::add(std::span<const double> ys) {
+  if (runs_ == 0) {
+    cols_.resize(ys.size());
+  } else if (ys.size() < cols_.size()) {
+    cols_.resize(ys.size());
+  }
+  ++runs_;
+  for (std::size_t i = 0; i < cols_.size(); ++i) cols_[i].add(ys[i]);
+}
+
+std::vector<double> SeriesAccum::means() const {
+  std::vector<double> out;
+  out.reserve(cols_.size());
+  for (const auto& col : cols_) out.push_back(col.mean());
+  return out;
+}
+
+std::vector<double> SeriesAccum::stddevs() const {
+  std::vector<double> out;
+  out.reserve(cols_.size());
+  for (const auto& col : cols_) out.push_back(col.stddev());
+  return out;
+}
+
 std::string strf(const char* fmt, ...) {
   std::va_list args;
   va_start(args, fmt);

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <span>
 #include <string>
+#include <vector>
 
 namespace croupier::exp {
 
@@ -54,6 +55,38 @@ class Accum {
   std::size_t n_ = 0;
   double mean_ = 0.0;
   double m2_ = 0.0;
+};
+
+/// Pointwise streaming aggregation of one series column over repeated
+/// runs: an Accum per sample index. Feeding each finished run (in run
+/// order) and then reading means()/stddevs() replaces materialising
+/// every run's series before averaging — the cross-trial streaming
+/// aggregation path of run_series_grid. Runs sampled on the same grid
+/// can still differ in length by a point or two (a recorder tick racing
+/// the horizon); indices beyond the shortest run seen are dropped,
+/// matching the buffered path's min-length truncation. An index
+/// surviving truncation has, by construction, absorbed every run.
+class SeriesAccum {
+ public:
+  /// Folds one run's column. Must be called in run order (TrialPool
+  /// map_fold guarantees index order) so aggregation is byte-identical
+  /// for every worker count.
+  void add(std::span<const double> ys);
+
+  /// Points per aggregated series: min length over the added runs.
+  [[nodiscard]] std::size_t size() const { return cols_.size(); }
+  [[nodiscard]] std::size_t runs() const { return runs_; }
+
+  [[nodiscard]] double mean(std::size_t i) const { return cols_[i].mean(); }
+  [[nodiscard]] double stddev(std::size_t i) const {
+    return cols_[i].stddev();
+  }
+  [[nodiscard]] std::vector<double> means() const;
+  [[nodiscard]] std::vector<double> stddevs() const;
+
+ private:
+  std::vector<Accum> cols_;
+  std::size_t runs_ = 0;
 };
 
 class ResultSink {

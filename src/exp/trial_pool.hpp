@@ -19,6 +19,7 @@
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <type_traits>
@@ -62,6 +63,71 @@ class TrialPool {
     }
     wait();
     return out;
+  }
+
+  /// Streaming variant of map(): runs `count` indexed trials and hands
+  /// each result to `fold(i, std::move(result))` exactly once, in strict
+  /// index order (0, 1, 2, ...), then frees it — so at no point are more
+  /// than ~2x jobs() results resident, however large `count` is. Folding
+  /// in index order is what keeps aggregation byte-identical for every
+  /// --jobs value. Out-of-order completions wait in a reorder buffer;
+  /// a worker does not *start* trial i until i < fold-cursor + 2*jobs()
+  /// (backpressure), so one slow early trial cannot make the buffer
+  /// absorb the whole grid. No deadlock is possible: tasks are picked up
+  /// FIFO, so the cursor's own trial is always running, never gated.
+  ///
+  /// `fn(i)` runs concurrently on the workers like map(); `fold` runs
+  /// under the pool's fold lock (on whichever worker completed the
+  /// gating trial), so it may touch shared accumulators without extra
+  /// locking but should stay cheap. If any trial throws, waiting trials
+  /// are abandoned (wait() rethrows the first error anyway).
+  template <typename Fn, typename FoldFn>
+  void map_fold(std::size_t count, Fn&& fn, FoldFn&& fold) {
+    using R = std::decay_t<decltype(fn(std::size_t{}))>;
+    struct FoldState {
+      std::mutex mu;
+      std::condition_variable admit;
+      std::map<std::size_t, R> ready;  // completed, not yet folded
+      std::size_t next = 0;            // fold cursor
+      bool failed = false;
+    } state;
+    const std::size_t window = 2 * jobs();
+    for (std::size_t i = 0; i < count; ++i) {
+      submit([&state, &fn, &fold, i, window] {
+        {
+          std::unique_lock<std::mutex> lock(state.mu);
+          state.admit.wait(lock, [&state, i, window] {
+            return state.failed || i < state.next + window;
+          });
+          if (state.failed) return;
+        }
+        R result;
+        try {
+          result = fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(state.mu);
+          state.failed = true;
+          state.admit.notify_all();
+          throw;
+        }
+        const std::lock_guard<std::mutex> lock(state.mu);
+        state.ready.emplace(i, std::move(result));
+        try {
+          while (!state.ready.empty() &&
+                 state.ready.begin()->first == state.next) {
+            fold(state.next, std::move(state.ready.begin()->second));
+            state.ready.erase(state.ready.begin());
+            ++state.next;
+          }
+        } catch (...) {
+          state.failed = true;  // a stuck cursor must not strand waiters
+          state.admit.notify_all();
+          throw;
+        }
+        state.admit.notify_all();
+      });
+    }
+    wait();
   }
 
  private:

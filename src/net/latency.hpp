@@ -25,6 +25,14 @@ class LatencyModel {
   /// One-way delay for a packet sent now from `from` to `to`.
   virtual sim::Duration sample(NodeId from, NodeId to,
                                sim::RngStream& rng) = 0;
+
+  /// Hard lower bound on every value sample() can return. The parallel
+  /// engine's causal lookahead window is exactly this bound: events for
+  /// different nodes closer together in time than the fastest possible
+  /// packet cannot influence each other. A model that cannot promise a
+  /// positive bound keeps the default 0 (the engine then degenerates to
+  /// same-timestamp batching — correct, just not parallel).
+  [[nodiscard]] virtual sim::Duration min_latency() const { return 0; }
 };
 
 /// Fixed delay; useful in unit tests that assert exact timings.
@@ -34,6 +42,7 @@ class ConstantLatency final : public LatencyModel {
   sim::Duration sample(NodeId, NodeId, sim::RngStream&) override {
     return delay_;
   }
+  [[nodiscard]] sim::Duration min_latency() const override { return delay_; }
 
  private:
   sim::Duration delay_;
@@ -44,6 +53,7 @@ class UniformLatency final : public LatencyModel {
  public:
   UniformLatency(sim::Duration lo, sim::Duration hi) : lo_(lo), hi_(hi) {}
   sim::Duration sample(NodeId, NodeId, sim::RngStream& rng) override;
+  [[nodiscard]] sim::Duration min_latency() const override { return lo_; }
 
  private:
   sim::Duration lo_;
@@ -79,6 +89,9 @@ class CoordinateLatencyModel final : public LatencyModel {
   CoordinateLatencyModel(std::uint64_t seed, const Params& params);
 
   sim::Duration sample(NodeId from, NodeId to, sim::RngStream& rng) override;
+  [[nodiscard]] sim::Duration min_latency() const override {
+    return params_.min_latency;
+  }
 
   /// Deterministic node position in [0,1]^2.
   [[nodiscard]] std::pair<double, double> position(NodeId node) const;
@@ -98,6 +111,9 @@ class KingLatencyModel final : public LatencyModel {
   explicit KingLatencyModel(std::uint64_t seed, Params params = {});
 
   sim::Duration sample(NodeId from, NodeId to, sim::RngStream& rng) override;
+  [[nodiscard]] sim::Duration min_latency() const override {
+    return params_.min_latency;
+  }
 
   /// Deterministic symmetric base latency for a pair (no jitter).
   [[nodiscard]] sim::Duration base_latency(NodeId a, NodeId b) const;

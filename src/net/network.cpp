@@ -74,14 +74,31 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   const auto from_it = nodes_.find(from);
   CROUPIER_ASSERT_MSG(from_it != nodes_.end(), "sender not attached");
 
+  // Serialization cost is charged here so it runs on the worker when the
+  // parallel engine is active.
   const std::size_t bytes = msg->wire_size() + kUdpIpHeaderBytes;
-  meter_.on_send(from, bytes);
 
   // The sender's own gateway opens/refreshes a mapping toward `to`
-  // regardless of whether the packet ultimately arrives.
+  // regardless of whether the packet ultimately arrives. The box belongs
+  // to the node this event is sharded on, so the mutation stays inline.
   if (from_it->second.nat.has_value()) {
     from_it->second.nat->on_outbound(simulator_.now(), to);
   }
+
+  if (!simulator_.deferring()) {
+    // Sequential engine (or serial-affinity event): no closure, no
+    // allocation — the pre-parallel-engine hot path unchanged.
+    finish_send(from, to, std::move(msg), bytes);
+    return;
+  }
+  simulator_.defer([this, from, to, msg = std::move(msg), bytes]() mutable {
+    finish_send(from, to, std::move(msg), bytes);
+  });
+}
+
+void Network::finish_send(NodeId from, NodeId to, MessagePtr msg,
+                          std::size_t bytes) {
+  meter_.on_send(from, bytes);
 
   if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
     ++drops_.loss;
@@ -89,26 +106,45 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   }
 
   const sim::Duration delay = latency_->sample(from, to, rng_);
+  const sim::Affinity affinity =
+      delivery_affinity_ ? delivery_affinity_(to, *msg) : sim::kSerialAffinity;
   simulator_.schedule_after(
-      delay, [this, from, to, msg = std::move(msg), bytes]() mutable {
+      delay, affinity,
+      [this, from, to, msg = std::move(msg), bytes]() mutable {
         deliver(from, to, std::move(msg), bytes);
       });
 }
 
 void Network::deliver(NodeId from, NodeId to, MessagePtr msg,
                       std::size_t bytes) {
+  const bool deferring = simulator_.deferring();
   const auto to_it = nodes_.find(to);
   if (to_it == nodes_.end()) {
-    ++drops_.dead_receiver;
+    if (!deferring) {
+      ++drops_.dead_receiver;
+    } else {
+      simulator_.defer([this] { ++drops_.dead_receiver; });
+    }
     return;
   }
   if (to_it->second.nat.has_value() &&
       !to_it->second.nat->allows_inbound(simulator_.now(), from)) {
-    ++drops_.nat_filtered;
+    if (!deferring) {
+      ++drops_.nat_filtered;
+    } else {
+      simulator_.defer([this] { ++drops_.nat_filtered; });
+    }
     return;
   }
-  ++drops_.delivered;
-  meter_.on_deliver(to, bytes);
+  if (!deferring) {
+    ++drops_.delivered;
+    meter_.on_deliver(to, bytes);
+  } else {
+    simulator_.defer([this, to, bytes] {
+      ++drops_.delivered;
+      meter_.on_deliver(to, bytes);
+    });
+  }
   to_it->second.handler->on_message(from, *msg);
 }
 

@@ -7,9 +7,19 @@
 // or if the receiver's NAT/firewall filter rejects the sender — exactly
 // the property ("private nodes cannot be reached unless they initiated
 // contact") that all the protocols in this repository are designed around.
+//
+// Parallel-engine contract: send() and deliver() run on worker threads
+// when the round-synchronous engine is active, so every touch of shared
+// state — the traffic meter, the loss/latency RNG, the drop counters, and
+// the event queue — is routed through Simulator::defer(), which replays
+// the effects serially in deterministic order. Only the calling node's
+// own NAT box is mutated inline (events are sharded by node, so that is
+// single-threaded by construction). Under the sequential engine defer()
+// degenerates to an immediate call and nothing changes.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -57,6 +67,23 @@ class Network {
   /// packet is silently dropped if unreachable, like real UDP).
   void send(NodeId from, NodeId to, MessagePtr msg);
 
+  /// Decides the affinity tag of a delivery event: the receiving node for
+  /// messages handled by per-node protocol state, kSerialAffinity for
+  /// messages whose handlers touch cross-node state (NAT identification,
+  /// application-layer traffic). Unset = every delivery is serial, which
+  /// is always safe.
+  using DeliveryAffinityFn =
+      std::function<sim::Affinity(NodeId to, const Message& msg)>;
+  void set_delivery_affinity(DeliveryAffinityFn fn) {
+    delivery_affinity_ = std::move(fn);
+  }
+
+  /// Lower bound on the one-way latency of every packet (the parallel
+  /// engine's causal lookahead).
+  [[nodiscard]] sim::Duration min_latency() const {
+    return latency_->min_latency();
+  }
+
   [[nodiscard]] TrafficMeter& meter() { return meter_; }
   [[nodiscard]] const DropStats& drops() const { return drops_; }
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
@@ -68,6 +95,10 @@ class Network {
     MessageHandler* handler = nullptr;
   };
 
+  /// The shared-state half of send(): meter charge, loss roll, latency
+  /// sample, delivery scheduling. Runs serially (directly from send() or
+  /// replayed by the parallel merge).
+  void finish_send(NodeId from, NodeId to, MessagePtr msg, std::size_t bytes);
   void deliver(NodeId from, NodeId to, MessagePtr msg, std::size_t bytes);
 
   sim::Simulator& simulator_;
@@ -77,6 +108,7 @@ class Network {
   std::unordered_map<NodeId, NodeState> nodes_;
   TrafficMeter meter_;
   DropStats drops_;
+  DeliveryAffinityFn delivery_affinity_;
 };
 
 }  // namespace croupier::net

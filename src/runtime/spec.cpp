@@ -354,7 +354,8 @@ ExperimentSpec SpecBuilder::build() const {
   return spec_;
 }
 
-Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed)
+Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
+                       std::size_t world_jobs)
     : spec_(spec) {
   spec_.validate();
 
@@ -367,6 +368,10 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed)
   cfg.latency = spec_.latency;
   cfg.constant_latency = from_ms(spec_.latency_ms);
   cfg.use_natid_protocol = spec_.natid;
+  // Deliberately a constructor argument, not a spec field: a spec plus a
+  // seed identifies the experiment's *results*, and the engine guarantees
+  // results are byte-identical for every world_jobs value.
+  cfg.world_jobs = world_jobs;
   world_ = std::make_unique<World>(
       cfg, ProtocolRegistry::instance().make_from_spec(spec_.protocol));
 

@@ -148,7 +148,12 @@ class SpecBuilder {
 /// measurements (overhead windows, meter resets).
 class Experiment {
  public:
-  Experiment(const ExperimentSpec& spec, std::uint64_t seed);
+  /// `world_jobs` picks the engine inside the single World (1 =
+  /// sequential, N = round-synchronous parallel); it is a harness knob,
+  /// not part of the experiment's identity — results are byte-identical
+  /// for every value.
+  Experiment(const ExperimentSpec& spec, std::uint64_t seed,
+             std::size_t world_jobs = 1);
 
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
@@ -157,7 +162,7 @@ class Experiment {
   [[nodiscard]] World& world() { return *world_; }
 
   void run() { run_until(spec_.duration()); }
-  void run_until(sim::SimTime t) { world_->simulator().run_until(t); }
+  void run_until(sim::SimTime t) { world_->run_until(t); }
 
   /// Recorder for the spec's RecordKind; nullptr when not requested.
   [[nodiscard]] const EstimationRecorder* estimation() const {

@@ -65,8 +65,35 @@ World::World(Config cfg, ProtocolFactory factory)
           master_rng_.fork(0x1A7).next_u64());
       break;
   }
+  const sim::Duration min_latency = latency->min_latency();
   network_ = std::make_unique<net::Network>(
       sim_, std::move(latency), master_rng_.fork(0x2E7), cfg_.loss_probability);
+
+  // Protocol traffic (tags < 0x80, non-NAT-ID) only ever touches the
+  // receiving node's own state, so those deliveries shard by receiver.
+  // NAT-ID handlers mutate the shared bootstrap registry when a node
+  // finishes identification, and application handlers (examples/) are
+  // unaudited user code — both stay serial.
+  network_->set_delivery_affinity(
+      [](net::NodeId to, const net::Message& msg) {
+        if (natid::is_natid_message(msg.type()) || msg.type() >= 0x80) {
+          return sim::kSerialAffinity;
+        }
+        return static_cast<sim::Affinity>(to);
+      });
+
+  if (cfg_.world_jobs > 1) {
+    executor_ = std::make_unique<sim::ParallelExecutor>(
+        sim_, sim::ParallelExecutor::Options{cfg_.world_jobs, min_latency});
+  }
+}
+
+void World::run_until(sim::SimTime t) {
+  if (executor_ != nullptr) {
+    executor_->run_until(t);
+  } else {
+    sim_.run_until(t);
+  }
 }
 
 World::~World() = default;
@@ -151,7 +178,8 @@ void World::start_pss(NodeRuntime& node) {
   const auto phase = static_cast<sim::Duration>(
       node.rng.next_double() * static_cast<double>(cfg_.round_period));
   const net::NodeId id = node.id;
-  sim_.schedule_after(phase, [this, id] { schedule_round(id); });
+  sim_.schedule_after(phase, static_cast<sim::Affinity>(id),
+                      [this, id] { schedule_round(id); });
 }
 
 void World::schedule_round(net::NodeId id) {
@@ -165,7 +193,8 @@ void World::schedule_round(net::NodeId id) {
 
   const auto period = static_cast<sim::Duration>(
       static_cast<double>(cfg_.round_period) * node.period_scale);
-  sim_.schedule_after(period, [this, id] { schedule_round(id); });
+  sim_.schedule_after(period, static_cast<sim::Affinity>(id),
+                      [this, id] { schedule_round(id); });
 }
 
 void World::kill(net::NodeId id) {

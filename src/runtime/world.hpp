@@ -18,6 +18,7 @@
 #include "net/bootstrap.hpp"
 #include "net/network.hpp"
 #include "pss/protocol.hpp"
+#include "sim/parallel_executor.hpp"
 #include "sim/simulator.hpp"
 
 namespace croupier::run {
@@ -50,6 +51,12 @@ class World {
     /// protocol's accuracy — tested separately).
     bool use_natid_protocol = false;
     sim::Duration natid_timeout = sim::sec(2);
+    /// Worker threads inside this one World. 1 = the classic sequential
+    /// engine; N > 1 = the round-synchronous parallel engine
+    /// (sim/parallel_executor), whose output is byte-identical to 1.
+    /// Only run_until/run_for are engine-aware — driving
+    /// simulator().run_until directly always runs sequentially.
+    std::size_t world_jobs = 1;
   };
 
   World(Config cfg, ProtocolFactory factory);
@@ -83,6 +90,16 @@ class World {
   /// Ground-truth public/private counts and ratio ω over live nodes.
   [[nodiscard]] std::size_t count(net::NatType type) const;
   [[nodiscard]] double true_ratio() const;
+
+  /// Plays the simulation to `t` on the configured engine (sequential
+  /// for world_jobs <= 1, round-synchronous parallel otherwise).
+  void run_until(sim::SimTime t);
+  void run_for(sim::Duration span) { run_until(sim_.now() + span); }
+
+  /// Engine statistics; nullptr under the sequential engine.
+  [[nodiscard]] const sim::ParallelExecutor::Stats* engine_stats() const {
+    return executor_ ? &executor_->stats() : nullptr;
+  }
 
   [[nodiscard]] sim::Simulator& simulator() { return sim_; }
   [[nodiscard]] net::Network& network() { return *network_; }
@@ -143,6 +160,7 @@ class World {
   Config cfg_;
   ProtocolFactory factory_;
   sim::Simulator sim_;
+  std::unique_ptr<sim::ParallelExecutor> executor_;  // world_jobs > 1 only
   sim::RngStream master_rng_;
   sim::RngStream scenario_rng_;
   sim::RngStream spawn_rng_;

@@ -6,10 +6,10 @@
 
 namespace croupier::sim {
 
-EventId EventQueue::schedule(SimTime at, Callback fn) {
+EventId EventQueue::schedule(SimTime at, Affinity affinity, Callback fn) {
   CROUPIER_ASSERT(fn != nullptr);
   const EventId id = next_id_++;
-  heap_.push(Entry{at, id});
+  heap_.push(Entry{at, id, affinity});
   callbacks_.emplace(id, std::move(fn));
   ++live_count_;
   return id;
@@ -36,6 +36,12 @@ SimTime EventQueue::next_time() {
   return heap_.top().time;
 }
 
+Affinity EventQueue::next_affinity() {
+  drop_cancelled_head();
+  CROUPIER_ASSERT_MSG(!heap_.empty(), "next_affinity() on empty queue");
+  return heap_.top().affinity;
+}
+
 EventQueue::Fired EventQueue::pop() {
   drop_cancelled_head();
   CROUPIER_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
@@ -43,7 +49,7 @@ EventQueue::Fired EventQueue::pop() {
   heap_.pop();
   auto it = callbacks_.find(head.id);
   CROUPIER_ASSERT(it != callbacks_.end());
-  Fired fired{head.time, head.id, std::move(it->second)};
+  Fired fired{head.time, head.id, head.affinity, std::move(it->second)};
   callbacks_.erase(it);
   --live_count_;
   return fired;

@@ -1,12 +1,72 @@
 #include "sim/simulator.hpp"
 
+#include <utility>
+
 #include "common/assert.hpp"
 
 namespace croupier::sim {
 
-EventId Simulator::schedule_at(SimTime at, EventQueue::Callback fn) {
-  CROUPIER_ASSERT_MSG(at >= now_, "cannot schedule into the past");
-  return queue_.schedule(at, std::move(fn));
+thread_local Simulator::ShardLog* Simulator::tls_log_ = nullptr;
+
+Simulator::ShardLog* Simulator::active_log() const {
+  ShardLog* log = tls_log_;
+  return (log != nullptr && log->owner == this) ? log : nullptr;
+}
+
+SimTime Simulator::now() const {
+  const ShardLog* log = active_log();
+  return log != nullptr ? log->current_time : now_;
+}
+
+EventId Simulator::schedule_after(Duration delay, Affinity affinity,
+                                  EventQueue::Callback fn) {
+  return schedule_impl(now() + delay, affinity, std::move(fn),
+                       /*check_past=*/false);
+}
+
+EventId Simulator::schedule_at(SimTime at, Affinity affinity,
+                               EventQueue::Callback fn) {
+  return schedule_impl(at, affinity, std::move(fn), /*check_past=*/true);
+}
+
+EventId Simulator::schedule_impl(SimTime at, Affinity affinity,
+                                 EventQueue::Callback fn, bool check_past) {
+  if (ShardLog* log = active_log()) {
+    // Parallel batch: the queue is shared, so the schedule itself becomes
+    // a deferred effect. Re-entering schedule_impl at merge time (the log
+    // is inactive there) repeats the serial-path checks.
+    log->ops.push_back(DeferredOp{
+        log->current_time, log->current_id,
+        [this, at, affinity, fn = std::move(fn), check_past]() mutable {
+          schedule_impl(at, affinity, std::move(fn), check_past);
+        }});
+    return kInvalidEventId;
+  }
+  if (check_past) {
+    CROUPIER_ASSERT_MSG(at >= now_, "cannot schedule into the past");
+  }
+  // While merging a parallel batch, every deferred schedule must land at
+  // or beyond the lookahead window end; a violation means a latency model
+  // undercut its declared min_latency() and the batch was not causally
+  // closed.
+  CROUPIER_ASSERT_MSG(causal_floor_ == 0 || at >= causal_floor_,
+                      "deferred schedule violates the lookahead window");
+  return queue_.schedule(at, affinity, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  CROUPIER_ASSERT_MSG(active_log() == nullptr,
+                      "cancel() from inside a parallel batch");
+  return queue_.cancel(id);
+}
+
+void Simulator::defer(EventQueue::Callback effect) {
+  if (ShardLog* log = active_log()) {
+    log->ops.push_back(
+        DeferredOp{log->current_time, log->current_id, std::move(effect)});
+    return;
+  }
+  effect();
 }
 
 bool Simulator::step() {

@@ -1,13 +1,31 @@
 // The discrete-event simulation kernel.
 //
 // This is the substrate standing in for the Kompics simulator the paper
-// used: a single-threaded event loop over virtual time. Components
-// schedule callbacks at absolute or relative times; the simulator fires
-// them in deterministic (time, scheduling-order) order and advances the
-// clock discontinuously to each event's timestamp.
+// used: an event loop over virtual time. Components schedule callbacks at
+// absolute or relative times; the simulator fires them in deterministic
+// (time, scheduling-order) order and advances the clock discontinuously
+// to each event's timestamp.
+//
+// Two engines share this kernel:
+//   - the classic sequential loop (step / run_until / run), and
+//   - the round-synchronous parallel engine (sim/parallel_executor),
+//     which executes causally independent node-affine events on worker
+//     threads and replays their shared-state effects serially in
+//     (time, seq) order, so its output is byte-identical to the
+//     sequential loop.
+//
+// The bridge between the two is defer(): any effect that touches state
+// shared across nodes (the network RNG, traffic meters, the event queue
+// itself) must go through defer(fn). Outside a parallel batch defer runs
+// the effect immediately — the classic path is unchanged — while inside a
+// batch it is logged per worker and applied at the deterministic merge.
+// Scheduling calls made during a batch are deferred the same way and
+// return kInvalidEventId (the real id is assigned at the merge; callbacks
+// that need to cancel must be serial-affinity, like the NAT-ID timeout).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -16,8 +34,10 @@ namespace croupier::sim {
 
 class Simulator {
  public:
-  /// Current virtual time.
-  [[nodiscard]] SimTime now() const { return now_; }
+  /// Current virtual time. Inside a parallel batch this is the executing
+  /// event's own timestamp, so callbacks always observe the same clock
+  /// they would under the sequential engine.
+  [[nodiscard]] SimTime now() const;
 
   /// Number of events executed so far (for diagnostics and tests).
   [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
@@ -25,16 +45,39 @@ class Simulator {
   /// True when no pending events remain.
   [[nodiscard]] bool idle() const { return queue_.empty(); }
 
-  /// Schedules a callback `delay` after the current time.
+  /// Schedules a callback `delay` after the current time. The affinity
+  /// overload tags the event with the node whose state the callback
+  /// touches; the plain overload tags it kSerialAffinity.
   EventId schedule_after(Duration delay, EventQueue::Callback fn) {
-    return queue_.schedule(now_ + delay, std::move(fn));
+    return schedule_after(delay, kSerialAffinity, std::move(fn));
   }
+  EventId schedule_after(Duration delay, Affinity affinity,
+                         EventQueue::Callback fn);
 
   /// Schedules a callback at an absolute virtual time (>= now).
-  EventId schedule_at(SimTime at, EventQueue::Callback fn);
+  EventId schedule_at(SimTime at, EventQueue::Callback fn) {
+    return schedule_at(at, kSerialAffinity, std::move(fn));
+  }
+  EventId schedule_at(SimTime at, Affinity affinity, EventQueue::Callback fn);
 
-  /// Cancels a pending event; returns false if it already fired.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  /// Cancels a pending event; returns false if it already fired. Must not
+  /// be called from inside a parallel batch (serial-affinity events only).
+  bool cancel(EventId id);
+
+  /// True while the calling thread is executing a parallel-batch shard of
+  /// THIS simulator. Hot paths branch on this to apply cross-node effects
+  /// inline instead of paying the deferral closure; the two are
+  /// equivalent by the defer() contract (nothing running inside the batch
+  /// can observe the deferred state).
+  [[nodiscard]] bool deferring() const { return active_log() != nullptr; }
+
+  /// Runs `effect` now when executing serially, or logs it for the
+  /// deterministic (time, seq, issue-order) replay when called from a
+  /// worker inside a parallel batch. Effects that mutate cross-node state
+  /// from node-affine callbacks (network sends, meter charges) MUST be
+  /// routed through here — it is what keeps the parallel engine
+  /// byte-identical to the sequential one.
+  void defer(EventQueue::Callback effect);
 
   /// Executes the single next event, if any. Returns false when idle.
   bool step();
@@ -51,9 +94,42 @@ class Simulator {
   void run();
 
  private:
+  friend class ParallelExecutor;
+
+  /// One deferred effect, tagged with the (time, id) of the event that
+  /// issued it so the merge can replay effects in sequential order.
+  struct DeferredOp {
+    SimTime time;
+    EventId id;
+    EventQueue::Callback fn;
+  };
+
+  /// Per-worker execution log for one parallel batch. While a worker
+  /// drains its shard, tls_log_ points at its log; current_time/
+  /// current_id track the event being executed.
+  struct ShardLog {
+    Simulator* owner = nullptr;
+    SimTime current_time = 0;
+    EventId current_id = 0;
+    std::uint64_t executed = 0;
+    std::vector<DeferredOp> ops;
+  };
+
+  /// The calling thread's active shard log for *this* simulator, or
+  /// nullptr when executing serially.
+  [[nodiscard]] ShardLog* active_log() const;
+
+  EventId schedule_impl(SimTime at, Affinity affinity,
+                        EventQueue::Callback fn, bool check_past);
+
+  static thread_local ShardLog* tls_log_;
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t processed_ = 0;
+  /// During a parallel merge: no deferred schedule may target a time
+  /// before this (causality guard for the lookahead window). 0 = off.
+  SimTime causal_floor_ = 0;
 };
 
 }  // namespace croupier::sim

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -200,10 +201,164 @@ TEST(Strf, FormatsLikePrintf) {
   EXPECT_EQ(strf("%s", ""), "");
 }
 
+TEST(TrialPoolMapFold, FoldsInIndexOrderWhateverTheJobCount) {
+  for (std::size_t jobs : {1u, 4u}) {
+    TrialPool pool(jobs);
+    std::vector<std::size_t> folded;
+    pool.map_fold(
+        64, [](std::size_t i) { return i * 3; },
+        [&folded](std::size_t i, std::size_t&& v) {
+          EXPECT_EQ(v, i * 3);
+          folded.push_back(i);
+        });
+    ASSERT_EQ(folded.size(), 64u);
+    for (std::size_t i = 0; i < folded.size(); ++i) EXPECT_EQ(folded[i], i);
+  }
+}
+
+TEST(TrialPoolMapFold, BoundsReorderBufferUnderSkewedCompletion) {
+  // Trial 0 is the slow one; the backpressure window must keep workers
+  // from racing through the whole grid while it gates the fold cursor.
+  TrialPool pool(3);
+  std::atomic<std::size_t> started{0};
+  std::atomic<std::size_t> max_started_before_fold{0};
+  std::atomic<bool> first_folded{false};
+  std::vector<std::size_t> folded;
+  pool.map_fold(
+      100,
+      [&](std::size_t i) {
+        const std::size_t s = ++started;
+        if (!first_folded.load()) {
+          std::size_t seen = max_started_before_fold.load();
+          while (s > seen &&
+                 !max_started_before_fold.compare_exchange_weak(seen, s)) {
+          }
+        }
+        if (i == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        }
+        return i;
+      },
+      [&](std::size_t i, std::size_t&& v) {
+        EXPECT_EQ(v, i);
+        if (i == 0) first_folded = true;
+        folded.push_back(i);
+      });
+  ASSERT_EQ(folded.size(), 100u);
+  for (std::size_t i = 0; i < folded.size(); ++i) EXPECT_EQ(folded[i], i);
+  // Window is 2*jobs = 6: while trial 0 blocked the cursor at 0, no
+  // trial with index >= 6 may have started.
+  EXPECT_LE(max_started_before_fold.load(), 6u);
+}
+
+TEST(TrialPoolMapFold, ThrowingTrialReleasesWaitersAndRethrows) {
+  TrialPool pool(2);
+  EXPECT_THROW(
+      pool.map_fold(
+          50,
+          [](std::size_t i) -> std::size_t {
+            if (i == 0) throw std::runtime_error("trial 0 failed");
+            return i;
+          },
+          [](std::size_t, std::size_t&&) {}),
+      std::runtime_error);
+}
+
+TEST(SeriesAccum, TruncatesToShortestRunAndMatchesAccum) {
+  SeriesAccum acc;
+  acc.add(std::vector<double>{1.0, 2.0, 3.0});
+  acc.add(std::vector<double>{5.0, 6.0});  // shorter run drops index 2
+  EXPECT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc.runs(), 2u);
+  Accum ref;
+  ref.add(1.0);
+  ref.add(5.0);
+  EXPECT_EQ(acc.mean(0), ref.mean());
+  EXPECT_EQ(acc.stddev(0), ref.stddev());
+  EXPECT_EQ(acc.means(), (std::vector<double>{ref.mean(), 4.0}));
+}
+
+// The streaming aggregation (SeriesFold over Welford accumulators) must
+// emit the same bytes as the buffered path it replaced: materialise every
+// run, average with plain sum/n, take the two-pass standard deviation.
+// The reference implementation lives only here now — this test is the
+// byte-equality assertion that allowed deleting it from bench_common.
+bench::AggregatedSeries buffered_reference(
+    const std::vector<bench::EstimationSeries>& runs) {
+  bench::AggregatedSeries agg;
+  std::size_t len = runs[0].t.size();
+  for (const auto& r : runs) len = std::min(len, r.t.size());
+  const auto n = static_cast<double>(runs.size());
+  for (std::size_t i = 0; i < len; ++i) {
+    double a = 0;
+    double m = 0;
+    double tr = 0;
+    for (const auto& r : runs) {
+      a += r.avg_err[i];
+      m += r.max_err[i];
+      tr += r.truth[i];
+    }
+    const double a_mean = a / n;
+    const double m_mean = m / n;
+    double a_var = 0;
+    double m_var = 0;
+    for (const auto& r : runs) {
+      a_var += (r.avg_err[i] - a_mean) * (r.avg_err[i] - a_mean);
+      m_var += (r.max_err[i] - m_mean) * (r.max_err[i] - m_mean);
+    }
+    const double denom = runs.size() > 1 ? n - 1 : 1;
+    agg.t.push_back(runs[0].t[i]);
+    agg.avg_err.push_back(a_mean);
+    agg.avg_err_sd.push_back(std::sqrt(a_var / denom));
+    agg.max_err.push_back(m_mean);
+    agg.max_err_sd.push_back(std::sqrt(m_var / denom));
+    agg.truth.push_back(tr / n);
+  }
+  return agg;
+}
+
+std::string printed_bytes(const bench::AggregatedSeries& agg) {
+  std::string out;
+  for (std::size_t i = 0; i < agg.t.size(); ++i) {
+    out += strf("%.0f %.6f %.6f | %.0f %.6f %.6f\n", agg.t[i], agg.avg_err[i],
+                agg.avg_err_sd[i], agg.t[i], agg.max_err[i],
+                agg.max_err_sd[i]);
+  }
+  return out;
+}
+
+TEST(StreamingAggregation, MatchesBufferedPathBytes) {
+  bench::BenchArgs args;
+  args.runs = 4;
+  args.seed = 13;
+  const auto spec = bench::paper_spec(48, 20)
+                        .protocol(bench::croupier_proto(10, 25))
+                        .ratio(0.25)
+                        .build();
+  TrialPool pool(2);
+
+  // Buffered reference: every run materialised, then aggregated.
+  std::vector<bench::EstimationSeries> runs;
+  for (std::size_t r = 0; r < args.runs; ++r) {
+    runs.push_back(bench::run_spec_series(spec, trial_seed(args.seed, 0, r)));
+  }
+  const auto buffered = buffered_reference(runs);
+
+  // Streaming path: the run_series_grid benches actually use.
+  const auto streamed = bench::run_series_grid(
+      pool, args, 1,
+      [&](std::size_t, std::uint64_t seed) {
+        return bench::run_spec_series(spec, seed);
+      });
+  ASSERT_EQ(streamed.size(), 1u);
+  ASSERT_FALSE(streamed[0].t.empty());
+  EXPECT_EQ(printed_bytes(buffered), printed_bytes(streamed[0]));
+}
+
 // The cornerstone guarantee: a fig1-style experiment fanned out over 4
 // workers aggregates to *byte-identical* series as the same experiment on
-// 1 worker. Uses the real bench plumbing (run_trial_grid + specs +
-// aggregate_runs + ResultSink) on a miniature world so it stays fast.
+// 1 worker. Uses the real bench plumbing (run_series_grid + specs +
+// ResultSink) on a miniature world so it stays fast.
 TEST(TrialGridDeterminism, FourJobsMatchSerialByteForByte) {
   bench::BenchArgs args;
   args.runs = 3;
@@ -212,7 +367,7 @@ TEST(TrialGridDeterminism, FourJobsMatchSerialByteForByte) {
 
   const auto run_experiment = [&](std::size_t jobs) {
     TrialPool pool(jobs);
-    const auto grid = bench::run_trial_grid(
+    return bench::run_series_grid(
         pool, args, 2, [&](std::size_t p, std::uint64_t seed) {
           return bench::run_spec_series(
               bench::paper_spec(32, 15)
@@ -222,9 +377,6 @@ TEST(TrialGridDeterminism, FourJobsMatchSerialByteForByte) {
                   .build(),
               seed);
         });
-    std::vector<bench::AggregatedSeries> aggs;
-    for (const auto& runs : grid) aggs.push_back(bench::aggregate_runs(runs));
-    return aggs;
   };
 
   const auto serial = run_experiment(1);

@@ -1,0 +1,262 @@
+// The round-synchronous parallel engine's contract: byte-identical
+// results to the sequential engine, for every worker count, on every
+// workload shape the specs can express.
+//
+// These suites run the same seeded experiment under world_jobs = 1
+// (sequential engine), 2 and 4 (parallel engine) and require exact
+// (bitwise) equality of everything observable: recorder series, drop
+// counters, traffic totals, event counts and the surviving population.
+// Any divergence — a missed defer(), a non-deterministic merge order, a
+// latency model undercutting its min_latency() — fails loudly here
+// before it can corrupt a figure.
+//
+// Registered with the `thread` ctest label so CI's ThreadSanitizer job
+// also runs the executor's worker handoff under TSan.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/spec.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/parallel_executor.hpp"
+#include "sim/simulator.hpp"
+
+namespace croupier {
+namespace {
+
+TEST(EventQueueAffinity, DefaultsToSerialAndPreservesFifoTieOrder) {
+  sim::EventQueue q;
+  std::vector<int> fired;
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(10, sim::Affinity{7}, [&] { fired.push_back(2); });
+  q.schedule(5, sim::Affinity{3}, [&] { fired.push_back(3); });
+
+  EXPECT_EQ(q.next_time(), 5u);
+  EXPECT_EQ(q.next_affinity(), 3u);
+  auto first = q.pop();
+  EXPECT_EQ(first.affinity, 3u);
+  first.fn();
+
+  // Equal timestamps fire in scheduling order regardless of affinity.
+  EXPECT_EQ(q.next_affinity(), sim::kSerialAffinity);
+  q.pop().fn();
+  EXPECT_EQ(q.next_affinity(), 7u);
+  q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{3, 1, 2}));
+}
+
+TEST(SimulatorDefer, RunsImmediatelyOutsideParallelBatches) {
+  sim::Simulator sim;
+  bool ran = false;
+  sim.defer([&] { ran = true; });
+  EXPECT_TRUE(ran);
+}
+
+TEST(ShardOf, IsAPureFunctionOfAffinityAndJobs) {
+  for (sim::Affinity a : {1u, 2u, 17u, 5000u}) {
+    EXPECT_EQ(sim::shard_of(a, 4), sim::shard_of(a, 4));
+    EXPECT_LT(sim::shard_of(a, 4), 4u);
+    EXPECT_EQ(sim::shard_of(a, 1), 0u);
+  }
+}
+
+TEST(ParallelExecutorEngine, SameTimestampEventsMergeInScheduleOrder) {
+  // Node-affine events sharing one timestamp go through the full
+  // shard/merge machinery; their deferred effects must replay in
+  // scheduling order whatever the worker count.
+  for (std::size_t jobs : {1u, 4u}) {
+    sim::Simulator sim;
+    std::vector<int> effects;
+    for (int i = 0; i < 8; ++i) {
+      sim.schedule_at(100, static_cast<sim::Affinity>(i + 1),
+                      [&sim, &effects, i] {
+                        sim.defer([&effects, i] { effects.push_back(i); });
+                      });
+    }
+    sim::ParallelExecutor engine(sim, {jobs, sim::msec(1)});
+    engine.run_until(200);
+    EXPECT_EQ(effects, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}))
+        << "jobs=" << jobs;
+    EXPECT_EQ(sim.events_processed(), 8u);
+    EXPECT_EQ(sim.now(), 200u);
+  }
+}
+
+/// Everything observable about one finished experiment, for exact
+/// cross-engine comparison.
+struct RunFingerprint {
+  std::vector<double> series;  // flattened recorder output
+  std::uint64_t events = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t nat_filtered = 0;
+  std::uint64_t dead_receiver = 0;
+  std::size_t alive = 0;
+  std::uint64_t bytes_total = 0;
+
+  bool operator==(const RunFingerprint&) const = default;
+};
+
+RunFingerprint run_spec(const run::ExperimentSpec& spec, std::uint64_t seed,
+                        std::size_t world_jobs) {
+  run::Experiment experiment(spec, seed, world_jobs);
+  experiment.run();
+  RunFingerprint fp;
+  if (experiment.estimation() != nullptr) {
+    for (const auto& p : experiment.estimation()->series()) {
+      fp.series.push_back(p.t_seconds);
+      fp.series.push_back(p.sample.avg_error);
+      fp.series.push_back(p.sample.max_error);
+      fp.series.push_back(p.sample.truth);
+      fp.series.push_back(static_cast<double>(p.sample.node_count));
+    }
+  }
+  if (experiment.graph_stats() != nullptr) {
+    for (const auto& p : experiment.graph_stats()->series()) {
+      fp.series.push_back(p.t_seconds);
+      fp.series.push_back(p.avg_path_length);
+      fp.series.push_back(p.clustering_coefficient);
+      fp.series.push_back(p.unreachable_fraction);
+      fp.series.push_back(static_cast<double>(p.edges));
+    }
+  }
+  run::World& world = experiment.world();
+  fp.events = world.simulator().events_processed();
+  const auto& drops = world.network().drops();
+  fp.delivered = drops.delivered;
+  fp.lost = drops.loss;
+  fp.nat_filtered = drops.nat_filtered;
+  fp.dead_receiver = drops.dead_receiver;
+  fp.alive = world.alive_count();
+  for (const auto& [node, totals] : world.network().meter().per_node()) {
+    fp.bytes_total += totals.bytes_total();
+  }
+  return fp;
+}
+
+void expect_engine_equivalence(const run::ExperimentSpec& spec,
+                               std::uint64_t seed) {
+  const RunFingerprint sequential = run_spec(spec, seed, 1);
+  ASSERT_FALSE(sequential.series.empty());
+  for (std::size_t jobs : {2u, 4u}) {
+    const RunFingerprint parallel = run_spec(spec, seed, jobs);
+    // Element-wise first so a mismatch reports where, then the full
+    // fingerprint for the counters.
+    ASSERT_EQ(sequential.series.size(), parallel.series.size())
+        << "world_jobs=" << jobs;
+    for (std::size_t i = 0; i < sequential.series.size(); ++i) {
+      ASSERT_EQ(sequential.series[i], parallel.series[i])
+          << "world_jobs=" << jobs << " series index " << i;
+    }
+    EXPECT_TRUE(sequential == parallel) << "world_jobs=" << jobs;
+  }
+}
+
+TEST(ParallelWorldDeterminism, CroupierPoissonJoins500Nodes) {
+  // The ISSUE's acceptance shape: a 500-node croupier run, world-jobs 1
+  // vs 4 byte-identical.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier:alpha=25,gamma=50")
+                        .nodes(500)
+                        .ratio(0.2)
+                        .duration(60)
+                        .build();
+  expect_engine_equivalence(spec, 42);
+}
+
+TEST(ParallelWorldDeterminism, ChurnAndLoss) {
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(300)
+                        .ratio(0.2)
+                        .churn(0.02, 20.0)
+                        .loss(0.05)
+                        .duration(50)
+                        .build();
+  expect_engine_equivalence(spec, 7);
+}
+
+TEST(ParallelWorldDeterminism, NatIdProtocolStaysSerialized) {
+  // NAT-ID handlers mutate the shared bootstrap registry; the delivery
+  // affinity policy must pin them to the serial path.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(200)
+                        .ratio(0.3)
+                        .natid()
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 11);
+}
+
+TEST(ParallelWorldDeterminism, CatastropheUnderGozar) {
+  // Cross-protocol + mass kill mid-run (fig. 7b shape); graph recording
+  // exercises the other recorder path.
+  const auto spec = run::SpecBuilder()
+                        .protocol("gozar")
+                        .nodes(300)
+                        .ratio(0.2)
+                        .catastrophe(0.5, 25.0)
+                        .record_graph(10.0)
+                        .duration(50)
+                        .build();
+  expect_engine_equivalence(spec, 3);
+}
+
+TEST(ParallelWorldDeterminism, ZeroMinLatencyDegeneratesToSameTimestamp) {
+  // A constant latency that rounds to 0 us gives min_latency() == 0: the
+  // lookahead clamps to 1 us and every batch is same-timestamp only.
+  // Zero-delay deliveries then land at the batch's own timestamp — at,
+  // not after, the causal floor — and must form the next batch instead
+  // of tripping the floor assert (regression: the floor was once the
+  // window end, which this workload violates by construction).
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(200)
+                        .ratio(0.2)
+                        .instant_joins()
+                        .skew(0.0)  // all rounds share timestamps
+                        .constant_latency(0.0004)
+                        .duration(20)
+                        .build();
+  expect_engine_equivalence(spec, 19);
+}
+
+TEST(ParallelWorldDeterminism, ConstantLatencyMaximalBatches) {
+  // Constant latency gives the widest causal windows (lookahead = the
+  // full latency), the stress case for batch formation.
+  const auto spec = run::SpecBuilder()
+                        .protocol("cyclon")
+                        .nodes(300)
+                        .ratio(0.2)
+                        .constant_latency(50.0)
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 5);
+}
+
+TEST(ParallelWorldEngine, ReportsBatchingStats) {
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(300)
+                        .ratio(0.2)
+                        .duration(30)
+                        .build();
+  run::Experiment experiment(spec, 1, /*world_jobs=*/4);
+  EXPECT_NE(experiment.world().engine_stats(), nullptr);
+  experiment.run();
+  const auto* stats = experiment.world().engine_stats();
+  ASSERT_NE(stats, nullptr);
+  // Steady-state gossip must actually form multi-event batches, or the
+  // engine silently degenerated to serial execution.
+  EXPECT_GT(stats->batches, 0u);
+  EXPECT_GT(stats->batched_events, stats->batches);
+  EXPECT_GE(stats->max_batch, 2u);
+
+  run::Experiment sequential(spec, 1, /*world_jobs=*/1);
+  EXPECT_EQ(sequential.world().engine_stats(), nullptr);
+}
+
+}  // namespace
+}  // namespace croupier

@@ -19,10 +19,12 @@
 // (point p, run r) is exp::trial_seed(seed, p, r) — invoking croupier-lab
 // with fig1's three (alpha,gamma) specs reproduces fig1's series
 // byte-for-byte at the same --seed/--runs.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -45,14 +47,18 @@ constexpr const char* kUsage =
     "  --ratio=R                  public fraction omega (default 0.2)\n"
     "  --join=poisson|fixed|instant   join process (default poisson)\n"
     "  --join-public-ms=MS --join-private-ms=MS   inter-arrival times\n"
+    "  --step-publics=N --step-privates=N   second join wave sizes\n"
+    "  --step-at=S --step-every-ms=MS        wave start / interval\n"
     "  --churn=F                  fraction replaced per round (default 0)\n"
     "  --churn-at=S               churn start (default 61)\n"
     "  --catastrophe=F            fraction crashing at one instant\n"
     "  --catastrophe-at=S         crash time (default 60)\n"
     "  --loss=P                   uniform message loss probability\n"
     "  --skew=S                   clock skew fraction (default 0.01)\n"
+    "  --private-round-scale=X    slow private rounds by X (default 1)\n"
     "  --latency=king|constant|coordinate   latency model (default king)\n"
     "  --latency-ms=MS            constant-latency value (default 50)\n"
+    "  --round-ms=MS              gossip round period (default 1000)\n"
     "  --natid                    joiners run the NAT-ID protocol\n"
     "  --duration=S               horizon in seconds (default 200)\n"
     "  --record=estimation|graph  what to record (default estimation)\n"
@@ -61,7 +67,14 @@ constexpr const char* kUsage =
     "  --runs=N --seed=S --jobs=N --csv=PATH   as in the fig benches;\n"
     "                             with --runs>1 series rows gain a stddev\n"
     "                             column and the CSV gains `spread` rows\n"
-    "  --print-spec               print canonical spec strings and exit\n";
+    "  --world-jobs=N             workers inside each trial World (the\n"
+    "                             round-synchronous parallel engine);\n"
+    "                             output is byte-identical for every N\n"
+    "  --print-spec               print canonical spec strings and exit\n"
+    "\n"
+    "Per sweep point, elapsed wall-clock and the effective parallelism\n"
+    "(concurrent trials x world shards) are reported on stderr, so\n"
+    "speedups are observable without external timing.\n";
 
 struct LabFlags {
   std::vector<std::string> protocols;
@@ -72,10 +85,12 @@ struct LabFlags {
   /// BenchArgs extra-flag hook: true when `arg` is a lab flag.
   bool consume(const std::string& arg) {
     static constexpr const char* kSpecKeys[] = {
-        "nodes",          "ratio",     "join",       "join-public-ms",
-        "join-private-ms", "churn",    "churn-at",   "catastrophe",
-        "catastrophe-at", "loss",      "skew",       "latency",
-        "latency-ms",     "duration",  "record",     "record-every",
+        "nodes",          "ratio",        "join",        "join-public-ms",
+        "join-private-ms", "step-publics", "step-privates", "step-at",
+        "step-every-ms",  "churn",        "churn-at",    "catastrophe",
+        "catastrophe-at", "loss",         "skew",        "private-round-scale",
+        "latency",        "latency-ms",   "round-ms",    "duration",
+        "record",         "record-every",
     };
     if (arg == "--help") {
       std::fputs(kUsage, stdout);
@@ -166,31 +181,54 @@ GraphSeries to_graph_series(const run::GraphStatsRecorder& recorder) {
   return out;
 }
 
-/// Pointwise mean/stddev over equally-gridded runs of (t, y) pairs.
-void aggregate_column(const std::vector<GraphSeries>& runs,
-                      std::vector<double> GraphSeries::*column,
-                      std::vector<double>& mean, std::vector<double>& sd) {
-  if (runs.empty()) return;
-  std::size_t len = runs[0].t.size();
-  for (const auto& r : runs) len = std::min(len, r.t.size());
-  const auto n = static_cast<double>(runs.size());
-  for (std::size_t i = 0; i < len; ++i) {
-    double sum = 0;
-    for (const auto& r : runs) sum += (r.*column)[i];
-    const double m = sum / n;
-    double var = 0;
-    for (const auto& r : runs) {
-      var += ((r.*column)[i] - m) * ((r.*column)[i] - m);
-    }
-    mean.push_back(m);
-    sd.push_back(std::sqrt(var / (runs.size() > 1 ? n - 1 : 1)));
+/// Streaming pointwise aggregation of graph series (the graph-recording
+/// twin of bench::SeriesFold): each finished trial folds into Welford
+/// accumulators and is freed.
+struct GraphFold {
+  std::vector<double> t;
+  exp::SeriesAccum apl;
+  exp::SeriesAccum cc;
+
+  void add(const GraphSeries& run) {
+    if (t.empty()) t = run.t;
+    apl.add(run.apl);
+    cc.add(run.cc);
   }
+};
+
+/// Wall-clock accounting for one sweep point, reported on stderr so the
+/// determinism gate (which byte-compares stdout and CSV across --jobs /
+/// --world-jobs) never sees it.
+struct PointTiming {
+  exp::Accum seconds;
+  double max_seconds = 0.0;
+
+  void add(double s) {
+    seconds.add(s);
+    max_seconds = std::max(max_seconds, s);
+  }
+};
+
+void report_timing(const std::vector<std::string>& labels,
+                   const std::vector<PointTiming>& timing,
+                   const bench::BenchArgs& args, double elapsed) {
+  const std::size_t shards = std::max<std::size_t>(1, args.world_jobs);
+  for (std::size_t p = 0; p < labels.size(); ++p) {
+    std::fprintf(stderr,
+                 "# timing %s: trials=%zu wall-sum=%.2fs wall-max=%.2fs "
+                 "effective-parallelism=%zu (%zu trials x %zu world shards)\n",
+                 labels[p].c_str(), timing[p].seconds.n(),
+                 timing[p].seconds.mean() *
+                     static_cast<double>(timing[p].seconds.n()),
+                 timing[p].max_seconds, args.trial_jobs() * shards,
+                 args.trial_jobs(), shards);
+  }
+  std::fprintf(stderr, "# timing total: elapsed=%.2fs\n", elapsed);
 }
 
 void emit_estimation(exp::ResultSink& sink, const std::string& label,
-                     const std::vector<bench::EstimationSeries>& runs,
-                     std::size_t n_runs) {
-  const auto agg = bench::aggregate_runs(runs);
+                     const bench::SeriesFold& fold, std::size_t n_runs) {
+  const auto agg = fold.finish();
   bench::emit_series(sink, label + " avg-error", agg.t, agg.avg_err,
                      agg.avg_err_sd, n_runs);
   bench::emit_series(sink, label + " max-error", agg.t, agg.max_err,
@@ -206,19 +244,14 @@ void emit_estimation(exp::ResultSink& sink, const std::string& label,
 }
 
 void emit_graph(exp::ResultSink& sink, const std::string& label,
-                const std::vector<GraphSeries>& runs, std::size_t n_runs) {
-  std::vector<double> apl;
-  std::vector<double> apl_sd;
-  std::vector<double> cc;
-  std::vector<double> cc_sd;
-  aggregate_column(runs, &GraphSeries::apl, apl, apl_sd);
-  aggregate_column(runs, &GraphSeries::cc, cc, cc_sd);
-  std::vector<double> t(runs.empty() ? std::vector<double>{}
-                                     : std::vector<double>(
-                                           runs[0].t.begin(),
-                                           runs[0].t.begin() +
-                                               static_cast<std::ptrdiff_t>(
-                                                   apl.size())));
+                const GraphFold& fold, std::size_t n_runs) {
+  const std::vector<double> apl = fold.apl.means();
+  const std::vector<double> apl_sd = fold.apl.stddevs();
+  const std::vector<double> cc = fold.cc.means();
+  const std::vector<double> cc_sd = fold.cc.stddevs();
+  const std::vector<double> t(
+      fold.t.begin(),
+      fold.t.begin() + static_cast<std::ptrdiff_t>(apl.size()));
   bench::emit_series(sink, label + " avg-path-length", t, apl, apl_sd,
                      n_runs, "%.0f", "%.4f");
   bench::emit_series(sink, label + " clustering-coefficient", t, cc, cc_sd,
@@ -231,6 +264,33 @@ void emit_graph(exp::ResultSink& sink, const std::string& label,
   sink.blank();
   sink.value(block, "final apl", final_apl);
   sink.value(block, "final cc", final_cc);
+}
+
+/// Runs the sweep's trial grid with streaming per-point folds plus
+/// per-trial wall-clock capture. `run_trial(p, seed)` executes one trial;
+/// its result is folded in grid order (byte-identical for every --jobs).
+template <typename Fold, typename RunTrial>
+std::vector<Fold> run_lab_grid(exp::TrialPool& pool,
+                               const bench::BenchArgs& args,
+                               std::size_t points, RunTrial&& run_trial,
+                               std::vector<PointTiming>& timing) {
+  std::vector<Fold> folds(points);
+  pool.map_fold(
+      points * args.runs,
+      [&](std::size_t i) {
+        const std::size_t p = i / args.runs;
+        const std::size_t r = i % args.runs;
+        const auto start = std::chrono::steady_clock::now();
+        auto series = run_trial(p, exp::trial_seed(args.seed, p, r));
+        const std::chrono::duration<double> took =
+            std::chrono::steady_clock::now() - start;
+        return std::make_pair(std::move(series), took.count());
+      },
+      [&](std::size_t i, auto&& result) {
+        folds[i / args.runs].add(result.first);
+        timing[i / args.runs].add(result.second);
+      });
+  return folds;
 }
 
 }  // namespace
@@ -282,7 +342,7 @@ int main(int argc, char** argv) {
     if (same > 1) labels[p] += exp::strf(" #%zu", p);
   }
 
-  exp::TrialPool pool(args.jobs);
+  exp::TrialPool pool(args.trial_jobs());
   exp::ResultSink sink(args.csv);
   sink.comment(exp::strf("croupier-lab: %zu spec(s), %zu run(s), seed %llu",
                          specs.size(), args.runs,
@@ -290,26 +350,35 @@ int main(int argc, char** argv) {
   for (const auto& spec : specs) sink.comment(spec.to_string());
   sink.blank();
 
+  const auto sweep_start = std::chrono::steady_clock::now();
+  std::vector<PointTiming> timing(specs.size());
   const bool graph =
       specs[0].record == run::ExperimentSpec::RecordKind::Graph;
   if (graph) {
-    const auto grid = bench::run_trial_grid(
-        pool, args, specs.size(), [&](std::size_t p, std::uint64_t seed) {
-          run::Experiment experiment(specs[p], seed);
+    const auto folds = run_lab_grid<GraphFold>(
+        pool, args, specs.size(),
+        [&](std::size_t p, std::uint64_t seed) {
+          run::Experiment experiment(specs[p], seed, args.world_jobs);
           experiment.run();
           return to_graph_series(*experiment.graph_stats());
-        });
+        },
+        timing);
     for (std::size_t p = 0; p < specs.size(); ++p) {
-      emit_graph(sink, labels[p], grid[p], args.runs);
+      emit_graph(sink, labels[p], folds[p], args.runs);
     }
   } else {
-    const auto grid = bench::run_trial_grid(
-        pool, args, specs.size(), [&](std::size_t p, std::uint64_t seed) {
-          return bench::run_spec_series(specs[p], seed);
-        });
+    const auto folds = run_lab_grid<bench::SeriesFold>(
+        pool, args, specs.size(),
+        [&](std::size_t p, std::uint64_t seed) {
+          return bench::run_spec_series(specs[p], seed, args.world_jobs);
+        },
+        timing);
     for (std::size_t p = 0; p < specs.size(); ++p) {
-      emit_estimation(sink, labels[p], grid[p], args.runs);
+      emit_estimation(sink, labels[p], folds[p], args.runs);
     }
   }
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - sweep_start;
+  report_timing(labels, timing, args, elapsed.count());
   return 0;
 }
