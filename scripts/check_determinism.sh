@@ -82,6 +82,23 @@ if [ -x "$LAB" ]; then
     echo "FAIL croupier-lab vs fig1_stable_ratio (series rows differ)"
     fail=1
   fi
+
+  # The PR-5 scenario families — flash crowd, correlated failure,
+  # structured time-varying loss — must honour the same determinism
+  # contracts on both parallelism axes.
+  scenario_flags=(
+    --spec="protocol=croupier nodes=300 ratio=0.2 flash=at:30,publics:120,privates:30,over:5 duration=70"
+    --spec="protocol=croupier nodes=300 ratio=0.2 failure=at:40,frac:0.3,corr:region duration=70"
+    --spec="protocol=croupier nodes=300 ratio=0.2 loss=pub-pub:0.05,priv-any:0.2,after:30 duration=70"
+    --runs=2)
+  run_config "$LAB" "scen.j1" "${scenario_flags[@]}" --jobs=1 --world-jobs=1
+  run_config "$LAB" "scen.j4" "${scenario_flags[@]}" --jobs=4 --world-jobs=1
+  run_config "$LAB" "scen.w4" "${scenario_flags[@]}" --jobs=4 --world-jobs=4
+  ok=1
+  check_same "croupier-lab-scenarios" "scen.j1" "scen.j4" || ok=0
+  check_same "croupier-lab-scenarios" "scen.j1" "scen.w4" || ok=0
+  [ "$ok" = 1 ] && \
+    echo "ok   croupier-lab scenarios flash/failure/loss (jobs 1/4, world-jobs 1/4)"
 else
   echo "FAIL croupier-lab binary missing at $LAB"
   fail=1

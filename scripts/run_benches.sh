@@ -9,6 +9,9 @@
 #   JOBS=N          worker threads per fig bench (default: nproc); trials
 #                   fan out over the exp::TrialPool, output is
 #                   byte-identical for every N
+#   RUNS=N          seeds averaged per fig-bench point (default 5 — the
+#                   paper's averaging; trials run in parallel so the
+#                   extra runs cost little wall clock on multi-core)
 #   CSV_DIR=...     also write each fig bench's --csv mirror there
 #
 # BENCH_micro.json layout:
@@ -16,7 +19,8 @@
 #                                     (BM_ProtocolRounds, 128-node world)
 #   components.<BM_Name>              wall ns/op (items_per_sec when the
 #                                     bench reports it)
-#   fig_benches.<name>.wall_seconds   --fast --runs=1 wall clock per bench
+#   fig_benches.<name>.wall_seconds   --fast --runs=$RUNS wall clock per
+#                                     bench
 set -euo pipefail
 
 # Resolve the output path against the caller's cwd before cd-ing away.
@@ -28,6 +32,7 @@ if [ $# -eq 0 ]; then
 fi
 BUILD_DIR=${BUILD_DIR:-"$REPO_ROOT/build-release"}
 JOBS=${JOBS:-$(nproc)}
+RUNS=${RUNS:-5}
 CSV_DIR=${CSV_DIR:-}
 if [ -n "$CSV_DIR" ]; then
   mkdir -p "$CSV_DIR"
@@ -48,7 +53,7 @@ echo "== micro benchmarks =="
   --benchmark_format=json --benchmark_out="$RAW" \
   --benchmark_out_format=json >/dev/null
 
-echo "== figure benches (--fast --runs=1 --jobs=$JOBS) =="
+echo "== figure benches (--fast --runs=$RUNS --jobs=$JOBS) =="
 for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
   [ -x "$bench" ] || continue
   name=$(basename "$bench")
@@ -57,7 +62,7 @@ for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
     csv_flag=(--csv="$CSV_DIR/$name.csv")
   fi
   start=$(date +%s.%N)
-  "$bench" --fast --runs=1 --jobs="$JOBS" "${csv_flag[@]}" >/dev/null
+  "$bench" --fast --runs="$RUNS" --jobs="$JOBS" "${csv_flag[@]}" >/dev/null
   end=$(date +%s.%N)
   echo "$name $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')" \
     | tee -a "$FIG"

@@ -33,6 +33,17 @@ class LatencyModel {
   /// positive bound keeps the default 0 (the engine then degenerates to
   /// same-timestamp batching — correct, just not parallel).
   [[nodiscard]] virtual sim::Duration min_latency() const { return 0; }
+
+  /// Deterministic jitter-free latency for a pair — the model's notion of
+  /// "how far apart" two nodes are. Region-correlated failure scenarios
+  /// use this as the metric defining a contiguous latency neighbourhood,
+  /// so it must be stable across a run and must not consume any RNG.
+  /// Models without pairwise structure keep the default (every pair
+  /// equally far).
+  [[nodiscard]] virtual sim::Duration base_latency(NodeId /*a*/,
+                                                   NodeId /*b*/) const {
+    return min_latency();
+  }
 };
 
 /// Fixed delay; useful in unit tests that assert exact timings.
@@ -54,6 +65,9 @@ class UniformLatency final : public LatencyModel {
   UniformLatency(sim::Duration lo, sim::Duration hi) : lo_(lo), hi_(hi) {}
   sim::Duration sample(NodeId, NodeId, sim::RngStream& rng) override;
   [[nodiscard]] sim::Duration min_latency() const override { return lo_; }
+  [[nodiscard]] sim::Duration base_latency(NodeId, NodeId) const override {
+    return (lo_ + hi_) / 2;
+  }
 
  private:
   sim::Duration lo_;
@@ -96,7 +110,7 @@ class CoordinateLatencyModel final : public LatencyModel {
   /// Deterministic node position in [0,1]^2.
   [[nodiscard]] std::pair<double, double> position(NodeId node) const;
   /// Deterministic base latency (no jitter).
-  [[nodiscard]] sim::Duration base_latency(NodeId a, NodeId b) const;
+  [[nodiscard]] sim::Duration base_latency(NodeId a, NodeId b) const override;
 
  private:
   std::uint64_t seed_;
@@ -116,7 +130,7 @@ class KingLatencyModel final : public LatencyModel {
   }
 
   /// Deterministic symmetric base latency for a pair (no jitter).
-  [[nodiscard]] sim::Duration base_latency(NodeId a, NodeId b) const;
+  [[nodiscard]] sim::Duration base_latency(NodeId a, NodeId b) const override;
 
  private:
   std::uint64_t seed_;

@@ -1,0 +1,36 @@
+#include "net/loss.hpp"
+
+#include "common/assert.hpp"
+
+namespace croupier::net {
+
+namespace {
+
+void check_rates(const LossConfig& cfg) {
+  for (const auto& row : cfg.rate) {
+    for (const double p : row) {
+      CROUPIER_ASSERT_MSG(p >= 0.0 && p < 1.0,
+                          "loss rate must be in [0, 1)");
+    }
+  }
+}
+
+}  // namespace
+
+UniformLoss::UniformLoss(double probability) : probability_(probability) {
+  CROUPIER_ASSERT_MSG(probability_ >= 0.0 && probability_ < 1.0,
+                      "loss rate must be in [0, 1)");
+}
+
+ClassPairLoss::ClassPairLoss(const LossConfig& cfg) : cfg_(cfg) {
+  check_rates(cfg_);
+}
+
+std::unique_ptr<LossModel> make_loss_model(const LossConfig& cfg) {
+  check_rates(cfg);
+  if (cfg.lossless()) return nullptr;
+  if (cfg.is_uniform()) return std::make_unique<UniformLoss>(cfg.rate[0][0]);
+  return std::make_unique<ClassPairLoss>(cfg);
+}
+
+}  // namespace croupier::net

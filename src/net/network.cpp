@@ -10,14 +10,20 @@ namespace croupier::net {
 
 Network::Network(sim::Simulator& simulator,
                  std::unique_ptr<LatencyModel> latency, sim::RngStream rng,
-                 double loss_probability)
+                 std::unique_ptr<LossModel> loss)
     : simulator_(simulator),
       latency_(std::move(latency)),
       rng_(rng),
-      loss_probability_(loss_probability) {
+      loss_(std::move(loss)),
+      loss_class_sensitive_(loss_ != nullptr && loss_->class_sensitive()) {
   CROUPIER_ASSERT(latency_ != nullptr);
-  CROUPIER_ASSERT(loss_probability_ >= 0.0 && loss_probability_ < 1.0);
 }
+
+Network::Network(sim::Simulator& simulator,
+                 std::unique_ptr<LatencyModel> latency, sim::RngStream rng,
+                 double loss_probability)
+    : Network(simulator, std::move(latency), rng,
+              make_loss_model(LossConfig::uniform(loss_probability))) {}
 
 void Network::attach(NodeId id, const NatConfig& cfg,
                      MessageHandler& handler) {
@@ -96,13 +102,30 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   });
 }
 
+NatType Network::class_or_public(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? NatType::Public : it->second.cfg.nat_type();
+}
+
 void Network::finish_send(NodeId from, NodeId to, MessagePtr msg,
                           std::size_t bytes) {
   meter_.on_send(from, bytes);
 
-  if (loss_probability_ > 0.0 && rng_.chance(loss_probability_)) {
-    ++drops_.loss;
-    return;
+  // One die roll per packet with a positive drop probability — and none
+  // otherwise, exactly the draw pattern of the historic uniform scalar,
+  // so pre-LossModel runs replay byte-identically. Class lookups are
+  // paid only for models that read them.
+  if (loss_ != nullptr) {
+    const double p =
+        loss_class_sensitive_
+            ? loss_->probability(simulator_.now(), class_or_public(from),
+                                 class_or_public(to))
+            : loss_->probability(simulator_.now(), NatType::Public,
+                                 NatType::Public);
+    if (p > 0.0 && rng_.chance(p)) {
+      ++drops_.loss;
+      return;
+    }
   }
 
   const sim::Duration delay = latency_->sample(from, to, rng_);

@@ -26,6 +26,7 @@
 
 #include "net/address.hpp"
 #include "net/latency.hpp"
+#include "net/loss.hpp"
 #include "net/message.hpp"
 #include "net/nat.hpp"
 #include "net/traffic.hpp"
@@ -43,8 +44,15 @@ class Network {
     std::uint64_t delivered = 0;
   };
 
+  /// `loss` may be nullptr (a loss-free network: the loss die is never
+  /// rolled, the historic loss=0 hot path).
   Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
-          sim::RngStream rng, double loss_probability = 0.0);
+          sim::RngStream rng, std::unique_ptr<LossModel> loss = nullptr);
+
+  /// Convenience for the historic uniform-scalar call sites (tests):
+  /// wraps the probability in a UniformLoss model (0 = lossless).
+  Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
+          sim::RngStream rng, double loss_probability);
 
   /// Registers a node. The handler must outlive the attachment.
   void attach(NodeId id, const NatConfig& cfg, MessageHandler& handler);
@@ -84,6 +92,12 @@ class Network {
     return latency_->min_latency();
   }
 
+  /// The pairwise latency structure (scenario processes use
+  /// base_latency() as the metric for latency-correlated cohorts).
+  [[nodiscard]] const LatencyModel& latency_model() const {
+    return *latency_;
+  }
+
   [[nodiscard]] TrafficMeter& meter() { return meter_; }
   [[nodiscard]] const DropStats& drops() const { return drops_; }
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
@@ -101,10 +115,16 @@ class Network {
   void finish_send(NodeId from, NodeId to, MessagePtr msg, std::size_t bytes);
   void deliver(NodeId from, NodeId to, MessagePtr msg, std::size_t bytes);
 
+  /// NAT class for the loss model; a node that already left resolves to
+  /// Public (the packet is doomed at delivery anyway — the rule only has
+  /// to be deterministic so both engines roll the same die).
+  [[nodiscard]] NatType class_or_public(NodeId id) const;
+
   sim::Simulator& simulator_;
   std::unique_ptr<LatencyModel> latency_;
   sim::RngStream rng_;
-  double loss_probability_;
+  std::unique_ptr<LossModel> loss_;
+  bool loss_class_sensitive_ = false;  // cached loss_->class_sensitive()
   std::unordered_map<NodeId, NodeState> nodes_;
   TrafficMeter meter_;
   DropStats drops_;

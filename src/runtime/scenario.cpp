@@ -2,25 +2,49 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 
 namespace croupier::run {
 
-namespace {
+namespace detail {
 
-// Shared state for a recursive join process.
+// Shared state for a recursive join process. Events hold it by
+// shared_ptr, so a fire-and-forget chain (the free functions) and a
+// stoppable JoinProcess handle run the exact same code.
 struct JoinState {
   std::size_t remaining;
   net::NatConfig nat;
   sim::Duration mean;  // exponential mean; 0 => fixed interval
   sim::Duration fixed;
+  bool stopped = false;
+  std::uint64_t spawned = 0;
 };
 
+// Shared state for a flash crowd: every spawn event of the surge checks
+// the stop flag and bumps its class counter (per class, so a restart
+// can resume the remaining quota).
+struct FlashState {
+  bool stopped = false;
+  std::uint64_t pub_spawned = 0;
+  std::uint64_t priv_spawned = 0;
+};
+
+}  // namespace detail
+
+namespace {
+
+using detail::FlashState;
+using detail::JoinState;
+
 void join_step(World& world, const std::shared_ptr<JoinState>& st) {
-  if (st->remaining == 0) return;
+  if (st->stopped || st->remaining == 0) return;
   --st->remaining;
   world.spawn(st->nat);
+  ++st->spawned;
   if (st->remaining == 0) return;
   const sim::Duration gap =
       st->mean > 0
@@ -29,6 +53,36 @@ void join_step(World& world, const std::shared_ptr<JoinState>& st) {
           : st->fixed;
   world.simulator().schedule_after(gap,
                                    [&world, st] { join_step(world, st); });
+}
+
+void schedule_join_chain(World& world, const std::shared_ptr<JoinState>& st,
+                         sim::SimTime start) {
+  world.simulator().schedule_at(start,
+                                [&world, st] { join_step(world, st); });
+}
+
+/// Inverse CDF of the triangular rate profile on [0, 1] (peak at 1/2):
+/// the fraction of the flash-crowd window elapsed when a fraction `u` of
+/// the crowd has arrived.
+double triangular_inv_cdf(double u) {
+  if (u <= 0.5) return std::sqrt(u / 2.0);
+  return 1.0 - std::sqrt((1.0 - u) / 2.0);
+}
+
+/// Kills floor(fraction * alive) victims picked uniformly one at a time
+/// from the shrinking live population — the historic fig. 7b sampling.
+std::uint64_t kill_uniform(World& world, double fraction) {
+  const auto targets = static_cast<std::size_t>(
+      std::floor(fraction * static_cast<double>(world.alive_count())));
+  auto& rng = world.scenario_rng();
+  std::uint64_t killed = 0;
+  for (std::size_t i = 0; i < targets; ++i) {
+    const auto& alive = world.alive_ids();
+    if (alive.empty()) break;
+    world.kill(alive[rng.index(alive.size())]);
+    ++killed;
+  }
+  return killed;
 }
 
 }  // namespace
@@ -41,8 +95,7 @@ void schedule_poisson_joins(World& world, std::size_t count,
   CROUPIER_ASSERT(mean_interarrival > 0);
   auto st = std::make_shared<JoinState>(
       JoinState{count, nat, mean_interarrival, 0});
-  world.simulator().schedule_at(start,
-                                [&world, st] { join_step(world, st); });
+  schedule_join_chain(world, st, start);
 }
 
 void schedule_fixed_joins(World& world, std::size_t count,
@@ -51,28 +104,261 @@ void schedule_fixed_joins(World& world, std::size_t count,
   if (count == 0) return;
   CROUPIER_ASSERT(interval > 0);
   auto st = std::make_shared<JoinState>(JoinState{count, nat, 0, interval});
-  world.simulator().schedule_at(start,
-                                [&world, st] { join_step(world, st); });
+  schedule_join_chain(world, st, start);
 }
 
 void schedule_catastrophe(World& world, sim::SimTime at, double fraction) {
   CROUPIER_ASSERT(fraction >= 0.0 && fraction <= 1.0);
-  world.simulator().schedule_at(at, [&world, fraction] {
-    const auto targets = static_cast<std::size_t>(
-        std::floor(fraction * static_cast<double>(world.alive_count())));
-    auto& rng = world.scenario_rng();
-    for (std::size_t i = 0; i < targets; ++i) {
-      const auto& alive = world.alive_ids();
-      if (alive.empty()) break;
-      world.kill(alive[rng.index(alive.size())]);
+  world.simulator().schedule_at(
+      at, [&world, fraction] { kill_uniform(world, fraction); });
+}
+
+// ---------------------------------------------------------------- joins
+
+JoinProcess::JoinProcess(World& world, std::size_t count,
+                         const net::NatConfig& nat, sim::Duration mean,
+                         sim::Duration fixed)
+    : ScenarioProcess(world),
+      state_(std::make_shared<JoinState>(JoinState{count, nat, mean, fixed})) {
+}
+
+std::unique_ptr<JoinProcess> JoinProcess::poisson(
+    World& world, std::size_t count, const net::NatConfig& nat,
+    sim::Duration mean_interarrival) {
+  CROUPIER_ASSERT(mean_interarrival > 0);
+  return std::unique_ptr<JoinProcess>(
+      new JoinProcess(world, count, nat, mean_interarrival, 0));
+}
+
+std::unique_ptr<JoinProcess> JoinProcess::fixed(World& world,
+                                                std::size_t count,
+                                                const net::NatConfig& nat,
+                                                sim::Duration interval) {
+  CROUPIER_ASSERT(interval > 0);
+  return std::unique_ptr<JoinProcess>(
+      new JoinProcess(world, count, nat, 0, interval));
+}
+
+void JoinProcess::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  // Restart after stop(): events of the old chain may still be queued,
+  // so arm a fresh state (counters carried over) and leave the old one
+  // permanently stopped — re-flipping its flag would resurrect the
+  // zombie chain alongside the new one.
+  if (state_->stopped) {
+    state_ = std::make_shared<JoinState>(*state_);
+    state_->stopped = false;
+  }
+  if (state_->remaining == 0) return;
+  schedule_join_chain(world_, state_, at);
+}
+
+void JoinProcess::stop() {
+  running_ = false;
+  state_->stopped = true;
+}
+
+ScenarioProcess::Stats JoinProcess::stats() const {
+  Stats s;
+  s.spawned = state_->spawned;
+  return s;
+}
+
+// ---------------------------------------------------------- flash crowd
+
+FlashCrowdProcess::FlashCrowdProcess(World& world, std::size_t publics,
+                                     std::size_t privates,
+                                     sim::Duration over)
+    : ScenarioProcess(world),
+      publics_(publics),
+      privates_(privates),
+      over_(over),
+      state_(std::make_shared<FlashState>()) {
+  CROUPIER_ASSERT(over_ > 0);
+}
+
+void FlashCrowdProcess::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  // As in JoinProcess::start: a restart must not re-enable arrivals of
+  // the stopped surge still sitting in the queue, and it resumes the
+  // *remaining* crowd (re-ramped over a fresh window) rather than
+  // replaying nodes that already joined.
+  if (state_->stopped) {
+    state_ = std::make_shared<FlashState>(*state_);
+    state_->stopped = false;
+  }
+  // Arrival k of N lands at the inverse-CDF grid point of the triangular
+  // profile — deterministic, monotone in k, interleaving the two classes
+  // purely by timestamp.
+  const auto schedule_class = [this, at](std::size_t count,
+                                         const net::NatConfig& nat,
+                                         std::uint64_t FlashState::*spawned) {
+    for (std::size_t k = 0; k < count; ++k) {
+      const double u =
+          (static_cast<double>(k) + 0.5) / static_cast<double>(count);
+      const auto offset = static_cast<sim::Duration>(std::llround(
+          triangular_inv_cdf(u) * static_cast<double>(over_)));
+      World& world = world_;
+      const auto st = state_;
+      world_.simulator().schedule_at(at + offset, [&world, st, nat,
+                                                   spawned] {
+        if (st->stopped) return;
+        world.spawn(nat);
+        ++((*st).*spawned);
+      });
     }
+  };
+  const auto remaining = [](std::size_t total, std::uint64_t done) {
+    return total > done ? total - static_cast<std::size_t>(done) : 0;
+  };
+  schedule_class(remaining(publics_, state_->pub_spawned),
+                 net::NatConfig::open(), &FlashState::pub_spawned);
+  schedule_class(remaining(privates_, state_->priv_spawned),
+                 net::NatConfig::natted(), &FlashState::priv_spawned);
+}
+
+void FlashCrowdProcess::stop() {
+  running_ = false;
+  state_->stopped = true;
+}
+
+ScenarioProcess::Stats FlashCrowdProcess::stats() const {
+  Stats s;
+  s.spawned = state_->pub_spawned + state_->priv_spawned;
+  return s;
+}
+
+// ----------------------------------------------------------- catastrophe
+
+CatastropheProcess::CatastropheProcess(World& world, double fraction)
+    : ScenarioProcess(world),
+      fraction_(fraction),
+      alive_flag_(std::make_shared<bool>(false)) {
+  CROUPIER_ASSERT(fraction_ >= 0.0 && fraction_ <= 1.0);
+}
+
+void CatastropheProcess::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  // A fresh flag per arming: events queued by a previous (stopped) start
+  // hold the old flag and stay inert forever.
+  alive_flag_ = std::make_shared<bool>(true);
+  // Double indirection on purpose: the hand-built fig7b ran the world up
+  // to the crash instant and only then scheduled the kill, so the kill
+  // executed after every already-queued event of that timestamp.
+  // Scheduling the real kill event from inside a same-time event
+  // reproduces that tie-break (fresh event ids sort last), keeping
+  // spec-built worlds bit-compatible with the historic bench.
+  const auto armed = alive_flag_;
+  world_.simulator().schedule_at(at, [this, armed, at] {
+    if (!*armed) return;
+    world_.simulator().schedule_at(at, [this, armed] {
+      if (!*armed) return;
+      fire();
+    });
   });
 }
+
+void CatastropheProcess::stop() {
+  running_ = false;
+  *alive_flag_ = false;
+}
+
+void CatastropheProcess::fire() { stats_.killed += kill_uniform(world_, fraction_); }
+
+// ----------------------------------------------------- correlated failure
+
+CorrelatedFailureProcess::CorrelatedFailureProcess(World& world,
+                                                   double fraction, Corr corr)
+    : ScenarioProcess(world),
+      fraction_(fraction),
+      corr_(corr),
+      alive_flag_(std::make_shared<bool>(false)) {
+  CROUPIER_ASSERT(fraction_ >= 0.0 && fraction_ <= 1.0);
+}
+
+void CorrelatedFailureProcess::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  // A fresh flag per arming, as in CatastropheProcess::start.
+  alive_flag_ = std::make_shared<bool>(true);
+  const auto armed = alive_flag_;
+  world_.simulator().schedule_at(at, [this, armed] {
+    if (!*armed) return;
+    fire();
+  });
+}
+
+void CorrelatedFailureProcess::stop() {
+  running_ = false;
+  *alive_flag_ = false;
+}
+
+void CorrelatedFailureProcess::fire() {
+  const auto targets = static_cast<std::size_t>(
+      std::floor(fraction_ * static_cast<double>(world_.alive_count())));
+  if (targets == 0) return;
+  auto& rng = world_.scenario_rng();
+
+  if (corr_ == Corr::Uniform) {
+    stats_.killed += kill_uniform(world_, fraction_);
+    return;
+  }
+
+  if (corr_ == Corr::Region) {
+    // One RNG draw picks the epicenter; the cohort is then the targets
+    // nearest nodes in the latency model's deterministic metric
+    // (ties broken by node id so the kill set is engine-independent).
+    const auto& alive = world_.alive_ids();
+    const net::NodeId epicenter = alive[rng.index(alive.size())];
+    const auto& latency = world_.network().latency_model();
+    std::vector<std::pair<sim::Duration, net::NodeId>> by_distance;
+    by_distance.reserve(alive.size());
+    for (const net::NodeId id : alive) {
+      by_distance.emplace_back(latency.base_latency(epicenter, id), id);
+    }
+    std::sort(by_distance.begin(), by_distance.end());
+    for (std::size_t i = 0; i < targets; ++i) {
+      world_.kill(by_distance[i].second);
+      ++stats_.killed;
+    }
+    return;
+  }
+
+  // NAT-class-biased: the named class dies first (uniform within it);
+  // the quota spills into the remaining population only once the class
+  // is exhausted.
+  const net::NatType type = corr_ == Corr::Public ? net::NatType::Public
+                                                  : net::NatType::Private;
+  std::vector<net::NodeId> cohort;
+  for (const net::NodeId id : world_.alive_ids()) {
+    if (world_.type_of(id) == type) cohort.push_back(id);
+  }
+  const auto victims = rng.sample(std::span<const net::NodeId>(cohort),
+                                 std::min(targets, cohort.size()));
+  for (const net::NodeId id : victims) {
+    world_.kill(id);
+    ++stats_.killed;
+  }
+  if (victims.size() < targets) {
+    const std::vector<net::NodeId> rest = world_.alive_ids();
+    const auto spill = rng.sample(std::span<const net::NodeId>(rest),
+                                  targets - victims.size());
+    for (const net::NodeId id : spill) {
+      world_.kill(id);
+      ++stats_.killed;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- churn
 
 ChurnProcess::ChurnProcess(World& world, double fraction_per_round,
                            net::NatConfig public_cfg,
                            net::NatConfig private_cfg, sim::Duration period)
-    : world_(world),
+    : ScenarioProcess(world),
       fraction_(fraction_per_round),
       public_cfg_(public_cfg),
       private_cfg_(private_cfg),
@@ -86,14 +372,37 @@ ChurnProcess::ChurnProcess(World& world, double fraction_per_round,
 void ChurnProcess::start(sim::SimTime at) {
   CROUPIER_ASSERT(!running_);
   running_ = true;
-  world_.simulator().schedule_at(at, [this] { tick(); });
+  pending_ = world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void ChurnProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != sim::kInvalidEventId) {
+    world_.simulator().cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+}
+
+ScenarioProcess::Stats ChurnProcess::stats() const {
+  Stats s;
+  s.replaced = replaced_;
+  return s;
 }
 
 void ChurnProcess::tick() {
+  pending_ = sim::kInvalidEventId;
   if (!running_) return;
 
   auto replace_class = [this](net::NatType type, double& carry,
                               const net::NatConfig& cfg) {
+    if (world_.count(type) == 0) {
+      // A carry accrued while the class was populated must not survive
+      // its extinction: it would burst-replace the first node of that
+      // class to reappear (post-catastrophe refills, ratio=0/1 runs).
+      carry = 0.0;
+      return;
+    }
     carry += fraction_ * static_cast<double>(world_.count(type));
     auto quota = static_cast<std::size_t>(std::floor(carry));
     carry -= static_cast<double>(quota);
@@ -119,7 +428,9 @@ void ChurnProcess::tick() {
   replace_class(net::NatType::Public, carry_public_, public_cfg_);
   replace_class(net::NatType::Private, carry_private_, private_cfg_);
 
-  world_.simulator().schedule_after(period_, [this] { tick(); });
+  if (running_) {
+    pending_ = world_.simulator().schedule_after(period_, [this] { tick(); });
+  }
 }
 
 }  // namespace croupier::run

@@ -1,14 +1,36 @@
 // Scenario processes: the workload side of every experiment.
 //
-//  - Poisson join processes (paper: "nodes join the system following a
-//    Poisson distribution with an inter-arrival time of X ms");
-//  - fixed-rate join processes (fig. 2's ratio-change phase: "a new public
-//    node every 42 ms");
-//  - continuous churn ("replacing a fixed fraction of randomly selected
-//    public and private nodes with new nodes at each gossiping round,
-//    keeping the ratio stable", §VII-B);
-//  - catastrophic failure (fig. 7b: a fraction of all nodes crashes at a
-//    single instant).
+// Every membership dynamic an experiment can throw at the overlay is a
+// ScenarioProcess — one common lifecycle (start/stop/stats) so an
+// Experiment owns its workload as a pipeline of uniform objects:
+//
+//  - JoinProcess: Poisson joins (paper: "nodes join the system following
+//    a Poisson distribution with an inter-arrival time of X ms") and
+//    fixed-rate joins (fig. 2's ratio-change phase: "a new public node
+//    every 42 ms");
+//  - FlashCrowdProcess: a join surge with a piecewise (ramp-up, peak,
+//    ramp-down) rate profile — the flash-crowd workload the paper's
+//    constant-rate join processes cannot express;
+//  - ChurnProcess: continuous churn ("replacing a fixed fraction of
+//    randomly selected public and private nodes with new nodes at each
+//    gossiping round, keeping the ratio stable", §VII-B);
+//  - CatastropheProcess: catastrophic failure (fig. 7b: a fraction of
+//    all nodes crashes at a single instant, uniformly sampled);
+//  - CorrelatedFailureProcess: the adversarial variant — the crashing
+//    cohort is a contiguous latency region or biased to one NAT class,
+//    the membership dynamics under which peer-sampler randomness claims
+//    are most fragile (PeerSwap, arXiv:2408.03829).
+//
+// The historic free functions (schedule_*_joins, schedule_catastrophe)
+// remain as fire-and-forget wrappers over the same internals; tests and
+// hand-built worlds keep using them, and their event/RNG schedules are
+// unchanged.
+//
+// Determinism contract: every event a scenario process schedules is
+// serial-affinity (scenario code mutates cross-node state — spawns,
+// kills, the shared scenario RNG), so the round-synchronous parallel
+// engine treats it as a barrier and runs stay byte-identical across
+// engines.
 #pragma once
 
 #include <cstdint>
@@ -34,33 +56,183 @@ void schedule_fixed_joins(World& world, std::size_t count,
 /// Kills floor(fraction * alive) uniformly random nodes at time `at`.
 void schedule_catastrophe(World& world, sim::SimTime at, double fraction);
 
+namespace detail {
+struct JoinState;
+struct FlashState;
+}  // namespace detail
+
+/// One membership dynamic of an experiment. Concrete processes schedule
+/// their own events on the world's simulator; the owner (usually an
+/// Experiment) arms each with start() and may halt it early with stop().
+class ScenarioProcess {
+ public:
+  explicit ScenarioProcess(World& world) : world_(world) {}
+  virtual ~ScenarioProcess() = default;
+
+  ScenarioProcess(const ScenarioProcess&) = delete;
+  ScenarioProcess& operator=(const ScenarioProcess&) = delete;
+
+  /// Arms the process at virtual time `at`. Call at most once while the
+  /// process is running; a stopped process may be started again.
+  virtual void start(sim::SimTime at) = 0;
+
+  /// Halts the process immediately and idempotently: no node is spawned,
+  /// killed or replaced by this process after stop() returns, including
+  /// by ticks already sitting in the event queue.
+  virtual void stop() = 0;
+
+  [[nodiscard]] bool running() const { return running_; }
+
+  /// Lifetime totals of what the process did to the population.
+  struct Stats {
+    std::uint64_t spawned = 0;   // nodes created
+    std::uint64_t killed = 0;    // nodes crashed
+    std::uint64_t replaced = 0;  // kill+respawn pairs (churn)
+  };
+  [[nodiscard]] virtual Stats stats() const = 0;
+
+ protected:
+  World& world_;
+  bool running_ = false;
+};
+
+/// Poisson or fixed-interval join process (the two historic free
+/// functions as a stoppable pipeline stage).
+class JoinProcess final : public ScenarioProcess {
+ public:
+  /// Exponential inter-arrival times of the given mean.
+  static std::unique_ptr<JoinProcess> poisson(World& world, std::size_t count,
+                                              const net::NatConfig& nat,
+                                              sim::Duration mean_interarrival);
+  /// Fixed inter-arrival interval.
+  static std::unique_ptr<JoinProcess> fixed(World& world, std::size_t count,
+                                            const net::NatConfig& nat,
+                                            sim::Duration interval);
+
+  void start(sim::SimTime at) override;
+  void stop() override;
+  [[nodiscard]] Stats stats() const override;
+
+ private:
+  JoinProcess(World& world, std::size_t count, const net::NatConfig& nat,
+              sim::Duration mean, sim::Duration fixed);
+
+  std::shared_ptr<detail::JoinState> state_;
+};
+
+/// A flash crowd: `publics` + `privates` extra nodes join inside a
+/// window of `over` virtual time with a triangular rate profile — the
+/// join rate ramps linearly up to its peak at the window midpoint and
+/// back down to zero. Arrival times are the deterministic inverse-CDF
+/// grid of that profile (no RNG), so the surge shape is identical across
+/// seeds and engines.
+class FlashCrowdProcess final : public ScenarioProcess {
+ public:
+  FlashCrowdProcess(World& world, std::size_t publics, std::size_t privates,
+                    sim::Duration over);
+
+  void start(sim::SimTime at) override;
+  void stop() override;
+  [[nodiscard]] Stats stats() const override;
+
+ private:
+  std::size_t publics_;
+  std::size_t privates_;
+  sim::Duration over_;
+  std::shared_ptr<detail::FlashState> state_;
+};
+
+/// Catastrophic failure: floor(fraction * alive) uniformly random nodes
+/// crash at one instant (fig. 7b). The kill event is scheduled from
+/// inside a same-time event so it executes after every event already
+/// queued at that timestamp — the tie-break the historic hand-built
+/// fig7b bench established; spec-built worlds stay bit-compatible
+/// with it.
+class CatastropheProcess final : public ScenarioProcess {
+ public:
+  CatastropheProcess(World& world, double fraction);
+  ~CatastropheProcess() override { *alive_flag_ = false; }
+
+  void start(sim::SimTime at) override;
+  void stop() override;
+  [[nodiscard]] Stats stats() const override { return stats_; }
+
+ private:
+  void fire();
+
+  double fraction_;
+  Stats stats_;
+  std::shared_ptr<bool> alive_flag_;  // guards the queued fire() events
+};
+
+/// Correlated failure: like a catastrophe, but the crashing cohort is
+/// structured instead of uniform —
+///   Region:  a contiguous latency neighbourhood (the floor(frac*alive)
+///            nodes closest, by the latency model's deterministic
+///            base_latency metric, to a uniformly drawn epicenter node);
+///   Public / Private: biased to one NAT class — victims are drawn
+///            uniformly from that class first and spill into the rest of
+///            the population only once the class is exhausted, so `frac`
+///            keeps meaning a fraction of the whole system;
+///   Uniform: the fig. 7b baseline, for like-for-like comparisons.
+class CorrelatedFailureProcess final : public ScenarioProcess {
+ public:
+  enum class Corr : std::uint8_t { Uniform, Region, Public, Private };
+
+  CorrelatedFailureProcess(World& world, double fraction, Corr corr);
+  ~CorrelatedFailureProcess() override { *alive_flag_ = false; }
+
+  void start(sim::SimTime at) override;
+  void stop() override;
+  [[nodiscard]] Stats stats() const override { return stats_; }
+
+ private:
+  void fire();
+
+  double fraction_;
+  Corr corr_;
+  Stats stats_;
+  std::shared_ptr<bool> alive_flag_;
+};
+
 /// Continuous churn: each period, `fraction` of each node class is
 /// replaced by fresh nodes of the same class, preserving the ratio.
 /// Fractional quotas accumulate across rounds so arbitrarily low rates
-/// (0.1 %/round) still average out correctly.
-class ChurnProcess {
+/// (0.1 %/round) still average out correctly; a quota carry is dropped
+/// while its class has no live nodes (a stale carry would otherwise
+/// burst-replace the first node of that class to reappear after a
+/// catastrophe or at ratio extremes).
+class ChurnProcess final : public ScenarioProcess {
  public:
   ChurnProcess(World& world, double fraction_per_round,
                net::NatConfig public_cfg, net::NatConfig private_cfg,
                sim::Duration period = sim::sec(1));
+  /// Cancels the pending tick: no event capturing this object survives
+  /// it (the owning World must still be alive, which every owner —
+  /// Experiment pipeline or stack scope — already guarantees).
+  ~ChurnProcess() override { stop(); }
 
   /// Starts replacing nodes at time `at`. Runs until stop().
-  void start(sim::SimTime at);
-  void stop() { running_ = false; }
+  void start(sim::SimTime at) override;
+  /// Immediate and idempotent: the pending tick is cancelled, so no
+  /// replacement fires after stop() even if one was already queued, and
+  /// a subsequent start() cannot stack a second tick chain on top of a
+  /// zombie one.
+  void stop() override;
 
   [[nodiscard]] std::uint64_t replaced() const { return replaced_; }
+  [[nodiscard]] Stats stats() const override;
 
  private:
   void tick();
 
-  World& world_;
   double fraction_;
   net::NatConfig public_cfg_;
   net::NatConfig private_cfg_;
   sim::Duration period_;
   double carry_public_ = 0.0;
   double carry_private_ = 0.0;
-  bool running_ = false;
+  sim::EventId pending_ = sim::kInvalidEventId;
   std::uint64_t replaced_ = 0;
 };
 

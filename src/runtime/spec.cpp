@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "runtime/registry.hpp"
 
@@ -88,7 +90,96 @@ const char* record_name(ExperimentSpec::RecordKind k) {
   return "estimation";
 }
 
+const char* corr_name(ExperimentSpec::FailureCorr c) {
+  switch (c) {
+    case ExperimentSpec::FailureCorr::Uniform: return "uniform";
+    case ExperimentSpec::FailureCorr::Region: return "region";
+    case ExperimentSpec::FailureCorr::Public: return "public";
+    case ExperimentSpec::FailureCorr::Private: return "private";
+  }
+  return "region";
+}
+
+/// Splits a composite value ("at:60,frac:0.3,corr:region") into
+/// (subkey, subvalue) pairs; a token without ':' comes back with an
+/// empty subkey (the scalar shorthand, e.g. "loss=0.1,after:90").
+std::vector<std::pair<std::string, std::string>> split_subkeys(
+    const std::string& key, const std::string& value) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::size_t begin = 0;
+  while (begin <= value.size()) {
+    std::size_t end = value.find(',', begin);
+    if (end == std::string::npos) end = value.size();
+    const std::string token = value.substr(begin, end - begin);
+    if (token.empty()) {
+      fail("spec: empty element in '" + key + "' value \"" + value + "\"");
+    }
+    const std::size_t colon = token.find(':');
+    if (colon == std::string::npos) {
+      out.emplace_back("", token);
+    } else if (colon == 0 || colon == token.size() - 1) {
+      fail("spec: malformed '" + key + "' element \"" + token + "\"");
+    } else {
+      out.emplace_back(token.substr(0, colon), token.substr(colon + 1));
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
+/// Parses a `loss=` value: either the historic uniform scalar or the
+/// structured per-class-pair form. Subkeys name (sender)-(receiver)
+/// class pairs with `any` wildcards; `after:S` delays activation.
+ExperimentSpec::LossSpec parse_loss(const std::string& value) {
+  ExperimentSpec::LossSpec loss;
+  const auto set = [&loss](bool pp, bool pv, bool vp, bool vv, double rate) {
+    if (pp) loss.pub_pub = rate;
+    if (pv) loss.pub_priv = rate;
+    if (vp) loss.priv_pub = rate;
+    if (vv) loss.priv_priv = rate;
+  };
+  for (const auto& [sub, text] : split_subkeys("loss", value)) {
+    if (sub == "after") {
+      loss.after_s = parse_double("loss after", text);
+      continue;
+    }
+    const double rate = parse_double("loss " + (sub.empty() ? "rate" : sub),
+                                     text);
+    if (sub.empty() || sub == "any-any" || sub == "any") {
+      set(true, true, true, true, rate);
+    } else if (sub == "pub-pub") {
+      set(true, false, false, false, rate);
+    } else if (sub == "pub-priv") {
+      set(false, true, false, false, rate);
+    } else if (sub == "priv-pub") {
+      set(false, false, true, false, rate);
+    } else if (sub == "priv-priv") {
+      set(false, false, false, true, rate);
+    } else if (sub == "pub-any") {
+      set(true, true, false, false, rate);
+    } else if (sub == "priv-any") {
+      set(false, false, true, true, rate);
+    } else if (sub == "any-pub") {
+      set(true, false, true, false, rate);
+    } else if (sub == "any-priv") {
+      set(false, true, false, true, rate);
+    } else {
+      fail("spec: loss pair must be one of pub-pub|pub-priv|priv-pub|"
+           "priv-priv|pub-any|priv-any|any-pub|any-priv|any (or a bare "
+           "uniform rate), got \"" + sub + "\"");
+    }
+  }
+  return loss;
+}
+
 }  // namespace
+
+net::LossConfig ExperimentSpec::LossSpec::to_config() const {
+  net::LossConfig cfg;
+  cfg.rate = {{{pub_pub, pub_priv}, {priv_pub, priv_priv}}};
+  cfg.after = from_s(after_s);
+  return cfg;
+}
 
 std::size_t ExperimentSpec::publics() const {
   return static_cast<std::size_t>(ratio * static_cast<double>(nodes) + 0.5);
@@ -109,12 +200,27 @@ void ExperimentSpec::validate() const {
   check(step_publics + step_privates == 0 || step_every_ms > 0.0,
         "step-every-ms must be positive");
   check(step_at_s >= 0.0, "step-at must be >= 0");
+  check(flash_publics + flash_privates == 0 || flash_over_s > 0.0,
+        "flash over must be positive");
+  check(flash_at_s >= 0.0, "flash at must be >= 0");
   check(churn >= 0.0 && churn < 1.0, "churn must be in [0, 1)");
   check(churn_at_s >= 0.0, "churn-at must be >= 0");
   check(catastrophe >= 0.0 && catastrophe <= 1.0,
         "catastrophe must be in [0, 1]");
   check(catastrophe_at_s >= 0.0, "catastrophe-at must be >= 0");
-  check(loss >= 0.0 && loss <= 1.0, "loss must be in [0, 1]");
+  check(failure_frac >= 0.0 && failure_frac <= 1.0,
+        "failure frac must be in [0, 1]");
+  check(failure_at_s >= 0.0, "failure at must be >= 0");
+  // Strictly below 1: a rate of 1.0 would silence a class pair outright
+  // and used to slip through to the Network's hard assert mid-trial;
+  // failing here keeps the error at parse/validate time.
+  for (const double rate : {loss.pub_pub, loss.pub_priv, loss.priv_pub,
+                            loss.priv_priv}) {
+    check(rate >= 0.0 && rate < 1.0,
+          "loss rates must be in [0, 1) — 1.0 would drop every packet of "
+          "a class pair");
+  }
+  check(loss.after_s >= 0.0, "loss after must be >= 0");
   check(skew >= 0.0 && skew < 1.0, "skew must be in [0, 1)");
   check(private_round_scale > 0.0, "private-round-scale must be positive");
   check(latency_ms > 0.0, "latency-ms must be positive");
@@ -149,11 +255,42 @@ std::string ExperimentSpec::to_string() const {
   emit_n("step-privates", step_privates, defaults.step_privates);
   emit_d("step-at", step_at_s, defaults.step_at_s);
   emit_d("step-every-ms", step_every_ms, defaults.step_every_ms);
+  if (flash_publics + flash_privates > 0 ||
+      flash_at_s != defaults.flash_at_s ||
+      flash_over_s != defaults.flash_over_s) {
+    out << " flash=at:" << fmt_double(flash_at_s) << ",publics:"
+        << flash_publics << ",privates:" << flash_privates << ",over:"
+        << fmt_double(flash_over_s);
+  }
   emit_d("churn", churn, defaults.churn);
   emit_d("churn-at", churn_at_s, defaults.churn_at_s);
   emit_d("catastrophe", catastrophe, defaults.catastrophe);
   emit_d("catastrophe-at", catastrophe_at_s, defaults.catastrophe_at_s);
-  emit_d("loss", loss, defaults.loss);
+  if (failure_frac != 0.0 || failure_at_s != defaults.failure_at_s ||
+      failure_corr != defaults.failure_corr) {
+    out << " failure=at:" << fmt_double(failure_at_s) << ",frac:"
+        << fmt_double(failure_frac) << ",corr:" << corr_name(failure_corr);
+  }
+  if (loss.is_uniform()) {
+    // The historic scalar form, byte-identical for every pre-existing
+    // spec (uniform zero is the default and stays omitted).
+    emit_d("loss", loss.pub_pub, 0.0);
+  } else {
+    out << " loss=";
+    const char* sep = "";
+    const auto emit_pair = [&](const char* pair, double rate) {
+      if (rate == 0.0) return;
+      out << sep << pair << ':' << fmt_double(rate);
+      sep = ",";
+    };
+    emit_pair("pub-pub", loss.pub_pub);
+    emit_pair("pub-priv", loss.pub_priv);
+    emit_pair("priv-pub", loss.priv_pub);
+    emit_pair("priv-priv", loss.priv_priv);
+    if (loss.after_s != 0.0) {
+      out << sep << "after:" << fmt_double(loss.after_s);
+    }
+  }
   emit_d("skew", skew, defaults.skew);
   emit_d("private-round-scale", private_round_scale,
          defaults.private_round_scale);
@@ -203,6 +340,24 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
       spec.step_at_s = parse_double(key, value);
     } else if (key == "step-every-ms") {
       spec.step_every_ms = parse_double(key, value);
+    } else if (key == "flash") {
+      const ExperimentSpec defaults;
+      spec.flash_publics = defaults.flash_publics;
+      spec.flash_privates = defaults.flash_privates;
+      spec.flash_at_s = defaults.flash_at_s;
+      spec.flash_over_s = defaults.flash_over_s;
+      for (const auto& [sub, text] : split_subkeys(key, value)) {
+        if (sub == "at") spec.flash_at_s = parse_double("flash at", text);
+        else if (sub == "publics")
+          spec.flash_publics = parse_size("flash publics", text);
+        else if (sub == "privates")
+          spec.flash_privates = parse_size("flash privates", text);
+        else if (sub == "over")
+          spec.flash_over_s = parse_double("flash over", text);
+        else
+          fail("spec: flash subkey must be at|publics|privates|over, got \"" +
+               sub + "\"");
+      }
     } else if (key == "churn") {
       spec.churn = parse_double(key, value);
     } else if (key == "churn-at") {
@@ -211,8 +366,32 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
       spec.catastrophe = parse_double(key, value);
     } else if (key == "catastrophe-at") {
       spec.catastrophe_at_s = parse_double(key, value);
+    } else if (key == "failure") {
+      const ExperimentSpec defaults;
+      spec.failure_frac = defaults.failure_frac;
+      spec.failure_at_s = defaults.failure_at_s;
+      spec.failure_corr = defaults.failure_corr;
+      for (const auto& [sub, text] : split_subkeys(key, value)) {
+        if (sub == "at") {
+          spec.failure_at_s = parse_double("failure at", text);
+        } else if (sub == "frac") {
+          spec.failure_frac = parse_double("failure frac", text);
+        } else if (sub == "corr") {
+          if (text == "uniform") spec.failure_corr = FailureCorr::Uniform;
+          else if (text == "region") spec.failure_corr = FailureCorr::Region;
+          else if (text == "public") spec.failure_corr = FailureCorr::Public;
+          else if (text == "private")
+            spec.failure_corr = FailureCorr::Private;
+          else
+            fail("spec: failure corr must be uniform|region|public|private, "
+                 "got \"" + text + "\"");
+        } else {
+          fail("spec: failure subkey must be at|frac|corr, got \"" + sub +
+               "\"");
+        }
+      }
     } else if (key == "loss") {
-      spec.loss = parse_double(key, value);
+      spec.loss = parse_loss(value);
     } else if (key == "skew") {
       spec.skew = parse_double(key, value);
     } else if (key == "private-round-scale") {
@@ -286,6 +465,15 @@ SpecBuilder& SpecBuilder::join_step(std::size_t publics, std::size_t privates,
   spec_.step_every_ms = every_ms;
   return *this;
 }
+SpecBuilder& SpecBuilder::flash_crowd(std::size_t publics,
+                                      std::size_t privates, double at_s,
+                                      double over_s) {
+  spec_.flash_publics = publics;
+  spec_.flash_privates = privates;
+  spec_.flash_at_s = at_s;
+  spec_.flash_over_s = over_s;
+  return *this;
+}
 SpecBuilder& SpecBuilder::churn(double fraction, double at_s) {
   spec_.churn = fraction;
   spec_.churn_at_s = at_s;
@@ -296,8 +484,15 @@ SpecBuilder& SpecBuilder::catastrophe(double fraction, double at_s) {
   spec_.catastrophe_at_s = at_s;
   return *this;
 }
-SpecBuilder& SpecBuilder::loss(double probability) {
-  spec_.loss = probability;
+SpecBuilder& SpecBuilder::correlated_failure(double fraction, double at_s,
+                                             ExperimentSpec::FailureCorr corr) {
+  spec_.failure_frac = fraction;
+  spec_.failure_at_s = at_s;
+  spec_.failure_corr = corr;
+  return *this;
+}
+SpecBuilder& SpecBuilder::loss(const ExperimentSpec::LossSpec& loss) {
+  spec_.loss = loss;
   return *this;
 }
 SpecBuilder& SpecBuilder::skew(double fraction) {
@@ -361,7 +556,7 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
 
   World::Config cfg;
   cfg.seed = seed;
-  cfg.loss_probability = spec_.loss;
+  cfg.loss = spec_.loss.to_config();
   cfg.round_period = from_ms(spec_.round_ms);
   cfg.clock_skew = spec_.skew;
   cfg.private_round_scale = spec_.private_round_scale;
@@ -375,23 +570,44 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
   world_ = std::make_unique<World>(
       cfg, ProtocolRegistry::instance().make_from_spec(spec_.protocol));
 
-  // Scheduling order mirrors what the benches always did by hand —
-  // joins, then churn, then catastrophe, then recorders — so a spec-built
-  // world replays a hand-built one event for event.
+  // The scenario pipeline. Scheduling order mirrors what the benches
+  // always did by hand — joins, then churn, then catastrophe, then
+  // recorders — so a spec-built world replays a hand-built one event for
+  // event; the new families (flash crowd, correlated failure) slot in
+  // after their nearest historic sibling and exist only in specs with no
+  // hand-built twin.
+  const auto arm = [this](std::unique_ptr<ScenarioProcess> process,
+                          sim::SimTime at) {
+    process->start(at);
+    scenario_.push_back(std::move(process));
+  };
+
   const std::size_t pubs = spec_.publics();
   const std::size_t privs = spec_.privates();
   switch (spec_.join) {
     case ExperimentSpec::JoinKind::Poisson:
-      schedule_poisson_joins(*world_, pubs, net::NatConfig::open(),
-                             from_ms(spec_.join_public_ms));
-      schedule_poisson_joins(*world_, privs, net::NatConfig::natted(),
-                             from_ms(spec_.join_private_ms));
+      if (pubs > 0) {
+        arm(JoinProcess::poisson(*world_, pubs, net::NatConfig::open(),
+                                 from_ms(spec_.join_public_ms)),
+            0);
+      }
+      if (privs > 0) {
+        arm(JoinProcess::poisson(*world_, privs, net::NatConfig::natted(),
+                                 from_ms(spec_.join_private_ms)),
+            0);
+      }
       break;
     case ExperimentSpec::JoinKind::Fixed:
-      schedule_fixed_joins(*world_, pubs, net::NatConfig::open(),
-                           from_ms(spec_.join_public_ms));
-      schedule_fixed_joins(*world_, privs, net::NatConfig::natted(),
-                           from_ms(spec_.join_private_ms));
+      if (pubs > 0) {
+        arm(JoinProcess::fixed(*world_, pubs, net::NatConfig::open(),
+                               from_ms(spec_.join_public_ms)),
+            0);
+      }
+      if (privs > 0) {
+        arm(JoinProcess::fixed(*world_, privs, net::NatConfig::natted(),
+                               from_ms(spec_.join_private_ms)),
+            0);
+      }
       break;
     case ExperimentSpec::JoinKind::Instant:
       // With the NAT-ID protocol on, the initial publics are operator
@@ -411,37 +627,42 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
   }
 
   if (spec_.step_publics > 0) {
-    schedule_fixed_joins(*world_, spec_.step_publics, net::NatConfig::open(),
-                         from_ms(spec_.step_every_ms),
-                         from_s(spec_.step_at_s));
+    arm(JoinProcess::fixed(*world_, spec_.step_publics,
+                           net::NatConfig::open(),
+                           from_ms(spec_.step_every_ms)),
+        from_s(spec_.step_at_s));
   }
   if (spec_.step_privates > 0) {
-    schedule_fixed_joins(*world_, spec_.step_privates,
-                         net::NatConfig::natted(),
-                         from_ms(spec_.step_every_ms),
-                         from_s(spec_.step_at_s));
+    arm(JoinProcess::fixed(*world_, spec_.step_privates,
+                           net::NatConfig::natted(),
+                           from_ms(spec_.step_every_ms)),
+        from_s(spec_.step_at_s));
+  }
+
+  if (spec_.flash_publics + spec_.flash_privates > 0) {
+    arm(std::make_unique<FlashCrowdProcess>(*world_, spec_.flash_publics,
+                                            spec_.flash_privates,
+                                            from_s(spec_.flash_over_s)),
+        from_s(spec_.flash_at_s));
   }
 
   if (spec_.churn > 0.0) {
-    churn_ = std::make_unique<ChurnProcess>(*world_, spec_.churn,
-                                            net::NatConfig::open(),
-                                            net::NatConfig::natted());
-    churn_->start(from_s(spec_.churn_at_s));
+    arm(std::make_unique<ChurnProcess>(*world_, spec_.churn,
+                                       net::NatConfig::open(),
+                                       net::NatConfig::natted()),
+        from_s(spec_.churn_at_s));
   }
 
   if (spec_.catastrophe > 0.0) {
-    // Double indirection on purpose: the hand-built fig7b ran the world
-    // up to the crash instant and only then scheduled the kill, so the
-    // kill executed after every already-queued event of that timestamp.
-    // Scheduling the real kill event from inside a same-time event
-    // reproduces that tie-break (fresh event ids sort last), keeping the
-    // spec-built world bit-compatible with the historic bench.
-    const sim::SimTime at = from_s(spec_.catastrophe_at_s);
-    const double fraction = spec_.catastrophe;
-    World* world = world_.get();
-    world_->simulator().schedule_at(at, [world, at, fraction] {
-      schedule_catastrophe(*world, at, fraction);
-    });
+    arm(std::make_unique<CatastropheProcess>(*world_, spec_.catastrophe),
+        from_s(spec_.catastrophe_at_s));
+  }
+
+  if (spec_.failure_frac > 0.0) {
+    arm(std::make_unique<CorrelatedFailureProcess>(*world_,
+                                                   spec_.failure_frac,
+                                                   spec_.failure_corr),
+        from_s(spec_.failure_at_s));
   }
 
   switch (spec_.record) {
@@ -466,6 +687,17 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
       break;
     }
   }
+}
+
+ScenarioProcess::Stats Experiment::scenario_stats() const {
+  ScenarioProcess::Stats total;
+  for (const auto& process : scenario_) {
+    const auto s = process->stats();
+    total.spawned += s.spawned;
+    total.killed += s.killed;
+    total.replaced += s.replaced;
+  }
+  return total;
 }
 
 }  // namespace croupier::run

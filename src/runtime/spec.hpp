@@ -21,6 +21,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "runtime/recorder.hpp"
 #include "runtime/scenario.hpp"
@@ -35,6 +36,37 @@ struct ExperimentSpec {
     Instant,  // all nodes spawn before t=0 events run
   };
   enum class RecordKind : std::uint8_t { None, Estimation, Graph };
+  /// How a correlated failure picks its victims (see
+  /// CorrelatedFailureProcess).
+  using FailureCorr = CorrelatedFailureProcess::Corr;
+
+  /// Message-loss conditions: one rate per (sender class, receiver
+  /// class) pair, optionally activating only after `after_s`. The
+  /// scalar form `loss=0.1` (and the implicit constructor) is uniform
+  /// loss from t=0 — the paper's model, byte-identical to the historic
+  /// scalar field. Rates live in [0, 1): a rate of 1 would have crashed
+  /// the Network's assert mid-trial, so validate() rejects it up front.
+  struct LossSpec {
+    double pub_pub = 0.0;
+    double pub_priv = 0.0;
+    double priv_pub = 0.0;
+    double priv_priv = 0.0;
+    double after_s = 0.0;
+
+    LossSpec() = default;
+    LossSpec(double p)  // NOLINT(google-explicit-constructor)
+        : pub_pub(p), pub_priv(p), priv_pub(p), priv_priv(p) {}
+
+    /// The net-layer form (rates into the matrix, seconds to SimTime) —
+    /// the one place the two representations are mapped.
+    [[nodiscard]] net::LossConfig to_config() const;
+
+    [[nodiscard]] bool lossless() const { return to_config().lossless(); }
+    [[nodiscard]] bool is_uniform() const {
+      return to_config().is_uniform();
+    }
+    friend bool operator==(const LossSpec&, const LossSpec&) = default;
+  };
 
   /// ProtocolRegistry spec, options included ("croupier:alpha=25,gamma=50").
   std::string protocol = "croupier";
@@ -57,6 +89,14 @@ struct ExperimentSpec {
   double step_at_s = 0.0;
   double step_every_ms = 42.0;
 
+  // Flash crowd: an extra join surge with a triangular (ramp-up,
+  // ramp-down) rate profile inside a window of flash_over_s seconds
+  // starting at flash_at_s.
+  std::size_t flash_publics = 0;
+  std::size_t flash_privates = 0;
+  double flash_at_s = 60.0;
+  double flash_over_s = 10.0;
+
   // Continuous churn (fraction of each class replaced per round).
   double churn = 0.0;
   double churn_at_s = 61.0;
@@ -65,8 +105,15 @@ struct ExperimentSpec {
   double catastrophe = 0.0;
   double catastrophe_at_s = 60.0;
 
+  // Correlated failure: a fraction of the system crashing at one
+  // instant as a structured cohort (latency region / NAT class) rather
+  // than a uniform sample.
+  double failure_frac = 0.0;
+  double failure_at_s = 60.0;
+  FailureCorr failure_corr = FailureCorr::Region;
+
   // Network conditions.
-  double loss = 0.0;
+  LossSpec loss;
   double skew = 0.01;                // World::Config::clock_skew
   double private_round_scale = 1.0;  // ablation_skew's adversarial bias
   World::LatencyKind latency = World::LatencyKind::King;
@@ -119,9 +166,14 @@ class SpecBuilder {
   SpecBuilder& instant_joins();
   SpecBuilder& join_step(std::size_t publics, std::size_t privates,
                          double at_s, double every_ms);
+  SpecBuilder& flash_crowd(std::size_t publics, std::size_t privates,
+                           double at_s, double over_s = 10.0);
   SpecBuilder& churn(double fraction, double at_s = 61.0);
   SpecBuilder& catastrophe(double fraction, double at_s);
-  SpecBuilder& loss(double probability);
+  SpecBuilder& correlated_failure(
+      double fraction, double at_s,
+      ExperimentSpec::FailureCorr corr = ExperimentSpec::FailureCorr::Region);
+  SpecBuilder& loss(const ExperimentSpec::LossSpec& loss);
   SpecBuilder& skew(double fraction);
   SpecBuilder& private_round_scale(double scale);
   SpecBuilder& king_latency();
@@ -141,11 +193,11 @@ class SpecBuilder {
   ExperimentSpec spec_;
 };
 
-/// One materialized run of a spec: owns the World, the scenario processes
-/// whose lifetime must span the run (churn), and the requested recorder.
-/// Construction schedules everything; run() plays the full horizon, or
-/// drive the simulator in slices with run_until() for mid-run
-/// measurements (overhead windows, meter resets).
+/// One materialized run of a spec: owns the World, the scenario pipeline
+/// (every membership dynamic of the spec as a ScenarioProcess), and the
+/// requested recorder. Construction schedules everything; run() plays
+/// the full horizon, or drive the simulator in slices with run_until()
+/// for mid-run measurements (overhead windows, meter resets).
 class Experiment {
  public:
   /// `world_jobs` picks the engine inside the single World (1 =
@@ -161,6 +213,17 @@ class Experiment {
   [[nodiscard]] const ExperimentSpec& spec() const { return spec_; }
   [[nodiscard]] World& world() { return *world_; }
 
+  /// The scheduled scenario processes, in scheduling order (joins, step
+  /// wave, flash crowd, churn, catastrophe, correlated failure).
+  [[nodiscard]] const std::vector<std::unique_ptr<ScenarioProcess>>&
+  scenario() const {
+    return scenario_;
+  }
+
+  /// Pipeline-wide totals (nodes spawned/killed/replaced by scenario
+  /// processes — joins included).
+  [[nodiscard]] ScenarioProcess::Stats scenario_stats() const;
+
   void run() { run_until(spec_.duration()); }
   void run_until(sim::SimTime t) { world_->run_until(t); }
 
@@ -175,7 +238,9 @@ class Experiment {
  private:
   ExperimentSpec spec_;
   std::unique_ptr<World> world_;
-  std::unique_ptr<ChurnProcess> churn_;
+  // Declared after world_ so the pipeline is destroyed first: processes
+  // may cancel their pending events, which needs the simulator alive.
+  std::vector<std::unique_ptr<ScenarioProcess>> scenario_;
   std::unique_ptr<EstimationRecorder> estimation_;
   std::unique_ptr<GraphStatsRecorder> graph_stats_;
 };

@@ -67,7 +67,8 @@ World::World(Config cfg, ProtocolFactory factory)
   }
   const sim::Duration min_latency = latency->min_latency();
   network_ = std::make_unique<net::Network>(
-      sim_, std::move(latency), master_rng_.fork(0x2E7), cfg_.loss_probability);
+      sim_, std::move(latency), master_rng_.fork(0x2E7),
+      net::make_loss_model(cfg_.loss));
 
   // Protocol traffic (tags < 0x80, non-NAT-ID) only ever touches the
   // receiving node's own state, so those deliveries shard by receiver.

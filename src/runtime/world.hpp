@@ -32,7 +32,9 @@ class World {
 
   struct Config {
     std::uint64_t seed = 1;
-    double loss_probability = 0.0;
+    /// Message-loss conditions (per-class-pair, optionally time-varying;
+    /// net::LossConfig::uniform(p) for the paper's flat probability).
+    net::LossConfig loss;
     sim::Duration round_period = sim::sec(1);
     /// Per-node round period is scaled by 1 ± clock_skew (uniform),
     /// standing in for the paper's "subject to clock skew".

@@ -172,7 +172,7 @@ TEST(Integration, CatastrophicFailureHurtsGozarMore) {
 
 TEST(Integration, LossDoesNotPartitionCroupier) {
   auto cfg = king_config(19);
-  cfg.loss_probability = 0.05;
+  cfg.loss = net::LossConfig::uniform(0.05);
   run::World world(cfg, run::make_croupier_factory(croupier_cfg()));
   populate(world, 20, 80);
   world.simulator().run_until(sim::sec(60));

@@ -85,6 +85,35 @@ TEST(Lifecycle, RepeatedCatastrophesWithRejoins) {
   EXPECT_GE(g.largest_component_fraction(), 0.9);
 }
 
+// Regression (PR 5): stop() used to leave the already-scheduled tick
+// live — it fired once more after stop, and a stop+restart stacked a
+// second tick chain on top of the zombie one (double replacement rate).
+TEST(Lifecycle, ChurnStopIsImmediateIdempotentAndRestartable) {
+  // An empty world makes the event count the churn tick count: every
+  // simulator event is a tick (quota is always zero, nothing gossips).
+  World world(fast_world_config(6), make_croupier_factory({}));
+  ChurnProcess churn(world, 0.5, net::NatConfig::open(),
+                     net::NatConfig::natted());
+  churn.start(sim::sec(1));
+  world.simulator().run_until(sim::msec(5200));  // ticks at 1..5 s
+  EXPECT_EQ(world.simulator().events_processed(), 5u);
+
+  churn.stop();
+  churn.stop();  // idempotent
+  EXPECT_FALSE(churn.running());
+  // Immediate: the tick already queued for t=6 s must not fire.
+  world.simulator().run_until(sim::msec(5900));
+  churn.start(sim::sec(6));  // restart before the zombie would have fired
+  world.simulator().run_until(sim::sec(10) + sim::msec(200));
+  // Exactly one chain: ticks at 6..10 s. With the zombie alive too, the
+  // two chains would have doubled this.
+  EXPECT_EQ(world.simulator().events_processed(), 10u);
+  churn.stop();
+  world.simulator().run_until(sim::sec(20));
+  EXPECT_EQ(world.simulator().events_processed(), 10u);
+  EXPECT_EQ(churn.replaced(), 0u);
+}
+
 TEST(Lifecycle, WholeWorldTeardownMidFlight) {
   // Destroying the world with thousands of in-flight events and pending
   // timeouts must be clean (ASan-visible if not).

@@ -153,6 +153,99 @@ TEST(Network, LossDropsRoughlyExpectedFraction) {
               sends * 0.05);
 }
 
+TEST(LossModel, FactoryPicksTheCheapestModel) {
+  EXPECT_EQ(make_loss_model(LossConfig{}), nullptr);
+  EXPECT_EQ(make_loss_model(LossConfig::uniform(0.0)), nullptr);
+
+  const auto uniform = make_loss_model(LossConfig::uniform(0.25));
+  ASSERT_NE(uniform, nullptr);
+  EXPECT_NE(dynamic_cast<UniformLoss*>(uniform.get()), nullptr);
+  EXPECT_EQ(uniform->probability(0, NatType::Public, NatType::Private),
+            0.25);
+
+  LossConfig structured;
+  structured.rate = {{{0.0, 0.0}, {0.4, 0.4}}};  // private senders only
+  const auto model = make_loss_model(structured);
+  ASSERT_NE(model, nullptr);
+  EXPECT_NE(dynamic_cast<ClassPairLoss*>(model.get()), nullptr);
+}
+
+TEST(LossModel, ClassPairRatesAndActivationTime) {
+  LossConfig cfg;
+  cfg.rate = {{{0.1, 0.0}, {0.4, 0.3}}};
+  cfg.after = sec(90);
+  const ClassPairLoss model(cfg);
+  // Loss-free before the activation instant, per-pair rates from it on.
+  EXPECT_EQ(model.probability(sec(89), NatType::Private, NatType::Public),
+            0.0);
+  EXPECT_EQ(model.probability(sec(90), NatType::Private, NatType::Public),
+            0.4);
+  EXPECT_EQ(model.probability(sec(90), NatType::Public, NatType::Public),
+            0.1);
+  EXPECT_EQ(model.probability(sec(90), NatType::Public, NatType::Private),
+            0.0);
+  EXPECT_EQ(model.probability(sec(90), NatType::Private, NatType::Private),
+            0.3);
+}
+
+TEST(Network, ClassPairLossDropsOnlyTheConfiguredDirection) {
+  // Private->public packets drop at 50%; public->private replies are
+  // untouched (asymmetric loss, the estimator's third-assumption
+  // violation the bench sweeps measure).
+  sim::Simulator sim;
+  LossConfig cfg;
+  cfg.rate = {{{0.0, 0.0}, {0.5, 0.5}}};
+  Network net(sim, std::make_unique<ConstantLatency>(msec(10)),
+              sim::RngStream(7), make_loss_model(cfg));
+  Inbox pub_inbox, priv_inbox;
+  net.attach(1, NatConfig::open(), pub_inbox);
+  net.attach(2, NatConfig::natted(), priv_inbox);
+
+  const int sends = 2000;
+  for (int i = 0; i < sends; ++i) {
+    net.send(2, 1, std::make_shared<TestMsg>());  // lossy direction
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(net.drops().loss), sends * 0.5,
+              sends * 0.05);
+  const auto survived = pub_inbox.received.size();
+  EXPECT_NEAR(static_cast<double>(survived), sends * 0.5, sends * 0.05);
+
+  // Reverse direction (2's NAT mapping toward 1 is open): loss-free.
+  const auto dropped_before = net.drops().loss;
+  for (int i = 0; i < 100; ++i) {
+    net.send(1, 2, std::make_shared<TestMsg>());
+  }
+  sim.run();
+  EXPECT_EQ(net.drops().loss, dropped_before);
+  EXPECT_EQ(priv_inbox.received.size(), 100u);
+}
+
+TEST(Network, TimeVaryingLossActivatesMidRun) {
+  sim::Simulator sim;
+  LossConfig cfg;
+  cfg.rate = {{{0.5, 0.5}, {0.5, 0.5}}};
+  cfg.after = sec(10);
+  Network net(sim, std::make_unique<ConstantLatency>(msec(10)),
+              sim::RngStream(11), make_loss_model(cfg));
+  Inbox a, b;
+  net.attach(1, NatConfig::open(), a);
+  net.attach(2, NatConfig::open(), b);
+
+  for (int i = 0; i < 500; ++i) {
+    net.send(1, 2, std::make_shared<TestMsg>());
+  }
+  sim.run();
+  EXPECT_EQ(net.drops().loss, 0u);  // before activation: loss-free
+
+  sim.run_until(sec(10));
+  for (int i = 0; i < 500; ++i) {
+    net.send(1, 2, std::make_shared<TestMsg>());
+  }
+  sim.run();
+  EXPECT_NEAR(static_cast<double>(net.drops().loss), 250.0, 40.0);
+}
+
 TEST(Network, TrafficChargedWithHeaders) {
   Fixture f;
   f.net->attach(1, NatConfig::open(), f.inbox_a);

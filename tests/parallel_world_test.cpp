@@ -204,6 +204,55 @@ TEST(ParallelWorldDeterminism, CatastropheUnderGozar) {
   expect_engine_equivalence(spec, 3);
 }
 
+TEST(ParallelWorldDeterminism, FlashCrowdSurge) {
+  // A join surge ramping up and down mid-run: a long train of
+  // serial-affinity spawn events interleaved with node-affine gossip —
+  // the barrier-heavy shape for the batch former.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier:alpha=25,gamma=50")
+                        .nodes(200)
+                        .ratio(0.2)
+                        .flash_crowd(80, 20, 20.0, 8.0)
+                        .duration(45)
+                        .build();
+  expect_engine_equivalence(spec, 13);
+}
+
+TEST(ParallelWorldDeterminism, RegionCorrelatedFailure) {
+  // A latency-correlated cohort kill: one serial event that reads the
+  // latency model and the scenario RNG, then mass-detaches — everything
+  // after it must replay identically.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(250)
+                        .ratio(0.2)
+                        .correlated_failure(
+                            0.4, 20.0,
+                            run::ExperimentSpec::FailureCorr::Region)
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 23);
+}
+
+TEST(ParallelWorldDeterminism, StructuredTimeVaryingLoss) {
+  // Per-class-pair loss switching on mid-run: the loss die starts
+  // rolling (and consuming network RNG) only for some packets from
+  // t=15 s — the draw pattern must stay identical across engines.
+  run::ExperimentSpec::LossSpec loss;
+  loss.pub_pub = 0.05;
+  loss.priv_pub = 0.3;
+  loss.priv_priv = 0.3;
+  loss.after_s = 15.0;
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(250)
+                        .ratio(0.2)
+                        .loss(loss)
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 29);
+}
+
 TEST(ParallelWorldDeterminism, ZeroMinLatencyDegeneratesToSameTimestamp) {
   // A constant latency that rounds to 0 us gives min_latency() == 0: the
   // lookahead clamps to 1 us and every batch is same-timestamp only.

@@ -1,0 +1,205 @@
+// ScenarioProcess subsystem: the composable workload pipeline — flash
+// crowds, correlated failures, churn quota-carry edge cases, and the
+// uniform start/stop/stats lifecycle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/scenario.hpp"
+#include "runtime/spec.hpp"
+#include "test_util.hpp"
+
+namespace croupier::run {
+namespace {
+
+using croupier::testing::fast_world_config;
+using croupier::testing::populate;
+
+// Regression (PR 5): a churn quota carry accrued while a class was
+// populated used to survive the class going extinct, burst-replacing the
+// first node of that class to reappear.
+TEST(Churn, CarryIsDroppedWhileAClassIsEmpty) {
+  World world(fast_world_config(9), make_croupier_factory({}));
+  for (int i = 0; i < 3; ++i) world.spawn(net::NatConfig::open());
+  const auto lone_private = world.spawn(net::NatConfig::natted());
+
+  ChurnProcess churn(world, 0.95, net::NatConfig::open(),
+                     net::NatConfig::natted());
+  churn.start(sim::sec(1));
+  // First tick (t=1 s): the private carry accrues 0.95 — below quota, so
+  // the lone private survives it.
+  world.simulator().run_until(sim::msec(1500));
+  ASSERT_TRUE(world.alive(lone_private));
+  world.kill(lone_private);
+
+  // Two ticks with zero privates: the stale 0.95 must be dropped, not
+  // kept simmering.
+  world.simulator().run_until(sim::msec(3500));
+  const auto fresh = world.spawn(net::NatConfig::natted());
+  // Next tick accrues only this tick's 0.95 — still below quota. With
+  // the stale carry kept, it would reach 1.9 and replace `fresh`
+  // immediately.
+  world.simulator().run_until(sim::msec(4500));
+  EXPECT_TRUE(world.alive(fresh));
+  churn.stop();
+}
+
+TEST(FlashCrowd, RampSpreadsArrivalsAcrossTheWindow) {
+  // 60 extra nodes over a 4 s window starting at t=5 s: the triangular
+  // profile puts exactly half the arrivals in the first half-window.
+  Experiment experiment(SpecBuilder()
+                            .protocol("croupier")
+                            .nodes(20)
+                            .ratio(0.5)
+                            .instant_joins()
+                            .flash_crowd(30, 10, 5.0, 4.0)
+                            .duration(10)
+                            .record_nothing()
+                            .build(),
+                        17);
+  experiment.run_until(sim::sec(5));
+  EXPECT_EQ(experiment.world().alive_count(), 20u);  // surge not started
+  experiment.run_until(sim::sec(7));                 // window midpoint
+  EXPECT_EQ(experiment.world().alive_count(), 40u);  // exactly half in
+  experiment.run_until(sim::sec(10));
+  EXPECT_EQ(experiment.world().alive_count(), 60u);  // everyone arrived
+  EXPECT_EQ(experiment.scenario_stats().spawned, 40u);
+}
+
+TEST(FlashCrowd, StopHaltsTheSurgeImmediately) {
+  World world(fast_world_config(13), make_croupier_factory({}));
+  populate(world, 5, 5);
+  FlashCrowdProcess flash(world, 20, 0, sim::sec(10));
+  flash.start(sim::sec(1));
+  world.simulator().run_until(sim::sec(6));  // half the window elapsed
+  EXPECT_EQ(flash.stats().spawned, 10u);
+  flash.stop();
+  flash.stop();  // idempotent
+  world.simulator().run_until(sim::sec(20));
+  EXPECT_EQ(flash.stats().spawned, 10u);  // queued arrivals were inert
+  EXPECT_EQ(world.alive_count(), 20u);
+
+  // Restart resumes the remaining crowd exactly once (no replay of the
+  // 10 that already joined, no resurrection of the old inert arrivals).
+  flash.start(sim::sec(30));
+  world.simulator().run_until(sim::sec(45));
+  EXPECT_EQ(flash.stats().spawned, 20u);
+  EXPECT_EQ(world.alive_count(), 30u);
+}
+
+TEST(CorrelatedFailure, RegionCohortIsLatencyCompact) {
+  auto cfg = fast_world_config(11);
+  cfg.latency = World::LatencyKind::Coordinate;
+  World world(cfg, make_croupier_factory({}));
+  populate(world, 10, 40);
+  const std::vector<net::NodeId> everyone = world.alive_ids();
+
+  CorrelatedFailureProcess failure(world, 0.3,
+                                   CorrelatedFailureProcess::Corr::Region);
+  failure.start(sim::sec(5));
+  world.simulator().run_until(sim::sec(5) + sim::msec(1));
+  EXPECT_EQ(world.alive_count(), 35u);  // floor(0.3 * 50)
+  EXPECT_EQ(failure.stats().killed, 15u);
+
+  // The cohort is a latency neighbourhood: victims sit closer to each
+  // other (in the model's deterministic metric) than the population at
+  // large does on average.
+  const auto& latency = world.network().latency_model();
+  const auto mean_pairwise = [&latency](const std::vector<net::NodeId>& ids) {
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      for (std::size_t j = i + 1; j < ids.size(); ++j) {
+        sum += static_cast<double>(latency.base_latency(ids[i], ids[j]));
+        ++pairs;
+      }
+    }
+    return sum / static_cast<double>(pairs);
+  };
+  std::vector<net::NodeId> victims;
+  for (const net::NodeId id : everyone) {
+    if (!world.alive(id)) victims.push_back(id);
+  }
+  ASSERT_EQ(victims.size(), 15u);
+  EXPECT_LT(mean_pairwise(victims), mean_pairwise(everyone));
+}
+
+TEST(CorrelatedFailure, UniformModeMatchesCatastropheSampling) {
+  // Same seed, same fraction: the uniform cohort must replay the historic
+  // schedule_catastrophe draw for draw.
+  const auto survivors_with = [](bool historic) {
+    World world(fast_world_config(21), make_croupier_factory({}));
+    populate(world, 10, 40);
+    CorrelatedFailureProcess failure(
+        world, 0.5, CorrelatedFailureProcess::Corr::Uniform);
+    if (historic) {
+      schedule_catastrophe(world, sim::sec(5), 0.5);
+    } else {
+      failure.start(sim::sec(5));
+    }
+    world.simulator().run_until(sim::sec(5) + sim::msec(1));
+    return world.alive_ids();
+  };
+  EXPECT_EQ(survivors_with(true), survivors_with(false));
+}
+
+// Restart contract: start() after stop() must not resurrect events of
+// the stopped arming still sitting in the queue.
+TEST(ScenarioLifecycle, CatastropheRestartDoesNotResurrectOldSchedule) {
+  World world(fast_world_config(31), make_croupier_factory({}));
+  populate(world, 5, 20);
+  CatastropheProcess failure(world, 0.4);
+  failure.start(sim::sec(5));
+  world.simulator().run_until(sim::sec(1));
+  failure.stop();
+  failure.start(sim::sec(10));  // the t=5 events are still queued
+  world.simulator().run_until(sim::sec(6));
+  EXPECT_EQ(world.alive_count(), 25u);  // old schedule stayed dead
+  world.simulator().run_until(sim::sec(10) + sim::msec(1));
+  EXPECT_EQ(world.alive_count(), 15u);  // only the restart fired
+  EXPECT_EQ(failure.stats().killed, 10u);
+}
+
+TEST(ScenarioLifecycle, JoinRestartDoesNotStackChains) {
+  World world(fast_world_config(33), make_croupier_factory({}));
+  auto join = JoinProcess::fixed(world, 10, net::NatConfig::natted(),
+                                 sim::sec(1));
+  join->start(0);
+  world.simulator().run_until(sim::msec(2500));  // spawns at t=0, 1, 2 s
+  EXPECT_EQ(join->stats().spawned, 3u);
+  join->stop();
+  join->start(sim::sec(5));
+  // The zombie chain's tick at t=3 s must stay dead; the restarted
+  // chain resumes the remaining quota at t=5 s.
+  world.simulator().run_until(sim::msec(4500));
+  EXPECT_EQ(join->stats().spawned, 3u);
+  world.simulator().run_until(sim::sec(5) + sim::msec(100));
+  EXPECT_EQ(join->stats().spawned, 4u);
+  EXPECT_EQ(world.alive_count(), 4u);
+}
+
+TEST(ScenarioPipeline, ExperimentExposesItsProcesses) {
+  Experiment experiment(SpecBuilder()
+                            .protocol("croupier")
+                            .nodes(40)
+                            .ratio(0.25)
+                            .flash_crowd(10, 10, 15.0, 2.0)
+                            .churn(0.01, 10)
+                            .correlated_failure(
+                                0.2, 20, ExperimentSpec::FailureCorr::Private)
+                            .duration(25)
+                            .record_nothing()
+                            .build(),
+                        5);
+  // Poisson pubs + poisson privs + flash + churn + failure.
+  EXPECT_EQ(experiment.scenario().size(), 5u);
+  experiment.run();
+  const auto stats = experiment.scenario_stats();
+  EXPECT_EQ(stats.spawned, 40u + 20u);   // joins + the full surge
+  EXPECT_EQ(stats.killed, 12u);          // floor(0.2 * 60)
+  EXPECT_GT(stats.replaced, 0u);
+  EXPECT_EQ(experiment.world().alive_count(), 60u - 12u);
+}
+
+}  // namespace
+}  // namespace croupier::run

@@ -73,6 +73,125 @@ TEST(ExperimentSpec, ParseRejectsUnknownKeysAndBadValues) {
                std::invalid_argument);
 }
 
+// Regression (PR 5): the Network hard-asserts every loss rate < 1.0, but
+// validate() used to accept loss=1.0 — a lab spec could crash a trial
+// worker mid-run instead of failing fast at parse time.
+TEST(ExperimentSpec, LossRateOneIsRejectedAtValidateTime) {
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=1.0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=1"), std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=priv-any:1.0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().loss(1.0).build(), std::invalid_argument);
+  EXPECT_NO_THROW((void)ExperimentSpec::parse("loss=0.999"));
+}
+
+TEST(ExperimentSpec, StructuredLossParsesAndRoundTrips) {
+  const auto spec =
+      ExperimentSpec::parse("loss=pub-pub:0.1,priv-any:0.4,after:90");
+  EXPECT_EQ(spec.loss.pub_pub, 0.1);
+  EXPECT_EQ(spec.loss.pub_priv, 0.0);
+  EXPECT_EQ(spec.loss.priv_pub, 0.4);
+  EXPECT_EQ(spec.loss.priv_priv, 0.4);
+  EXPECT_EQ(spec.loss.after_s, 90.0);
+  EXPECT_FALSE(spec.loss.is_uniform());
+  // Canonical form: explicit pairs, zero pairs omitted, fixed order.
+  EXPECT_EQ(ExperimentSpec::parse(spec.to_string()), spec)
+      << spec.to_string();
+  EXPECT_NE(spec.to_string().find(
+                "loss=pub-pub:0.1,priv-pub:0.4,priv-priv:0.4,after:90"),
+            std::string::npos);
+
+  // A bare rate inside the comma list is the uniform shorthand.
+  const auto delayed = ExperimentSpec::parse("loss=0.2,after:50");
+  EXPECT_EQ(delayed.loss.pub_pub, 0.2);
+  EXPECT_EQ(delayed.loss.priv_priv, 0.2);
+  EXPECT_EQ(delayed.loss.after_s, 50.0);
+  EXPECT_EQ(ExperimentSpec::parse(delayed.to_string()), delayed);
+
+  // The scalar form stays byte-identical to the historic field.
+  const auto uniform = ExperimentSpec::parse("loss=0.05");
+  EXPECT_TRUE(uniform.loss.is_uniform());
+  EXPECT_NE(uniform.to_string().find("loss=0.05"), std::string::npos);
+  EXPECT_EQ(uniform.to_string().find("pub-pub"), std::string::npos);
+}
+
+TEST(ExperimentSpec, StructuredLossRejectsMalformedValues) {
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=pub:0.1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=pub-pub:"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=pub-pub:abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=0.1,,after:3"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("loss=after:-5"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, FlashCrowdParsesValidatesAndRoundTrips) {
+  const auto spec = ExperimentSpec::parse(
+      "flash=at:120,publics:500,privates:125,over:10 duration=200");
+  EXPECT_EQ(spec.flash_publics, 500u);
+  EXPECT_EQ(spec.flash_privates, 125u);
+  EXPECT_EQ(spec.flash_at_s, 120.0);
+  EXPECT_EQ(spec.flash_over_s, 10.0);
+  EXPECT_EQ(ExperimentSpec::parse(spec.to_string()), spec)
+      << spec.to_string();
+
+  EXPECT_THROW((void)ExperimentSpec::parse("flash=publics:10,over:0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("flash=bogus:1"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("flash=publics:ten"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, CorrelatedFailureParsesValidatesAndRoundTrips) {
+  const auto spec =
+      ExperimentSpec::parse("failure=at:60,frac:0.3,corr:private");
+  EXPECT_EQ(spec.failure_frac, 0.3);
+  EXPECT_EQ(spec.failure_at_s, 60.0);
+  EXPECT_EQ(spec.failure_corr, ExperimentSpec::FailureCorr::Private);
+  EXPECT_EQ(ExperimentSpec::parse(spec.to_string()), spec)
+      << spec.to_string();
+
+  // Subkeys are optional: corr defaults to region, at to 60.
+  const auto minimal = ExperimentSpec::parse("failure=frac:0.5");
+  EXPECT_EQ(minimal.failure_corr, ExperimentSpec::FailureCorr::Region);
+  EXPECT_EQ(minimal.failure_at_s, 60.0);
+  EXPECT_EQ(ExperimentSpec::parse(minimal.to_string()), minimal);
+
+  EXPECT_THROW((void)ExperimentSpec::parse("failure=frac:1.5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("failure=corr:sideways"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("failure=when:5"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, NewScenarioFamiliesRoundTripFullyLoaded) {
+  ExperimentSpec::LossSpec loss;
+  loss.pub_pub = 0.01;
+  loss.priv_pub = 0.3;
+  loss.priv_priv = 0.25;
+  loss.after_s = 42.5;
+  const auto spec =
+      SpecBuilder()
+          .protocol("croupier")
+          .nodes(800)
+          .ratio(0.25)
+          .flash_crowd(200, 50, 33.5, 7.25)
+          .correlated_failure(0.4, 90,
+                              ExperimentSpec::FailureCorr::Public)
+          .loss(loss)
+          .duration(150)
+          .build();
+  const auto text = spec.to_string();
+  EXPECT_EQ(ExperimentSpec::parse(text), spec) << text;
+  EXPECT_EQ(ExperimentSpec::parse(text).to_string(), text);
+}
+
 TEST(ExperimentSpec, ValidateRejectsOutOfRangeFields) {
   EXPECT_THROW((void)SpecBuilder().nodes(0).build(), std::invalid_argument);
   EXPECT_THROW((void)SpecBuilder().ratio(-0.1).build(),
@@ -201,6 +320,59 @@ TEST(Experiment, CatastropheKillsTheRequestedFraction) {
                         3);
   experiment.run();
   EXPECT_EQ(experiment.world().alive_count(), 40u);
+}
+
+TEST(Experiment, CorrelatedFailureKillsTheRequestedFraction) {
+  Experiment experiment(SpecBuilder()
+                            .protocol("croupier")
+                            .nodes(100)
+                            .ratio(0.2)
+                            .instant_joins()
+                            .correlated_failure(
+                                0.6, 10, ExperimentSpec::FailureCorr::Region)
+                            .duration(10.001)
+                            .record_nothing()
+                            .build(),
+                        3);
+  experiment.run();
+  EXPECT_EQ(experiment.world().alive_count(), 40u);
+  EXPECT_EQ(experiment.scenario_stats().killed, 60u);
+}
+
+TEST(Experiment, ClassBiasedFailureSparesTheOtherClassUntilExhausted) {
+  // 20 publics / 80 privates; a private-biased kill of 40% (40 nodes)
+  // fits inside the private class, so every public survives.
+  Experiment spare(SpecBuilder()
+                       .protocol("croupier")
+                       .nodes(100)
+                       .ratio(0.2)
+                       .instant_joins()
+                       .correlated_failure(
+                           0.4, 10, ExperimentSpec::FailureCorr::Private)
+                       .duration(10.001)
+                       .record_nothing()
+                       .build(),
+                   7);
+  spare.run();
+  EXPECT_EQ(spare.world().alive_count(), 60u);
+  EXPECT_EQ(spare.world().count(net::NatType::Public), 20u);
+
+  // A public-biased kill of 40% (40 nodes) exhausts the 20 publics and
+  // spills the remaining quota into the privates.
+  Experiment spill(SpecBuilder()
+                       .protocol("croupier")
+                       .nodes(100)
+                       .ratio(0.2)
+                       .instant_joins()
+                       .correlated_failure(
+                           0.4, 10, ExperimentSpec::FailureCorr::Public)
+                       .duration(10.001)
+                       .record_nothing()
+                       .build(),
+                   7);
+  spill.run();
+  EXPECT_EQ(spill.world().alive_count(), 60u);
+  EXPECT_EQ(spill.world().count(net::NatType::Public), 0u);
 }
 
 TEST(Experiment, GraphRecordingProducesSeries) {

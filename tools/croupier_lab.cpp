@@ -49,11 +49,24 @@ constexpr const char* kUsage =
     "  --join-public-ms=MS --join-private-ms=MS   inter-arrival times\n"
     "  --step-publics=N --step-privates=N   second join wave sizes\n"
     "  --step-at=S --step-every-ms=MS        wave start / interval\n"
+    "  --flash=at:S,publics:N,privates:N,over:S   flash crowd: a join\n"
+    "                             surge ramping up then down inside the\n"
+    "                             window (e.g. at:120,publics:500,\n"
+    "                             privates:125,over:10)\n"
     "  --churn=F                  fraction replaced per round (default 0)\n"
     "  --churn-at=S               churn start (default 61)\n"
     "  --catastrophe=F            fraction crashing at one instant\n"
     "  --catastrophe-at=S         crash time (default 60)\n"
-    "  --loss=P                   uniform message loss probability\n"
+    "  --failure=at:S,frac:F,corr:C   correlated failure: frac of the\n"
+    "                             system crashes as one cohort; corr is\n"
+    "                             uniform|region|public|private\n"
+    "                             (region = a contiguous latency\n"
+    "                             neighbourhood around a random\n"
+    "                             epicenter)\n"
+    "  --loss=P | --loss=pub-pub:P,priv-any:P,...,after:S\n"
+    "                             uniform or per-class-pair message loss\n"
+    "                             (pairs are sender-receiver with `any`\n"
+    "                             wildcards; after delays activation)\n"
     "  --skew=S                   clock skew fraction (default 0.01)\n"
     "  --private-round-scale=X    slow private rounds by X (default 1)\n"
     "  --latency=king|constant|coordinate   latency model (default king)\n"
@@ -87,8 +100,9 @@ struct LabFlags {
     static constexpr const char* kSpecKeys[] = {
         "nodes",          "ratio",        "join",        "join-public-ms",
         "join-private-ms", "step-publics", "step-privates", "step-at",
-        "step-every-ms",  "churn",        "churn-at",    "catastrophe",
-        "catastrophe-at", "loss",         "skew",        "private-round-scale",
+        "step-every-ms",  "flash",        "churn",       "churn-at",
+        "catastrophe",    "catastrophe-at", "failure",   "loss",
+        "skew",           "private-round-scale",
         "latency",        "latency-ms",   "round-ms",    "duration",
         "record",         "record-every",
     };
