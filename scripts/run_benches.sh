@@ -21,6 +21,8 @@
 #                                     bench reports it)
 #   fig_benches.<name>.wall_seconds   --fast --runs=$RUNS wall clock per
 #                                     bench
+#   fig_benches.<name>.peak_rss_bytes bench-process peak resident set
+#                                     (ru_maxrss of the child)
 set -euo pipefail
 
 # Resolve the output path against the caller's cwd before cd-ing away.
@@ -61,11 +63,23 @@ for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
   if [ -n "$CSV_DIR" ]; then
     csv_flag=(--csv="$CSV_DIR/$name.csv")
   fi
-  start=$(date +%s.%N)
-  "$bench" --fast --runs="$RUNS" --jobs="$JOBS" "${csv_flag[@]}" >/dev/null
-  end=$(date +%s.%N)
-  echo "$name $(echo "$end $start" | awk '{printf "%.3f", $1 - $2}')" \
-    | tee -a "$FIG"
+  # Wall clock and peak RSS in one measurement: the wrapper waits on the
+  # bench and reads RUSAGE_CHILDREN afterwards (each bench is the only
+  # child, so ru_maxrss is its high-water mark).
+  python3 - "$name" "$bench" --fast --runs="$RUNS" --jobs="$JOBS" \
+    "${csv_flag[@]}" <<'PY' | tee -a "$FIG"
+import resource
+import subprocess
+import sys
+import time
+
+name = sys.argv[1]
+start = time.monotonic()
+subprocess.run(sys.argv[2:], check=True, stdout=subprocess.DEVNULL)
+wall = time.monotonic() - start
+peak_kib = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(f"{name} {wall:.3f} {peak_kib * 1024}")
+PY
 done
 
 python3 - "$RAW" "$FIG" "$OUT" <<'PY'
@@ -93,8 +107,11 @@ for b in raw["benchmarks"]:
 fig_benches = {}
 with open(fig_path) as f:
     for line in f:
-        name, secs = line.split()
-        fig_benches[name] = {"wall_seconds": float(secs)}
+        name, secs, rss = line.split()
+        fig_benches[name] = {
+            "wall_seconds": float(secs),
+            "peak_rss_bytes": int(rss),
+        }
 
 out = {
     "schema": "croupier-bench-v1",

@@ -116,7 +116,7 @@ GozarRelayedRes GozarRelayedRes::decode(wire::Reader& r) {
 }
 
 Gozar::Gozar(Context ctx, GozarConfig cfg)
-    : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.base.view_size) {
+    : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.base.view_size, ctx_.arena) {
   CROUPIER_ASSERT(cfg_.num_parents > 0);
   CROUPIER_ASSERT(cfg_.base.shuffle_size > 0 &&
                   cfg_.base.shuffle_size <= cfg_.base.view_size);

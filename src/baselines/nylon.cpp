@@ -101,7 +101,7 @@ NylonConnect NylonConnect::decode(wire::Reader& r) {
 }
 
 Nylon::Nylon(Context ctx, NylonConfig cfg)
-    : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.base.view_size) {
+    : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.base.view_size, ctx_.arena) {
   CROUPIER_ASSERT(cfg_.base.shuffle_size > 0 &&
                   cfg_.base.shuffle_size <= cfg_.base.view_size);
   CROUPIER_ASSERT(cfg_.keepalive_rounds > 0);
@@ -301,8 +301,8 @@ void Nylon::handle_punch_req(net::NodeId from, const NylonPunchReq& punch) {
   // state first, then the live view as a fallback.
   net::NodeId next = route_to(punch.target);
   if (next == net::kNilNode || next == from) {
-    const auto* desc = view_.find(punch.target);
-    if (desc != nullptr) next = desc->learned_from;
+    const auto desc = view_.find(punch.target);
+    if (desc.has_value()) next = desc->learned_from;
   }
   if (next == net::kNilNode || next == self() || next == from) {
     return;  // chain broken: the exchange fails

@@ -45,8 +45,8 @@ CroupierShuffleRes CroupierShuffleRes::decode(wire::Reader& r) {
 Croupier::Croupier(Context ctx, CroupierConfig cfg)
     : PeerSampler(std::move(ctx)),
       cfg_(cfg),
-      view_u_(cfg.base.view_size),
-      view_v_(cfg.base.view_size),
+      view_u_(cfg.base.view_size, ctx_.arena),
+      view_v_(cfg.base.view_size, ctx_.arena),
       estimator_(self(), nat_type(), cfg.estimator) {
   CROUPIER_ASSERT(cfg_.base.shuffle_size > 0);
   CROUPIER_ASSERT(cfg_.base.shuffle_size <= cfg_.base.view_size);

@@ -32,10 +32,17 @@ std::pair<std::uint8_t, std::uint8_t> quantize(std::uint32_t pub,
 }  // namespace
 
 void encode(wire::Writer& w, const EstimateEntry& e) {
-  CROUPIER_ASSERT_MSG(e.origin <= 0xffff,
-                      "estimate wire format carries 16-bit node ids");
+  // Paper §VI carries 2 B origin ids, enough for every paper-scale
+  // experiment. Worlds past 64Ki publics (the fig3 --mega sweep) escape
+  // through the 0xffff sentinel to a 4 B id; origins below the sentinel
+  // encode byte-identically to the fixed 2 B format.
   const auto [pub, priv] = quantize(e.pub_hits, e.priv_hits);
-  w.u16(static_cast<std::uint16_t>(e.origin));
+  if (e.origin < 0xffff) {
+    w.u16(static_cast<std::uint16_t>(e.origin));
+  } else {
+    w.u16(0xffff);
+    w.u32(e.origin);
+  }
   w.u8(pub);
   w.u8(priv);
   w.u8(static_cast<std::uint8_t>(std::min<std::uint16_t>(e.age, 0xff)));
@@ -44,6 +51,7 @@ void encode(wire::Writer& w, const EstimateEntry& e) {
 EstimateEntry decode_estimate(wire::Reader& r) {
   EstimateEntry e;
   e.origin = r.u16();
+  if (e.origin == 0xffff) e.origin = r.u32();
   e.pub_hits = r.u8();
   e.priv_hits = r.u8();
   e.age = r.u8();

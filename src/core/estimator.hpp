@@ -14,7 +14,10 @@
 //   private node: Ê(ω) =  Σ_{m∈M} E_m / |M|                  (eq. 9)
 //
 // Wire format per shared entry is 5 bytes (paper §VI: 2 B origin id, 1 B
-// public hits, 1 B private hits, 1 B age). Internal counts are exact;
+// public hits, 1 B private hits, 1 B age); origins past 16 bits —
+// million-node worlds — escape to 4 B through the 0xffff sentinel
+// without perturbing a single byte of smaller worlds. Internal counts
+// are exact;
 // encoding quantizes proportionally into the byte range, which preserves
 // the ratio to ~1/255 — noise that averages out across M.
 #pragma once

@@ -1,0 +1,43 @@
+#include "exp/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#define CROUPIER_HAVE_GETRUSAGE 1
+#endif
+
+namespace croupier::exp {
+
+std::uint64_t current_rss_bytes() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::uint64_t kib = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      // Format: "VmRSS:     123456 kB"
+      std::sscanf(line + 6, "%lu", &kib);  // NOLINT(cert-err34-c)
+      break;
+    }
+  }
+  std::fclose(f);
+  return kib * 1024;
+}
+
+std::uint64_t peak_rss_bytes() {
+#ifdef CROUPIER_HAVE_GETRUSAGE
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace croupier::exp

@@ -1,0 +1,24 @@
+// Process-memory introspection for the scale benches.
+//
+// Two complementary numbers: current_rss_bytes() reads VmRSS from
+// /proc/self/status (instantaneous resident set, what a per-point
+// "memory right now" column wants) and peak_rss_bytes() reads
+// ru_maxrss from getrusage (high-water mark over the whole process,
+// what a "did the 10^6-node point fit" check wants). Both return 0 on
+// platforms/filesystems where the source is unavailable rather than
+// failing — memory columns are reporting, never control flow.
+#pragma once
+
+#include <cstdint>
+
+namespace croupier::exp {
+
+/// Instantaneous resident set size of this process in bytes (VmRSS),
+/// or 0 if /proc is unavailable.
+std::uint64_t current_rss_bytes();
+
+/// Peak resident set size of this process in bytes (ru_maxrss), or 0
+/// if getrusage is unavailable.
+std::uint64_t peak_rss_bytes();
+
+}  // namespace croupier::exp

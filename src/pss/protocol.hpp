@@ -37,6 +37,9 @@ class PeerSampler : public net::MessageHandler {
     net::Network* network = nullptr;
     net::BootstrapServer* bootstrap = nullptr;
     sim::RngStream rng;
+    /// Pool the node's view columns are carved from (World-owned; may be
+    /// null, e.g. in protocol unit tests — views then fall back to heap).
+    ViewArena* arena = nullptr;
   };
 
   explicit PeerSampler(Context ctx) : ctx_(std::move(ctx)) {

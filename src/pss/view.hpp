@@ -10,7 +10,15 @@
 //
 // The view is templated on the descriptor type because Gozar and Nylon
 // decorate descriptors with traversal state (relay parents / RVPs); any
-// Desc with `id`, `age`, and `bump_age()` works.
+// Desc with a ViewTraits specialization (pss/view_store.hpp) works.
+//
+// Storage is the columnar ViewStore: separate id/age/NAT columns in one
+// arena block, an O(1) id -> slot index, and an incrementally-maintained
+// first-max-age slot. The semantics here are unchanged from the
+// vector-of-structs original — same slot ordering, same tie-breaks, same
+// RNG draw sequences — so experiment output is byte-identical
+// (tests/view_store_test.cpp pins this against a reference
+// implementation).
 #pragma once
 
 #include <algorithm>
@@ -21,6 +29,7 @@
 
 #include "common/assert.hpp"
 #include "net/address.hpp"
+#include "pss/view_store.hpp"
 #include "sim/rng.hpp"
 
 namespace croupier::pss {
@@ -36,61 +45,107 @@ enum class MergePolicy : std::uint8_t {
 template <typename Desc>
 class PartialView {
  public:
-  explicit PartialView(std::size_t capacity) : capacity_(capacity) {
+  /// Iterable snapshot view over the store: materializes descriptors
+  /// from the columns on demand (all call sites range-for the result).
+  class Entries {
+   public:
+    class iterator {
+     public:
+      using value_type = Desc;
+      using difference_type = std::ptrdiff_t;
+
+      iterator(const ViewStore<Desc>* s, std::size_t i) : s_(s), i_(i) {}
+      Desc operator*() const { return s_->get(i_); }
+      iterator& operator++() {
+        ++i_;
+        return *this;
+      }
+      friend bool operator==(const iterator& a, const iterator& b) {
+        return a.i_ == b.i_;
+      }
+
+     private:
+      const ViewStore<Desc>* s_;
+      std::size_t i_;
+    };
+
+    explicit Entries(const ViewStore<Desc>& s) : s_(&s) {}
+    [[nodiscard]] std::size_t size() const { return s_->size(); }
+    [[nodiscard]] bool empty() const { return s_->size() == 0; }
+    [[nodiscard]] Desc operator[](std::size_t i) const { return s_->get(i); }
+    [[nodiscard]] iterator begin() const { return iterator(s_, 0); }
+    [[nodiscard]] iterator end() const { return iterator(s_, s_->size()); }
+
+   private:
+    const ViewStore<Desc>* s_;
+  };
+
+  explicit PartialView(std::size_t capacity, ViewArena* arena = nullptr)
+      : capacity_(capacity), store_(capacity, arena) {
     CROUPIER_ASSERT(capacity > 0);
-    entries_.reserve(capacity);
   }
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  /// Rebounds the view. Shrinking evicts oldest descriptors first. Used by
-  /// Croupier's ratio-proportional view sizing, where the public/private
-  /// capacity split tracks the estimated ratio.
+  /// Rebounds the view. Shrinking evicts oldest descriptors first (the
+  /// repeated first-max eviction of the original, computed as one pass:
+  /// the k evicted slots are exactly the k largest ages, ties broken by
+  /// earliest slot). Used by Croupier's ratio-proportional view sizing,
+  /// where the public/private capacity split tracks the estimated ratio.
   void set_capacity(std::size_t capacity) {
     CROUPIER_ASSERT(capacity > 0);
     capacity_ = capacity;
-    while (entries_.size() > capacity_) {
-      auto it = std::max_element(
-          entries_.begin(), entries_.end(),
-          [](const Desc& a, const Desc& b) { return a.age < b.age; });
-      entries_.erase(it);
-    }
-  }
-  [[nodiscard]] std::size_t size() const { return entries_.size(); }
-  [[nodiscard]] bool empty() const { return entries_.empty(); }
-  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+    store_.reserve(capacity);
+    if (store_.size() <= capacity_) return;
 
-  [[nodiscard]] const std::vector<Desc>& entries() const { return entries_; }
+    const std::size_t evict = store_.size() - capacity_;
+    std::vector<std::uint32_t> order(store_.size());
+    for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+    // Oldest first; ties by earliest slot — the order repeated
+    // remove-first-max would pick victims in.
+    std::sort(order.begin(), order.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                if (store_.age_at(a) != store_.age_at(b)) {
+                  return store_.age_at(a) > store_.age_at(b);
+                }
+                return a < b;
+              });
+    order.resize(evict);
+    std::sort(order.begin(), order.end());
+    store_.erase_slots_sorted(order);
+  }
+
+  [[nodiscard]] std::size_t size() const { return store_.size(); }
+  [[nodiscard]] bool empty() const { return store_.size() == 0; }
+  [[nodiscard]] bool full() const { return store_.size() >= capacity_; }
+
+  [[nodiscard]] Entries entries() const { return Entries(store_); }
 
   [[nodiscard]] bool contains(net::NodeId id) const {
-    return find_index(id).has_value();
+    return store_.slot_of(id).has_value();
   }
 
-  [[nodiscard]] const Desc* find(net::NodeId id) const {
-    const auto idx = find_index(id);
-    return idx.has_value() ? &entries_[*idx] : nullptr;
+  [[nodiscard]] std::optional<Desc> find(net::NodeId id) const {
+    const auto slot = store_.slot_of(id);
+    if (!slot.has_value()) return std::nullopt;
+    return store_.get(*slot);
   }
 
   /// Ages every descriptor by one round.
-  void age_all() {
-    for (auto& d : entries_) d.bump_age();
-  }
+  void age_all() { store_.bump_ages(); }
 
   /// Tail policy: the oldest descriptor (ties broken by position, which is
   /// deterministic). Empty view yields nullopt.
   [[nodiscard]] std::optional<Desc> oldest() const {
-    if (entries_.empty()) return std::nullopt;
-    const auto it = std::max_element(
-        entries_.begin(), entries_.end(),
-        [](const Desc& a, const Desc& b) { return a.age < b.age; });
-    return *it;
+    if (store_.size() == 0) return std::nullopt;
+    return store_.get(store_.oldest_slot());
   }
 
   /// Removes a node if present; returns whether it was there.
   bool remove(net::NodeId id) {
-    const auto idx = find_index(id);
-    if (!idx.has_value()) return false;
-    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*idx));
+    const auto slot = store_.slot_of(id);
+    if (!slot.has_value()) return false;
+    store_.erase_at(*slot);
     return true;
   }
 
@@ -98,48 +153,50 @@ class PartialView {
   /// descriptor was inserted.
   bool add_if_room(const Desc& d) {
     if (full() || contains(d.id)) return false;
-    entries_.push_back(d);
+    store_.push_back(d);
     return true;
   }
 
   /// Unconditional insert used at bootstrap: if full, replaces the oldest
   /// descriptor; if the node is present, keeps the newer copy.
   void force_add(const Desc& d) {
-    if (auto idx = find_index(d.id); idx.has_value()) {
-      if (d.age < entries_[*idx].age) entries_[*idx] = d;
+    if (const auto slot = store_.slot_of(d.id); slot.has_value()) {
+      if (d.age < store_.age_at(*slot)) store_.assign(*slot, d);
       return;
     }
     if (!full()) {
-      entries_.push_back(d);
+      store_.push_back(d);
       return;
     }
-    auto it = std::max_element(
-        entries_.begin(), entries_.end(),
-        [](const Desc& a, const Desc& b) { return a.age < b.age; });
-    *it = d;
+    store_.assign(store_.oldest_slot(), d);
   }
 
   /// Uniformly random subset of up to n descriptors (without replacement).
   [[nodiscard]] std::vector<Desc> random_subset(std::size_t n,
                                                 sim::RngStream& rng) const {
-    return rng.sample(std::span<const Desc>(entries_), n);
+    std::vector<Desc> pool = materialize();
+    pool.resize(rng.sample_prefix(std::span<Desc>(pool), n));
+    return pool;
   }
 
   /// Random subset of up to n descriptors, never including `excluded`.
+  /// One pass: the pool is materialized already filtered and sampled in
+  /// place (no second copy inside the RNG).
   [[nodiscard]] std::vector<Desc> random_subset_excluding(
       std::size_t n, net::NodeId excluded, sim::RngStream& rng) const {
     std::vector<Desc> pool;
-    pool.reserve(entries_.size());
-    for (const auto& d : entries_) {
-      if (d.id != excluded) pool.push_back(d);
+    pool.reserve(store_.size());
+    for (std::size_t i = 0; i < store_.size(); ++i) {
+      if (store_.id_at(i) != excluded) pool.push_back(store_.get(i));
     }
-    return rng.sample(std::span<const Desc>(pool), n);
+    pool.resize(rng.sample_prefix(std::span<Desc>(pool), n));
+    return pool;
   }
 
   /// Uniformly random single entry.
   [[nodiscard]] std::optional<Desc> random_entry(sim::RngStream& rng) const {
-    if (entries_.empty()) return std::nullopt;
-    return entries_[rng.index(entries_.size())];
+    if (store_.size() == 0) return std::nullopt;
+    return store_.get(rng.index(store_.size()));
   }
 
   /// Healer merge (Jelasity et al. [7]): integrates `received` keeping
@@ -150,18 +207,18 @@ class PartialView {
   void merge_healer(std::span<const Desc> received, net::NodeId self) {
     for (const auto& r : received) {
       if (r.id == self) continue;
-      if (auto idx = find_index(r.id); idx.has_value()) {
-        if (r.age < entries_[*idx].age) entries_[*idx] = r;
+      if (const auto slot = store_.slot_of(r.id); slot.has_value()) {
+        if (r.age < store_.age_at(*slot)) store_.assign(*slot, r);
         continue;
       }
       if (!full()) {
-        entries_.push_back(r);
+        store_.push_back(r);
         continue;
       }
-      auto it = std::max_element(
-          entries_.begin(), entries_.end(),
-          [](const Desc& a, const Desc& b) { return a.age < b.age; });
-      if (it->age > r.age) *it = r;  // replace only if strictly fresher
+      const auto victim = store_.oldest_slot();
+      if (store_.age_at(victim) > r.age) {
+        store_.assign(victim, r);  // replace only if strictly fresher
+      }
     }
   }
 
@@ -175,13 +232,13 @@ class PartialView {
 
     for (const auto& r : received) {
       if (r.id == self) continue;
-      if (auto idx = find_index(r.id); idx.has_value()) {
+      if (const auto slot = store_.slot_of(r.id); slot.has_value()) {
         // Node already known: keep the more recent descriptor.
-        if (r.age < entries_[*idx].age) entries_[*idx] = r;
+        if (r.age < store_.age_at(*slot)) store_.assign(*slot, r);
         continue;
       }
       if (!full()) {
-        entries_.push_back(r);
+        store_.push_back(r);
         continue;
       }
       // Full: evict one of the descriptors we sent away (swap semantics —
@@ -190,8 +247,8 @@ class PartialView {
       while (!evictable.empty() && !placed) {
         const net::NodeId victim = evictable.front();
         evictable.pop_front();
-        if (auto vidx = find_index(victim); vidx.has_value()) {
-          entries_[*vidx] = r;
+        if (const auto vslot = store_.slot_of(victim); vslot.has_value()) {
+          store_.assign(*vslot, r);
           placed = true;
         }
       }
@@ -199,18 +256,17 @@ class PartialView {
     }
   }
 
-  void clear() { entries_.clear(); }
+  void clear() { store_.clear(); }
 
  private:
-  [[nodiscard]] std::optional<std::size_t> find_index(net::NodeId id) const {
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      if (entries_[i].id == id) return i;
-    }
-    return std::nullopt;
+  [[nodiscard]] std::vector<Desc> materialize() const {
+    std::vector<Desc> out;
+    store_.materialize_into(out);
+    return out;
   }
 
   std::size_t capacity_;
-  std::vector<Desc> entries_;
+  ViewStore<Desc> store_;
 };
 
 /// Dispatches a merge through the configured policy.

@@ -1,0 +1,54 @@
+#include "pss/view_store.hpp"
+
+namespace croupier::pss {
+
+std::byte* ViewArena::allocate(std::size_t bytes) {
+  CROUPIER_ASSERT(bytes > 0);
+  bytes = (bytes + 7) & ~std::size_t{7};
+  std::lock_guard<std::mutex> lock(mu_);
+
+  if (auto it = free_.find(bytes); it != free_.end() && !it->second.empty()) {
+    std::byte* block = it->second.back();
+    it->second.pop_back();
+    ++stats_.reuses;
+    ++stats_.live_blocks;
+    stats_.live_bytes += bytes;
+    return block;
+  }
+
+  if (bytes > cursor_left_) {
+    // Oversized requests get a dedicated slab; normal ones start a fresh
+    // slab and the remainder of the old one is abandoned (bounded waste:
+    // view blocks are a few hundred bytes against 1 MiB slabs).
+    const std::size_t slab_bytes = std::max(bytes, kSlabBytes);
+    slabs_.push_back(std::make_unique<std::byte[]>(slab_bytes));
+    cursor_ = slabs_.back().get();
+    cursor_left_ = slab_bytes;
+    ++stats_.slab_count;
+    stats_.slab_bytes += slab_bytes;
+  }
+
+  std::byte* block = cursor_;
+  cursor_ += bytes;
+  cursor_left_ -= bytes;
+  ++stats_.live_blocks;
+  stats_.live_bytes += bytes;
+  return block;
+}
+
+void ViewArena::release(std::byte* block, std::size_t bytes) {
+  if (block == nullptr) return;
+  bytes = (bytes + 7) & ~std::size_t{7};
+  std::lock_guard<std::mutex> lock(mu_);
+  free_[bytes].push_back(block);
+  CROUPIER_ASSERT(stats_.live_blocks > 0);
+  --stats_.live_blocks;
+  stats_.live_bytes -= bytes;
+}
+
+ViewArena::Stats ViewArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace croupier::pss

@@ -76,4 +76,61 @@ void GraphStatsRecorder::tick() {
   world_.simulator().schedule_after(opt_.interval, [this] { tick(); });
 }
 
+SampledGraphStatsRecorder::SampledGraphStatsRecorder(World& world,
+                                                     Options opt)
+    : world_(world),
+      opt_(opt),
+      rng_(world.scenario_rng().fork(0x6EAB)),
+      estimator_(opt.estimator) {
+  CROUPIER_ASSERT(opt_.interval > 0);
+}
+
+void SampledGraphStatsRecorder::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  kill_epoch_ = world_.kill_count();
+  world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void SampledGraphStatsRecorder::tick() {
+  if (!running_) return;
+  if (world_.kill_count() != kill_epoch_) {
+    kill_epoch_ = world_.kill_count();
+    estimator_.reset_accumulators();
+  }
+
+  const auto neighbors = [this](net::NodeId id,
+                                std::vector<net::NodeId>& out) {
+    const auto* s = world_.sampler(id);
+    if (s == nullptr) return false;
+    out = s->out_neighbors();
+    return true;
+  };
+  const auto is_vertex = [this](net::NodeId id) {
+    return world_.sampler(id) != nullptr;
+  };
+
+  Point point = estimator_.tick(
+      std::span<const net::NodeId>(world_.alive_ids()),
+      world_.gossiping_count(), neighbors, is_vertex, rng_);
+  point.t_seconds = sim::to_seconds(world_.simulator().now());
+  series_.push_back(point);
+  world_.simulator().schedule_after(opt_.interval, [this] { tick(); });
+}
+
+bool SampledGraphStatsRecorder::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t_seconds,avg_path_length,clustering,unreachable,in_degree_cv,"
+         "largest_component,component_nodes,nodes,edge_samples,path_pairs\n";
+  for (const auto& p : series_) {
+    out << p.t_seconds << ',' << p.avg_path_length << ','
+        << p.clustering_coefficient << ',' << p.unreachable_fraction << ','
+        << p.in_degree_cv << ',' << p.largest_component_fraction << ','
+        << p.component_nodes << ',' << p.population << ',' << p.edge_samples
+        << ',' << p.path_pairs << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
 }  // namespace croupier::run

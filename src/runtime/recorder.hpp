@@ -5,12 +5,18 @@
 // Both follow the paper's measurement hygiene: nodes that have executed
 // fewer than two gossip rounds are excluded ("giving them enough time to
 // initialize their estimates").
+//
+// SampledGraphStatsRecorder is the million-node variant of
+// GraphStatsRecorder: instead of materializing the full overlay every
+// tick it runs the O(sample) streaming estimators (metrics/streaming)
+// against the implicit graph. Selected with record=graph-sampled.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "metrics/estimation.hpp"
+#include "metrics/streaming.hpp"
 #include "runtime/world.hpp"
 
 namespace croupier::run {
@@ -92,6 +98,49 @@ class GraphStatsRecorder {
   bool running_ = false;
   sim::RngStream rng_;
   std::vector<GraphStatsPoint> series_;
+};
+
+struct SampledGraphStatsRecorderOptions {
+  sim::Duration interval = sim::sec(10);
+  metrics::StreamingGraphConfig estimator;
+};
+
+/// Periodic O(sample) overlay-randomness sampling for worlds too large
+/// to snapshot. Cross-tick accumulators (in-degree hits, component
+/// tracking) reset automatically when nodes die — the observations
+/// describe a graph that no longer exists.
+class SampledGraphStatsRecorder {
+ public:
+  using Options = SampledGraphStatsRecorderOptions;
+  using Point = metrics::StreamingGraphStats;
+
+  SampledGraphStatsRecorder(World& world, Options opt = {});
+
+  void start(sim::SimTime at);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::vector<Point>& series() const { return series_; }
+
+  /// The last recorded point (empty-series safe: returns zeros).
+  [[nodiscard]] Point latest() const {
+    return series_.empty() ? Point{} : series_.back();
+  }
+
+  /// Dumps the series as CSV (t_seconds,avg_path_length,clustering,
+  /// unreachable,in_degree_cv,largest_component,component_nodes,nodes,
+  /// edge_samples,path_pairs).
+  bool write_csv(const std::string& path) const;
+
+ private:
+  void tick();
+
+  World& world_;
+  Options opt_;
+  bool running_ = false;
+  sim::RngStream rng_;
+  metrics::StreamingGraphEstimator estimator_;
+  std::uint64_t kill_epoch_ = 0;
+  std::vector<Point> series_;
 };
 
 }  // namespace croupier::run

@@ -86,6 +86,7 @@ const char* record_name(ExperimentSpec::RecordKind k) {
     case ExperimentSpec::RecordKind::None: return "none";
     case ExperimentSpec::RecordKind::Estimation: return "estimation";
     case ExperimentSpec::RecordKind::Graph: return "graph";
+    case ExperimentSpec::RecordKind::GraphSampled: return "graph-sampled";
   }
   return "estimation";
 }
@@ -417,7 +418,8 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
       if (value == "none") spec.record = RecordKind::None;
       else if (value == "estimation") spec.record = RecordKind::Estimation;
       else if (value == "graph") spec.record = RecordKind::Graph;
-      else fail("spec: record must be none|estimation|graph, got \"" + value +
+      else if (value == "graph-sampled") spec.record = RecordKind::GraphSampled;
+      else fail("spec: record must be none|estimation|graph|graph-sampled, got \"" + value +
                 "\"");
     } else if (key == "record-every") {
       spec.record_every_s = parse_double(key, value);
@@ -538,6 +540,12 @@ SpecBuilder& SpecBuilder::record_graph(double every_s) {
   spec_.record_every_s = every_s;
   return *this;
 }
+SpecBuilder& SpecBuilder::record_graph_sampled(double every_s) {
+  spec_.record = ExperimentSpec::RecordKind::GraphSampled;
+  spec_.record_every_s = every_s;
+  return *this;
+}
+
 SpecBuilder& SpecBuilder::record_nothing() {
   spec_.record = ExperimentSpec::RecordKind::None;
   spec_.record_every_s = 0.0;
@@ -684,6 +692,13 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
       graph_stats_ = std::make_unique<GraphStatsRecorder>(
           *world_, GraphStatsRecorderOptions{every, 128});
       graph_stats_->start(every);
+      break;
+    }
+    case ExperimentSpec::RecordKind::GraphSampled: {
+      SampledGraphStatsRecorderOptions opt;
+      if (spec_.record_every_s > 0.0) opt.interval = from_s(spec_.record_every_s);
+      graph_sampled_ = std::make_unique<SampledGraphStatsRecorder>(*world_, opt);
+      graph_sampled_->start(opt.interval);
       break;
     }
   }

@@ -35,7 +35,8 @@ struct ExperimentSpec {
     Fixed,    // fixed inter-arrival
     Instant,  // all nodes spawn before t=0 events run
   };
-  enum class RecordKind : std::uint8_t { None, Estimation, Graph };
+  enum class RecordKind : std::uint8_t { None, Estimation, Graph,
+                                         GraphSampled };
   /// How a correlated failure picks its victims (see
   /// CorrelatedFailureProcess).
   using FailureCorr = CorrelatedFailureProcess::Corr;
@@ -184,6 +185,7 @@ class SpecBuilder {
   SpecBuilder& duration(double seconds);
   SpecBuilder& record_estimation(double every_s = 0.0);
   SpecBuilder& record_graph(double every_s = 0.0);
+  SpecBuilder& record_graph_sampled(double every_s = 0.0);
   SpecBuilder& record_nothing();
 
   /// Validates and returns the spec (throws std::invalid_argument).
@@ -234,6 +236,9 @@ class Experiment {
   [[nodiscard]] const GraphStatsRecorder* graph_stats() const {
     return graph_stats_.get();
   }
+  [[nodiscard]] const SampledGraphStatsRecorder* graph_sampled() const {
+    return graph_sampled_.get();
+  }
 
  private:
   ExperimentSpec spec_;
@@ -243,6 +248,7 @@ class Experiment {
   std::vector<std::unique_ptr<ScenarioProcess>> scenario_;
   std::unique_ptr<EstimationRecorder> estimation_;
   std::unique_ptr<GraphStatsRecorder> graph_stats_;
+  std::unique_ptr<SampledGraphStatsRecorder> graph_sampled_;
 };
 
 }  // namespace croupier::run

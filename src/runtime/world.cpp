@@ -168,8 +168,10 @@ void World::start_pss(NodeRuntime& node) {
   ctx.network = network_.get();
   ctx.bootstrap = &bootstrap_;
   ctx.rng = node.rng.fork(0x955);
+  ctx.arena = &view_arena_;
   node.pss = factory_(std::move(ctx));
   CROUPIER_ASSERT(node.pss != nullptr);
+  ++gossiping_count_;
 
   bootstrap_.add(node.id, node.identified);
   node.pss->init();
@@ -202,6 +204,11 @@ void World::kill(net::NodeId id) {
   const auto it = nodes_.find(id);
   CROUPIER_ASSERT_MSG(it != nodes_.end(), "kill of dead node");
 
+  ++kill_count_;
+  if (it->second->pss != nullptr) {
+    CROUPIER_ASSERT(gossiping_count_ > 0);
+    --gossiping_count_;
+  }
   if (it->second->nat_cfg.nat_type() == net::NatType::Public) {
     CROUPIER_ASSERT(public_count_ > 0);
     --public_count_;

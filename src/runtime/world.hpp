@@ -111,6 +111,22 @@ class World {
   /// RNG stream reserved for scenario processes (joins, churn, failure).
   [[nodiscard]] sim::RngStream& scenario_rng() { return scenario_rng_; }
 
+  /// Pool all node view storage is carved from (memory accounting).
+  [[nodiscard]] const pss::ViewArena& view_arena() const {
+    return view_arena_;
+  }
+
+  /// Live nodes with an active protocol instance (O(1); alive_count()
+  /// minus nodes still running NAT identification).
+  [[nodiscard]] std::size_t gossiping_count() const {
+    return gossiping_count_;
+  }
+
+  /// Total kill() calls so far. Observers that accumulate state across
+  /// snapshots (the sampled graph recorder's component tracking) treat a
+  /// change as an epoch boundary and reset.
+  [[nodiscard]] std::uint64_t kill_count() const { return kill_count_; }
+
   /// The node's protocol instance, or nullptr before identification
   /// completes / after death.
   [[nodiscard]] pss::PeerSampler* sampler(net::NodeId id);
@@ -169,11 +185,16 @@ class World {
   net::BootstrapServer bootstrap_;
   std::unique_ptr<net::Network> network_;
 
+  // Declared before nodes_: views release their blocks into the arena on
+  // node destruction, so the arena must be destroyed after the nodes.
+  pss::ViewArena view_arena_;
   std::unordered_map<net::NodeId, std::unique_ptr<NodeRuntime>> nodes_;
   std::vector<net::NodeId> alive_ids_;
   std::unordered_map<net::NodeId, std::size_t> alive_index_;
   net::NodeId next_id_ = 1;
   std::size_t public_count_ = 0;  // ground truth over live nodes
+  std::size_t gossiping_count_ = 0;
+  std::uint64_t kill_count_ = 0;
 };
 
 }  // namespace croupier::run

@@ -143,15 +143,17 @@ class RngStream {
     }
   }
 
-  /// Samples up to n distinct elements from items, uniformly without
-  /// replacement, in random order (so truncating the result keeps it an
-  /// unbiased sample).
+  /// In-place sampling core: selects min(n, pool.size()) elements into
+  /// the prefix of `pool`, uniformly without replacement and in random
+  /// order, and returns how many were selected. Callers that already own
+  /// a scratch vector avoid the copy sample() makes. The draw sequence
+  /// is exactly sample()'s for the same pool and n, so swapping one for
+  /// the other cannot change downstream bytes.
   template <typename T>
-  std::vector<T> sample(std::span<const T> items, std::size_t n) {
-    std::vector<T> pool(items.begin(), items.end());
+  std::size_t sample_prefix(std::span<T> pool, std::size_t n) {
     if (n >= pool.size()) {
-      shuffle(std::span<T>(pool));
-      return pool;
+      shuffle(pool);
+      return pool.size();
     }
     // Partial Fisher-Yates: select n elements into the prefix.
     for (std::size_t i = 0; i < n; ++i) {
@@ -159,7 +161,16 @@ class RngStream {
       using std::swap;
       swap(pool[i], pool[j]);
     }
-    pool.resize(n);
+    return n;
+  }
+
+  /// Samples up to n distinct elements from items, uniformly without
+  /// replacement, in random order (so truncating the result keeps it an
+  /// unbiased sample).
+  template <typename T>
+  std::vector<T> sample(std::span<const T> items, std::size_t n) {
+    std::vector<T> pool(items.begin(), items.end());
+    pool.resize(sample_prefix(std::span<T>(pool), n));
     return pool;
   }
 

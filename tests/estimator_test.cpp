@@ -56,6 +56,25 @@ TEST(EstimateEntry, QuantizationNeverErasesMinority) {
   EXPECT_GE(back.pub_hits, 1u);  // minority class must survive
 }
 
+TEST(EstimateEntry, WideOriginEscapesWithoutPerturbingNarrowOnes) {
+  // Origins past 16 bits (million-node worlds) escape through the
+  // 0xffff sentinel to a 4 B id; anything below the sentinel must keep
+  // the paper's fixed 5-byte layout bit-for-bit.
+  wire::Writer narrow;
+  encode(narrow, EstimateEntry{0xfffe, 10, 40, 3});
+  EXPECT_EQ(narrow.size(), kEstimateWireBytes);
+
+  for (const net::NodeId origin : {0xffffu, 0x10000u, 1'000'000u}) {
+    wire::Writer w;
+    encode(w, EstimateEntry{origin, 10, 40, 3});
+    EXPECT_EQ(w.size(), kEstimateWireBytes + 4) << origin;
+    wire::Reader r(w.data());
+    const auto back = decode_estimate(r);
+    EXPECT_TRUE(r.exhausted()) << origin;
+    EXPECT_EQ(back, (EstimateEntry{origin, 10, 40, 3})) << origin;
+  }
+}
+
 TEST(EstimateEntry, ListRoundTrip) {
   std::vector<EstimateEntry> v{{1, 2, 8, 0}, {2, 5, 5, 3}};
   wire::Writer w;

@@ -392,5 +392,40 @@ TEST(Experiment, GraphRecordingProducesSeries) {
   EXPECT_GT(experiment.graph_stats()->series().back().avg_path_length, 0.0);
 }
 
+TEST(ExperimentSpec, GraphSampledRoundTrips) {
+  const auto spec = SpecBuilder()
+                        .protocol("cyclon")
+                        .nodes(500)
+                        .record_graph_sampled(7.5)
+                        .build();
+  const auto text = spec.to_string();
+  EXPECT_NE(text.find("record=graph-sampled"), std::string::npos) << text;
+  EXPECT_EQ(ExperimentSpec::parse(text), spec) << text;
+  EXPECT_EQ(ExperimentSpec::parse(text).to_string(), text);
+  EXPECT_EQ(ExperimentSpec::parse("record=graph-sampled").record,
+            ExperimentSpec::RecordKind::GraphSampled);
+}
+
+TEST(Experiment, GraphSampledRecordingProducesSeries) {
+  Experiment experiment(SpecBuilder()
+                            .protocol("cyclon")
+                            .nodes(40)
+                            .ratio(1.0)
+                            .instant_joins()
+                            .duration(21)
+                            .record_graph_sampled(5)
+                            .build(),
+                        11);
+  experiment.run();
+  ASSERT_NE(experiment.graph_sampled(), nullptr);
+  EXPECT_EQ(experiment.graph_stats(), nullptr);
+  EXPECT_EQ(experiment.estimation(), nullptr);
+  ASSERT_GE(experiment.graph_sampled()->series().size(), 4u);
+  const auto& last = experiment.graph_sampled()->series().back();
+  EXPECT_GT(last.avg_path_length, 0.0);
+  EXPECT_EQ(last.population, 40u);
+  EXPECT_GT(last.largest_component_fraction, 0.9);
+}
+
 }  // namespace
 }  // namespace croupier::run

@@ -1,0 +1,236 @@
+// Accuracy of the O(sample) streaming estimators (metrics/streaming)
+// against the exact metrics (metrics/graph) on graphs small enough to
+// materialize. Tolerances are loose by design — these are sampling
+// estimators and the tolerance *is* the contract (documented in
+// docs/SPEC_REFERENCE.md): path length within 15% relative, clustering
+// within 0.05 absolute, in-degree CV within 0.15 absolute on 10^2-10^3
+// node random out-regular overlays, with sampling budgets cranked high
+// enough that pair-sampling noise sits well inside those bands.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "metrics/graph.hpp"
+#include "metrics/streaming.hpp"
+#include "sim/rng.hpp"
+
+namespace croupier::metrics {
+namespace {
+
+using Adjacency =
+    std::vector<std::pair<net::NodeId, std::vector<net::NodeId>>>;
+
+/// Random d-out-regular overlay on `n` nodes — the shape a healthy
+/// peer-sampling view converges to.
+Adjacency random_overlay(std::size_t n, std::size_t degree,
+                         sim::RngStream& rng) {
+  Adjacency adj;
+  adj.reserve(n);
+  for (net::NodeId u = 1; u <= n; ++u) {
+    std::vector<net::NodeId> nbrs;
+    while (nbrs.size() < degree) {
+      const auto v = static_cast<net::NodeId>(rng.uniform(n) + 1);
+      if (v == u) continue;
+      if (std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end()) continue;
+      nbrs.push_back(v);
+    }
+    adj.emplace_back(u, std::move(nbrs));
+  }
+  return adj;
+}
+
+struct AdjacencyCallbacks {
+  explicit AdjacencyCallbacks(const Adjacency& adj) {
+    for (const auto& [u, nbrs] : adj) map[u] = &nbrs;
+  }
+
+  [[nodiscard]] StreamingGraphEstimator::NeighborFn neighbors() const {
+    return [this](net::NodeId u, std::vector<net::NodeId>& out) {
+      const auto it = map.find(u);
+      if (it == map.end()) return false;
+      out = *it->second;
+      return true;
+    };
+  }
+  [[nodiscard]] StreamingGraphEstimator::VertexFn is_vertex() const {
+    return [this](net::NodeId u) { return map.contains(u); };
+  }
+
+  std::unordered_map<net::NodeId, const std::vector<net::NodeId>*> map;
+};
+
+std::vector<net::NodeId> candidate_ids(const Adjacency& adj) {
+  std::vector<net::NodeId> ids;
+  ids.reserve(adj.size());
+  for (const auto& [u, nbrs] : adj) ids.push_back(u);
+  return ids;
+}
+
+/// Exact in-degree coefficient of variation from the materialized graph.
+double exact_in_degree_cv(const OverlayGraph& g) {
+  const auto degs = g.in_degrees();
+  if (degs.empty()) return 0.0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  for (const auto d : degs) {
+    sum += static_cast<double>(d);
+    sumsq += static_cast<double>(d) * static_cast<double>(d);
+  }
+  const double mean = sum / static_cast<double>(degs.size());
+  const double var = sumsq / static_cast<double>(degs.size()) - mean * mean;
+  return mean > 0.0 ? std::sqrt(std::max(0.0, var)) / mean : 0.0;
+}
+
+TEST(StreamingGraphEstimator, MatchesExactMetricsOnRandomOverlays) {
+  for (const std::size_t n : {100UL, 400UL, 1000UL}) {
+    sim::RngStream gen(0xA11CE + n);
+    const auto adj = random_overlay(n, /*degree=*/8, gen);
+    const auto graph = OverlayGraph::build(adj);
+    const AdjacencyCallbacks cb(adj);
+    const auto ids = candidate_ids(adj);
+
+    sim::RngStream exact_rng(7);
+    double exact_unreachable = 0.0;
+    const double exact_apl =
+        graph.avg_path_length(exact_rng, /*max_sources=*/0,
+                              &exact_unreachable);
+    const double exact_cc = graph.avg_clustering_coefficient();
+    const double exact_cv = exact_in_degree_cv(graph);
+
+    StreamingGraphConfig cfg;
+    cfg.degree_probes = 256;
+    cfg.path_sources = 16;
+    cfg.path_targets = 32;
+    cfg.cluster_probes = 128;
+    StreamingGraphEstimator est(cfg);
+    sim::RngStream est_rng(0xE57 + n);
+    // Several ticks: the cross-tick accumulators (in-degree CV,
+    // components) need a few rounds of probes to converge.
+    StreamingGraphStats s;
+    for (int tick = 0; tick < 8; ++tick) {
+      s = est.tick(std::span<const net::NodeId>(ids), n, cb.neighbors(),
+                   cb.is_vertex(), est_rng);
+    }
+
+    EXPECT_NEAR(s.avg_path_length, exact_apl, 0.15 * exact_apl)
+        << "n=" << n;
+    EXPECT_NEAR(s.clustering_coefficient, exact_cc, 0.05) << "n=" << n;
+    EXPECT_NEAR(s.unreachable_fraction, exact_unreachable, 0.05)
+        << "n=" << n;
+    EXPECT_NEAR(s.in_degree_cv, exact_cv, 0.15) << "n=" << n;
+    EXPECT_NEAR(s.mean_out_degree, 8.0, 1e-9) << "n=" << n;
+    // A connected random 8-regular overlay: the tracker must have seen
+    // one giant component spanning nearly everything it probed.
+    EXPECT_EQ(graph.largest_component_fraction(), 1.0);
+    EXPECT_GT(s.largest_component_fraction, 0.95) << "n=" << n;
+    EXPECT_EQ(s.population, n);
+    EXPECT_EQ(s.bfs_truncated, 0u);
+  }
+}
+
+TEST(StreamingGraphEstimator, DetectsPartition) {
+  // Two 200-node islands with no cross edges: unreachable pairs ~50%,
+  // largest component ~1/2.
+  sim::RngStream gen(99);
+  Adjacency adj;
+  for (int island = 0; island < 2; ++island) {
+    const net::NodeId base = island == 0 ? 1 : 1001;
+    for (net::NodeId u = base; u < base + 200; ++u) {
+      std::vector<net::NodeId> nbrs;
+      while (nbrs.size() < 6) {
+        const auto v =
+            static_cast<net::NodeId>(base + gen.uniform(200));
+        if (v != u &&
+            std::find(nbrs.begin(), nbrs.end(), v) == nbrs.end()) {
+          nbrs.push_back(v);
+        }
+      }
+      adj.emplace_back(u, std::move(nbrs));
+    }
+  }
+  const AdjacencyCallbacks cb(adj);
+  const auto ids = candidate_ids(adj);
+
+  StreamingGraphConfig cfg;
+  cfg.degree_probes = 256;
+  cfg.path_sources = 16;
+  cfg.path_targets = 32;
+  StreamingGraphEstimator est(cfg);
+  sim::RngStream rng(5);
+  StreamingGraphStats s;
+  for (int tick = 0; tick < 8; ++tick) {
+    s = est.tick(std::span<const net::NodeId>(ids), 400, cb.neighbors(),
+                 cb.is_vertex(), rng);
+  }
+  EXPECT_NEAR(s.unreachable_fraction, 0.5, 0.1);
+  EXPECT_NEAR(s.largest_component_fraction, 0.5, 0.1);
+}
+
+TEST(StreamingGraphEstimator, ResetDropsAccumulatedState) {
+  sim::RngStream gen(3);
+  const auto adj = random_overlay(100, 8, gen);
+  const AdjacencyCallbacks cb(adj);
+  const auto ids = candidate_ids(adj);
+
+  StreamingGraphEstimator est;
+  sim::RngStream rng(11);
+  est.tick(std::span<const net::NodeId>(ids), 100, cb.neighbors(),
+           cb.is_vertex(), rng);
+  est.reset_accumulators();
+  const auto s = est.tick(std::span<const net::NodeId>(ids), 100,
+                          cb.neighbors(), cb.is_vertex(), rng);
+  // Post-reset, edge samples reflect one tick only (64 probes x 8 edges).
+  EXPECT_EQ(s.edge_samples, 64u * 8u);
+}
+
+TEST(StreamingGraphEstimator, BudgetCensorsInsteadOfMiscounting) {
+  // A 1000-node line graph: the far targets need more expansion than a
+  // tiny budget allows. Censored pairs must not appear as unreachable.
+  Adjacency adj;
+  for (net::NodeId u = 1; u < 1000; ++u) {
+    adj.emplace_back(u, std::vector<net::NodeId>{u + 1});
+  }
+  adj.emplace_back(1000, std::vector<net::NodeId>{});
+  const AdjacencyCallbacks cb(adj);
+  const auto ids = candidate_ids(adj);
+
+  StreamingGraphConfig cfg;
+  cfg.degree_probes = 1;
+  cfg.cluster_probes = 0;
+  cfg.path_sources = 4;
+  cfg.path_targets = 8;
+  cfg.bfs_budget = 10;  // absurdly small on purpose
+  StreamingGraphEstimator est(cfg);
+  sim::RngStream rng(17);
+  const auto s = est.tick(std::span<const net::NodeId>(ids), 1000,
+                          cb.neighbors(), cb.is_vertex(), rng);
+  EXPECT_GT(s.bfs_truncated, 0u);
+  EXPECT_EQ(s.unreachable_fraction, 0.0);
+}
+
+TEST(ComponentTracker, TracksLargestIncrementally) {
+  ComponentTracker t;
+  t.add_node(1);
+  t.add_node(2);
+  t.add_node(3);
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.largest(), 1u);
+  t.add_edge(1, 2);
+  EXPECT_EQ(t.largest(), 2u);
+  t.add_edge(4, 5);
+  t.add_edge(5, 6);
+  EXPECT_EQ(t.largest(), 3u);
+  t.add_edge(2, 4);  // merge both
+  EXPECT_EQ(t.largest(), 5u);
+  EXPECT_EQ(t.node_count(), 6u);
+  EXPECT_DOUBLE_EQ(t.largest_fraction(), 5.0 / 6.0);
+  t.reset();
+  EXPECT_EQ(t.node_count(), 0u);
+  EXPECT_DOUBLE_EQ(t.largest_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace croupier::metrics

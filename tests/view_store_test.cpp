@@ -1,0 +1,383 @@
+// Pins the columnar ViewStore-backed PartialView to the seed's
+// vector-of-structs semantics: a reference AoS implementation (a copy
+// of the pre-refactor PartialView) runs the same operation sequences —
+// with twin RNG streams where draws are involved — and every
+// intermediate state must match descriptor-for-descriptor in slot
+// order. Slot order is the byte-identity lever: identical order means
+// identical wire payloads and identical downstream RNG draws, which is
+// what keeps every bench's output unchanged across the refactor.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "pss/descriptor.hpp"
+#include "pss/view.hpp"
+#include "pss/view_store.hpp"
+#include "sim/rng.hpp"
+
+namespace croupier::pss {
+namespace {
+
+/// The seed's AoS PartialView, verbatim semantics: linear find,
+/// max_element first-max for oldest/force_add/healer, repeated
+/// first-max eviction in set_capacity, rng.sample for subsets.
+template <typename Desc>
+class RefView {
+ public:
+  explicit RefView(std::size_t capacity) : capacity_(capacity) {
+    entries_.reserve(capacity);
+  }
+
+  void set_capacity(std::size_t capacity) {
+    capacity_ = capacity;
+    while (entries_.size() > capacity_) {
+      entries_.erase(first_max());
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] bool full() const { return entries_.size() >= capacity_; }
+  [[nodiscard]] const std::vector<Desc>& entries() const { return entries_; }
+
+  void age_all() {
+    for (auto& d : entries_) d.bump_age();
+  }
+
+  [[nodiscard]] std::optional<Desc> oldest() const {
+    if (entries_.empty()) return std::nullopt;
+    return *first_max();
+  }
+
+  bool remove(net::NodeId id) {
+    const auto idx = find_index(id);
+    if (!idx.has_value()) return false;
+    entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(*idx));
+    return true;
+  }
+
+  bool add_if_room(const Desc& d) {
+    if (full() || find_index(d.id).has_value()) return false;
+    entries_.push_back(d);
+    return true;
+  }
+
+  void force_add(const Desc& d) {
+    if (auto idx = find_index(d.id); idx.has_value()) {
+      if (d.age < entries_[*idx].age) entries_[*idx] = d;
+      return;
+    }
+    if (!full()) {
+      entries_.push_back(d);
+      return;
+    }
+    *first_max() = d;
+  }
+
+  [[nodiscard]] std::vector<Desc> random_subset(std::size_t n,
+                                                sim::RngStream& rng) const {
+    return rng.sample(std::span<const Desc>(entries_), n);
+  }
+
+  [[nodiscard]] std::vector<Desc> random_subset_excluding(
+      std::size_t n, net::NodeId excluded, sim::RngStream& rng) const {
+    std::vector<Desc> pool;
+    pool.reserve(entries_.size());
+    for (const auto& d : entries_) {
+      if (d.id != excluded) pool.push_back(d);
+    }
+    return rng.sample(std::span<const Desc>(pool), n);
+  }
+
+  void merge_healer(std::span<const Desc> received, net::NodeId self) {
+    for (const auto& r : received) {
+      if (r.id == self) continue;
+      if (auto idx = find_index(r.id); idx.has_value()) {
+        if (r.age < entries_[*idx].age) entries_[*idx] = r;
+        continue;
+      }
+      if (!full()) {
+        entries_.push_back(r);
+        continue;
+      }
+      auto it = first_max();
+      if (it->age > r.age) *it = r;
+    }
+  }
+
+  void merge_swapper(std::span<const Desc> sent,
+                     std::span<const Desc> received, net::NodeId self) {
+    std::deque<net::NodeId> evictable;
+    for (const auto& d : sent) evictable.push_back(d.id);
+    for (const auto& r : received) {
+      if (r.id == self) continue;
+      if (auto idx = find_index(r.id); idx.has_value()) {
+        if (r.age < entries_[*idx].age) entries_[*idx] = r;
+        continue;
+      }
+      if (!full()) {
+        entries_.push_back(r);
+        continue;
+      }
+      bool placed = false;
+      while (!evictable.empty() && !placed) {
+        const net::NodeId victim = evictable.front();
+        evictable.pop_front();
+        if (auto vidx = find_index(victim); vidx.has_value()) {
+          entries_[*vidx] = r;
+          placed = true;
+        }
+      }
+    }
+  }
+
+ private:
+  [[nodiscard]] std::optional<std::size_t> find_index(net::NodeId id) const {
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      if (entries_[i].id == id) return i;
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] auto first_max() { return first_max_impl(entries_); }
+  [[nodiscard]] auto first_max() const { return first_max_impl(entries_); }
+  template <typename V>
+  [[nodiscard]] static auto first_max_impl(V& v) {
+    return std::max_element(v.begin(), v.end(),
+                            [](const Desc& a, const Desc& b) {
+                              return a.age < b.age;
+                            });
+  }
+
+  std::size_t capacity_;
+  std::vector<Desc> entries_;
+};
+
+NodeDescriptor desc(net::NodeId id, std::uint16_t age,
+                    net::NatType nat = net::NatType::Public) {
+  return NodeDescriptor{id, nat, age};
+}
+
+net::NatType nat_of(std::uint64_t bits) {
+  return bits % 2 == 0 ? net::NatType::Public : net::NatType::Private;
+}
+
+/// Asserts slot-order equality between the store-backed view and the
+/// reference — the property every downstream byte depends on.
+void expect_same(const PartialView<NodeDescriptor>& v,
+                 const RefView<NodeDescriptor>& ref, const char* where) {
+  ASSERT_EQ(v.size(), ref.size()) << where;
+  const auto entries = v.entries();
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    EXPECT_EQ(entries[i], ref.entries()[i]) << where << " slot " << i;
+  }
+  const auto v_old = v.oldest();
+  const auto r_old = ref.oldest();
+  ASSERT_EQ(v_old.has_value(), r_old.has_value()) << where;
+  if (v_old.has_value()) {
+    EXPECT_EQ(*v_old, *r_old) << where;
+  }
+}
+
+TEST(ViewStoreEquivalence, RandomOperationMix) {
+  // Three generator seeds x a long op mix, covering every PartialView
+  // mutation plus capacity shrink and RNG-drawing subsets.
+  for (std::uint64_t run = 1; run <= 3; ++run) {
+    sim::RngStream ops(run * 0x9E37);
+    sim::RngStream rng_a(run * 0xC0FFEE);
+    sim::RngStream rng_b(run * 0xC0FFEE);  // twin: must stay in lockstep
+    PartialView<NodeDescriptor> v(8);
+    RefView<NodeDescriptor> ref(8);
+
+    for (int step = 0; step < 2000; ++step) {
+      const auto id = static_cast<net::NodeId>(ops.uniform(24) + 1);
+      const auto age = static_cast<std::uint16_t>(ops.uniform(6));
+      const auto d = desc(id, age, nat_of(ops.uniform(3)));
+      switch (ops.uniform(9)) {
+        case 0:
+          EXPECT_EQ(v.add_if_room(d), ref.add_if_room(d));
+          break;
+        case 1:
+          v.force_add(d);
+          ref.force_add(d);
+          break;
+        case 2:
+          EXPECT_EQ(v.remove(id), ref.remove(id));
+          break;
+        case 3:
+          v.age_all();
+          ref.age_all();
+          break;
+        case 4: {
+          const auto cap = ops.uniform(8) + 1;
+          v.set_capacity(cap);
+          ref.set_capacity(cap);
+          break;
+        }
+        case 5: {
+          const auto n = ops.uniform(6);
+          EXPECT_EQ(v.random_subset(n, rng_a),
+                    ref.random_subset(n, rng_b));
+          break;
+        }
+        case 6: {
+          const auto n = ops.uniform(6);
+          EXPECT_EQ(v.random_subset_excluding(n, id, rng_a),
+                    ref.random_subset_excluding(n, id, rng_b));
+          break;
+        }
+        case 7: {
+          std::vector<NodeDescriptor> sent =
+              v.random_subset(3, rng_a);
+          EXPECT_EQ(sent, ref.random_subset(3, rng_b));
+          std::vector<NodeDescriptor> received;
+          for (std::size_t k = 0; k < 4; ++k) {
+            received.push_back(
+                desc(static_cast<net::NodeId>(ops.uniform(24) + 1),
+                     static_cast<std::uint16_t>(ops.uniform(6)),
+                     nat_of(ops.uniform(3))));
+          }
+          v.merge_swapper(sent, received, /*self=*/5);
+          ref.merge_swapper(sent, received, /*self=*/5);
+          break;
+        }
+        default: {
+          std::vector<NodeDescriptor> received;
+          for (std::size_t k = 0; k < 4; ++k) {
+            received.push_back(
+                desc(static_cast<net::NodeId>(ops.uniform(24) + 1),
+                     static_cast<std::uint16_t>(ops.uniform(6)),
+                     nat_of(ops.uniform(3))));
+          }
+          v.merge_healer(received, /*self=*/5);
+          ref.merge_healer(received, /*self=*/5);
+          break;
+        }
+      }
+      expect_same(v, ref, "after step");
+      if (::testing::Test::HasFailure()) return;
+    }
+  }
+}
+
+TEST(ViewStoreEquivalence, ForceAddTieBreaksOnFirstMax) {
+  // Several slots share the max age; the seed replaced the *first* of
+  // them (max_element with strict less). Pin that tie-break.
+  PartialView<NodeDescriptor> v(3);
+  RefView<NodeDescriptor> ref(3);
+  for (const auto& d : {desc(1, 7), desc(2, 7), desc(3, 7)}) {
+    v.force_add(d);
+    ref.force_add(d);
+  }
+  v.force_add(desc(9, 0));
+  ref.force_add(desc(9, 0));
+  expect_same(v, ref, "first tie-break");
+  EXPECT_EQ(v.entries()[0].id, 9u);  // slot 0 held the first max
+
+  v.force_add(desc(10, 0));
+  ref.force_add(desc(10, 0));
+  expect_same(v, ref, "second tie-break");
+  EXPECT_EQ(v.entries()[1].id, 10u);
+}
+
+TEST(ViewStoreEquivalence, SetCapacityShrinkMatchesRepeatedFirstMax) {
+  // The store shrinks in one pass (k largest by age, ties by earliest
+  // slot); the seed looped remove-first-max. Same survivors, same order.
+  PartialView<NodeDescriptor> v(8);
+  RefView<NodeDescriptor> ref(8);
+  const std::uint16_t ages[] = {3, 9, 1, 9, 4, 9, 2, 0};
+  for (std::size_t i = 0; i < std::size(ages); ++i) {
+    const auto d = desc(static_cast<net::NodeId>(i + 1), ages[i]);
+    v.add_if_room(d);
+    ref.add_if_room(d);
+  }
+  v.set_capacity(3);
+  ref.set_capacity(3);
+  expect_same(v, ref, "shrink to 3");
+  v.set_capacity(1);
+  ref.set_capacity(1);
+  expect_same(v, ref, "shrink to 1");
+}
+
+TEST(ViewStoreEquivalence, AgeSaturationKeepsOldestStable) {
+  // Saturated ages tie at 0xffff: after bump_ages the first saturated
+  // slot must win, exactly as max_element did.
+  PartialView<NodeDescriptor> v(4);
+  RefView<NodeDescriptor> ref(4);
+  for (const auto& d : {desc(1, 0xfffe), desc(2, 0xffff), desc(3, 0xfffd)}) {
+    v.add_if_room(d);
+    ref.add_if_room(d);
+  }
+  for (int i = 0; i < 4; ++i) {
+    v.age_all();
+    ref.age_all();
+    expect_same(v, ref, "saturating bump");
+  }
+  EXPECT_EQ(v.oldest()->id, 1u);  // 1 and 2 both saturated; 1 is first
+}
+
+TEST(ViewStore, ArenaBlocksAreReusedAcrossViews) {
+  ViewArena arena;
+  {
+    ViewStore<NodeDescriptor> a(8, &arena);
+    for (net::NodeId id = 1; id <= 8; ++id) a.push_back(desc(id, 0));
+  }
+  const auto after_first = arena.stats();
+  EXPECT_EQ(after_first.live_blocks, 0u);
+  EXPECT_GE(after_first.slab_bytes, after_first.live_bytes);
+  {
+    ViewStore<NodeDescriptor> b(8, &arena);
+    b.push_back(desc(42, 3));
+    const auto live = arena.stats();
+    EXPECT_EQ(live.live_blocks, 1u);
+    EXPECT_GE(live.reuses, 1u);  // same size class: the freed block
+    EXPECT_EQ(live.slab_count, after_first.slab_count);  // no new slab
+    EXPECT_EQ(b.id_at(0), 42u);
+    EXPECT_EQ(b.age_at(0), 3u);
+    EXPECT_EQ(b.nat_at(0), net::NatType::Public);
+  }
+  EXPECT_EQ(arena.stats().live_blocks, 0u);
+}
+
+TEST(ViewStore, NatColumnRoundTripsAllClasses) {
+  // 9 slots across 3 packed bytes (4 classes per byte), alternating
+  // classes so neighbouring 2-bit lanes would corrupt each other if the
+  // shifts were off.
+  ViewStore<NodeDescriptor> s(9);
+  const net::NatType kinds[] = {net::NatType::Public, net::NatType::Private};
+  for (net::NodeId id = 0; id < 9; ++id) {
+    s.push_back(desc(id + 1, static_cast<std::uint16_t>(id), kinds[id % 2]));
+  }
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(s.nat_at(i), kinds[i % 2]) << "slot " << i;
+    EXPECT_EQ(s.get(i).nat_type, kinds[i % 2]) << "slot " << i;
+  }
+}
+
+TEST(ViewStore, SlotIndexSurvivesGrowthAndErase) {
+  ViewStore<NodeDescriptor> s(2);
+  for (net::NodeId id = 1; id <= 40; ++id) {
+    s.reserve(static_cast<std::size_t>(id));
+    s.push_back(desc(id, static_cast<std::uint16_t>(id)));
+  }
+  for (net::NodeId id = 1; id <= 40; ++id) {
+    const auto slot = s.slot_of(id);
+    ASSERT_TRUE(slot.has_value()) << id;
+    EXPECT_EQ(s.id_at(*slot), id);
+  }
+  // Erase every odd id; the evens must keep resolving.
+  for (net::NodeId id = 1; id <= 40; id += 2) {
+    const auto slot = s.slot_of(id);
+    ASSERT_TRUE(slot.has_value());
+    s.erase_at(*slot);
+  }
+  for (net::NodeId id = 1; id <= 40; ++id) {
+    EXPECT_EQ(s.slot_of(id).has_value(), id % 2 == 0) << id;
+  }
+}
+
+}  // namespace
+}  // namespace croupier::pss

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "exp/memory.hpp"
 
 namespace {
 
@@ -74,7 +75,11 @@ constexpr const char* kUsage =
     "  --round-ms=MS              gossip round period (default 1000)\n"
     "  --natid                    joiners run the NAT-ID protocol\n"
     "  --duration=S               horizon in seconds (default 200)\n"
-    "  --record=estimation|graph  what to record (default estimation)\n"
+    "  --record=estimation|graph|graph-sampled\n"
+    "                             what to record (default estimation);\n"
+    "                             graph-sampled runs the O(sample)\n"
+    "                             streaming estimators for worlds too\n"
+    "                             large to snapshot\n"
     "  --record-every=S           sampling interval (default 1 / 10)\n"
     "harness:\n"
     "  --runs=N --seed=S --jobs=N --csv=PATH   as in the fig benches;\n"
@@ -85,9 +90,10 @@ constexpr const char* kUsage =
     "                             output is byte-identical for every N\n"
     "  --print-spec               print canonical spec strings and exit\n"
     "\n"
-    "Per sweep point, elapsed wall-clock and the effective parallelism\n"
-    "(concurrent trials x world shards) are reported on stderr, so\n"
-    "speedups are observable without external timing.\n";
+    "Per sweep point, elapsed wall-clock, the effective parallelism\n"
+    "(concurrent trials x world shards), and resident memory are\n"
+    "reported on stderr, so speedups and footprints are observable\n"
+    "without external tooling.\n";
 
 struct LabFlags {
   std::vector<std::string> protocols;
@@ -210,16 +216,60 @@ struct GraphFold {
   }
 };
 
+/// graph-sampled recording: the streaming-estimator series carries two
+/// extra columns the exact recorder cannot afford at scale.
+struct SampledSeries {
+  std::vector<double> t;
+  std::vector<double> apl;
+  std::vector<double> cc;
+  std::vector<double> indeg_cv;
+  std::vector<double> component;
+};
+
+SampledSeries to_sampled_series(const run::SampledGraphStatsRecorder& rec) {
+  SampledSeries out;
+  for (const auto& p : rec.series()) {
+    out.t.push_back(p.t_seconds);
+    out.apl.push_back(p.avg_path_length);
+    out.cc.push_back(p.clustering_coefficient);
+    out.indeg_cv.push_back(p.in_degree_cv);
+    out.component.push_back(p.largest_component_fraction);
+  }
+  return out;
+}
+
+struct SampledFold {
+  std::vector<double> t;
+  exp::SeriesAccum apl;
+  exp::SeriesAccum cc;
+  exp::SeriesAccum indeg_cv;
+  exp::SeriesAccum component;
+
+  void add(const SampledSeries& run) {
+    if (t.empty()) t = run.t;
+    apl.add(run.apl);
+    cc.add(run.cc);
+    indeg_cv.add(run.indeg_cv);
+    component.add(run.component);
+  }
+};
+
 /// Wall-clock accounting for one sweep point, reported on stderr so the
 /// determinism gate (which byte-compares stdout and CSV across --jobs /
 /// --world-jobs) never sees it.
 struct PointTiming {
   exp::Accum seconds;
   double max_seconds = 0.0;
+  std::uint64_t max_rss = 0;  // resident set observed at fold time
 
   void add(double s) {
     seconds.add(s);
     max_seconds = std::max(max_seconds, s);
+    // Sampled when the trial folds. Trials of different points
+    // interleave under --jobs, so this is an upper bound on the point's
+    // own footprint — tight when points run alone, still the number
+    // that answers "did this sweep fit in memory".
+    max_rss = std::max(max_rss, exp::current_rss_bytes());
   }
 };
 
@@ -230,14 +280,19 @@ void report_timing(const std::vector<std::string>& labels,
   for (std::size_t p = 0; p < labels.size(); ++p) {
     std::fprintf(stderr,
                  "# timing %s: trials=%zu wall-sum=%.2fs wall-max=%.2fs "
-                 "effective-parallelism=%zu (%zu trials x %zu world shards)\n",
+                 "rss-max=%.1fMiB effective-parallelism=%zu "
+                 "(%zu trials x %zu world shards)\n",
                  labels[p].c_str(), timing[p].seconds.n(),
                  timing[p].seconds.mean() *
                      static_cast<double>(timing[p].seconds.n()),
-                 timing[p].max_seconds, args.trial_jobs() * shards,
-                 args.trial_jobs(), shards);
+                 timing[p].max_seconds,
+                 static_cast<double>(timing[p].max_rss) / (1024.0 * 1024.0),
+                 args.trial_jobs() * shards, args.trial_jobs(), shards);
   }
-  std::fprintf(stderr, "# timing total: elapsed=%.2fs\n", elapsed);
+  std::fprintf(stderr, "# timing total: elapsed=%.2fs peak-rss=%.1fMiB\n",
+               elapsed,
+               static_cast<double>(exp::peak_rss_bytes()) /
+                   (1024.0 * 1024.0));
 }
 
 void emit_estimation(exp::ResultSink& sink, const std::string& label,
@@ -278,6 +333,36 @@ void emit_graph(exp::ResultSink& sink, const std::string& label,
   sink.blank();
   sink.value(block, "final apl", final_apl);
   sink.value(block, "final cc", final_cc);
+}
+
+void emit_graph_sampled(exp::ResultSink& sink, const std::string& label,
+                        const SampledFold& fold, std::size_t n_runs) {
+  const std::vector<double> apl = fold.apl.means();
+  const std::vector<double> cc = fold.cc.means();
+  const std::vector<double> cv = fold.indeg_cv.means();
+  const std::vector<double> comp = fold.component.means();
+  const std::vector<double> t(
+      fold.t.begin(),
+      fold.t.begin() + static_cast<std::ptrdiff_t>(apl.size()));
+  bench::emit_series(sink, label + " avg-path-length", t, apl,
+                     fold.apl.stddevs(), n_runs, "%.0f", "%.4f");
+  bench::emit_series(sink, label + " clustering-coefficient", t, cc,
+                     fold.cc.stddevs(), n_runs, "%.0f", "%.5f");
+  bench::emit_series(sink, label + " in-degree-cv", t, cv,
+                     fold.indeg_cv.stddevs(), n_runs, "%.0f", "%.4f");
+  bench::emit_series(sink, label + " largest-component", t, comp,
+                     fold.component.stddevs(), n_runs, "%.0f", "%.4f");
+  const std::string block = "summary " + label;
+  const double final_apl = apl.empty() ? 0.0 : apl.back();
+  const double final_cc = cc.empty() ? 0.0 : cc.back();
+  const double final_comp = comp.empty() ? 0.0 : comp.back();
+  sink.comment(exp::strf("%s: final apl=%.3f final cc=%.4f "
+                         "final largest-component=%.4f",
+                         block.c_str(), final_apl, final_cc, final_comp));
+  sink.blank();
+  sink.value(block, "final apl", final_apl);
+  sink.value(block, "final cc", final_cc);
+  sink.value(block, "final largest-component", final_comp);
 }
 
 /// Runs the sweep's trial grid with streaming per-point folds plus
@@ -332,7 +417,8 @@ int main(int argc, char** argv) {
     if (spec.record == run::ExperimentSpec::RecordKind::None) {
       std::fprintf(stderr,
                    "error: record=none records nothing to report; use "
-                   "record=estimation or record=graph\n");
+                   "record=estimation, record=graph, or "
+                   "record=graph-sampled\n");
       return 1;
     }
     if (spec.record != specs[0].record) {
@@ -366,9 +452,8 @@ int main(int argc, char** argv) {
 
   const auto sweep_start = std::chrono::steady_clock::now();
   std::vector<PointTiming> timing(specs.size());
-  const bool graph =
-      specs[0].record == run::ExperimentSpec::RecordKind::Graph;
-  if (graph) {
+  const auto record = specs[0].record;
+  if (record == run::ExperimentSpec::RecordKind::Graph) {
     const auto folds = run_lab_grid<GraphFold>(
         pool, args, specs.size(),
         [&](std::size_t p, std::uint64_t seed) {
@@ -379,6 +464,18 @@ int main(int argc, char** argv) {
         timing);
     for (std::size_t p = 0; p < specs.size(); ++p) {
       emit_graph(sink, labels[p], folds[p], args.runs);
+    }
+  } else if (record == run::ExperimentSpec::RecordKind::GraphSampled) {
+    const auto folds = run_lab_grid<SampledFold>(
+        pool, args, specs.size(),
+        [&](std::size_t p, std::uint64_t seed) {
+          run::Experiment experiment(specs[p], seed, args.world_jobs);
+          experiment.run();
+          return to_sampled_series(*experiment.graph_sampled());
+        },
+        timing);
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      emit_graph_sampled(sink, labels[p], folds[p], args.runs);
     }
   } else {
     const auto folds = run_lab_grid<bench::SeriesFold>(
