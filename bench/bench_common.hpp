@@ -55,6 +55,29 @@
 
 namespace croupier::bench {
 
+/// True when this binary was compiled under any sanitizer. Detection is
+/// belt-and-braces: the build system defines CROUPIER_SANITIZED whenever
+/// -fsanitize appears in the flags (gcc has no UBSan macro), gcc defines
+/// __SANITIZE_ADDRESS__/__SANITIZE_THREAD__ itself, and clang exposes
+/// __has_feature. Sanitized timings are 2-20x off; they must never be
+/// mistaken for a performance baseline.
+[[nodiscard]] constexpr bool built_with_sanitizer() {
+#if defined(CROUPIER_SANITIZED) || defined(__SANITIZE_ADDRESS__) || \
+    defined(__SANITIZE_THREAD__)
+  return true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer) ||                                     \
+    __has_feature(undefined_behavior_sanitizer)
+  return true;
+#else
+  return false;
+#endif
+#else
+  return false;
+#endif
+}
+
 struct BenchArgs {
   std::size_t runs = 2;
   std::uint64_t seed = 1;
@@ -120,13 +143,30 @@ struct BenchArgs {
         parse_u64("--world-jobs", a.substr(13), v);
         args.world_jobs = static_cast<std::size_t>(v);
       } else if (a.rfind("--csv=", 0) == 0) {
+        if (built_with_sanitizer()) {
+          // A sanitized binary must never mirror data points to disk:
+          // that CSV is one copy-paste away from becoming the regression
+          // baseline, and instrumented timings poison every later
+          // comparison. scripts/run_benches.sh checks --build-info for
+          // the same reason before writing BENCH_micro.json.
+          std::fprintf(stderr,
+                       "error: refusing %s: this binary was built with a "
+                       "sanitizer (timings are instrumented, not "
+                       "baseline-grade); rebuild without -fsanitize\n",
+                       a.c_str());
+          std::exit(2);
+        }
         args.csv = a.substr(6);
       } else if (a == "--fast") {
         args.fast = true;
+      } else if (a == "--build-info") {
+        // Machine-readable build provenance for scripts/run_benches.sh.
+        std::printf("sanitized=%s\n", built_with_sanitizer() ? "yes" : "no");
+        std::exit(0);
       } else if (a == "--help") {
         std::printf(
             "flags: --runs=N --seed=S --jobs=N --world-jobs=N --csv=PATH "
-            "--fast\n");
+            "--fast --build-info\n");
         std::exit(0);  // usage requested — don't launch the full run
       } else {
         // A typo like --run=5 silently reverting to the default cost

@@ -46,6 +46,20 @@ cmake -B "$BUILD_DIR" -S "$REPO_ROOT" -DCMAKE_BUILD_TYPE=Release \
   -DCROUPIER_BUILD_TESTS=OFF -DCROUPIER_BUILD_EXAMPLES=OFF
 cmake --build "$BUILD_DIR" -j "$(nproc)"
 
+# Never record a baseline from a sanitized build: a cached CMAKE_CXX_FLAGS
+# with -fsanitize (e.g. BUILD_DIR pointed at an ASan tree) survives the
+# re-configure above, and instrumented timings are 2-20x off. Every bench
+# binary reports its provenance via --build-info.
+for bench in "$BUILD_DIR"/bench/fig* "$BUILD_DIR"/bench/ablation_*; do
+  [ -x "$bench" ] || continue
+  if "$bench" --build-info | grep -q '^sanitized=yes'; then
+    echo "error: $bench was built with a sanitizer;" \
+         "refusing to write $OUT" >&2
+    exit 2
+  fi
+  break  # one binary speaks for the build directory
+done
+
 RAW=$(mktemp)
 FIG=$(mktemp)
 trap 'rm -f "$RAW" "$FIG"' EXIT

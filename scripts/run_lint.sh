@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Lint gate: detlint (the determinism lint, tools/detlint) over the full
+# tree, then clang-tidy (config: .clang-tidy) when it is installed.
+# CI's `lint` job runs exactly this; locally it is the fast pre-commit
+# check — detlint alone takes well under a second.
+#
+# Usage: scripts/run_lint.sh [--no-tidy]
+#   BUILD_DIR=...  build directory for the detlint binary
+#                  (default build-lint; reusing an existing build dir is
+#                  fine, detlint is a leaf target)
+#   TIDY_DIR=...   clang-tidy build directory (default build-tidy)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-lint}
+TIDY_DIR=${TIDY_DIR:-build-tidy}
+NO_TIDY=0
+if [ "${1:-}" = "--no-tidy" ]; then
+  NO_TIDY=1
+fi
+
+echo "== detlint =="
+cmake -B "$BUILD_DIR" -S . -DCROUPIER_BUILD_TESTS=OFF \
+  -DCROUPIER_BUILD_BENCHES=OFF -DCROUPIER_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target detlint >/dev/null
+"$BUILD_DIR/tools/detlint/detlint" --root=.
+
+if [ "$NO_TIDY" = 1 ]; then
+  exit 0
+fi
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping (detlint gate passed)" >&2
+  exit 0
+fi
+
+echo "== clang-tidy ($(clang-tidy --version | sed -n 2p | tr -s ' ')) =="
+# A full compile with CMAKE_CXX_CLANG_TIDY checks every TU; warnings
+# print, and the checks listed in WarningsAsErrors fail the build.
+cmake -B "$TIDY_DIR" -S . -DCROUPIER_CLANG_TIDY=ON \
+  -DCROUPIER_BUILD_TESTS=OFF -DCROUPIER_BUILD_BENCHES=OFF \
+  -DCROUPIER_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build "$TIDY_DIR" -j "$(nproc)"
+echo "lint: clean"

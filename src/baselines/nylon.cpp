@@ -1,7 +1,9 @@
 #include "baselines/nylon.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "common/assert.hpp"
 
@@ -124,12 +126,20 @@ void Nylon::touch_rvp(net::NodeId peer) {
     return;
   }
   if (rvp_links_.size() >= cfg_.max_rvp_links) {
-    // Evict the stalest link.
-    auto oldest = rvp_links_.begin();
-    for (auto jt = rvp_links_.begin(); jt != rvp_links_.end(); ++jt) {
-      if (jt->second < oldest->second) oldest = jt;
+    // Evict the stalest link; ties break on the lower peer id so the
+    // victim never depends on hash-table iteration order.
+    net::NodeId victim = net::kNilNode;
+    std::uint64_t victim_round = 0;
+    // detlint:allow(unordered-iter) pure min-selection under the total
+    // (round, id) order above — the result is visit-order-insensitive.
+    for (const auto& [p, seen] : rvp_links_) {
+      if (victim == net::kNilNode || seen < victim_round ||
+          (seen == victim_round && p < victim)) {
+        victim = p;
+        victim_round = seen;
+      }
     }
-    rvp_links_.erase(oldest);
+    rvp_links_.erase(victim);
   }
   rvp_links_.emplace(peer, round_counter_);
 }
@@ -148,11 +158,18 @@ void Nylon::learn_route(net::NodeId target, net::NodeId next_hop) {
     return;
   }
   if (routing_.size() >= cfg_.routing_table_size) {
-    auto oldest = routing_.begin();
-    for (auto jt = routing_.begin(); jt != routing_.end(); ++jt) {
-      if (jt->second.round < oldest->second.round) oldest = jt;
+    net::NodeId victim = net::kNilNode;
+    std::uint64_t victim_round = 0;
+    // detlint:allow(unordered-iter) pure min-selection under the total
+    // (round, id) order above — the result is visit-order-insensitive.
+    for (const auto& [t, route] : routing_) {
+      if (victim == net::kNilNode || route.round < victim_round ||
+          (route.round == victim_round && t < victim)) {
+        victim = t;
+        victim_round = route.round;
+      }
     }
-    routing_.erase(oldest);
+    routing_.erase(victim);
   }
   routing_.emplace(target, Route{next_hop, round_counter_});
 }
@@ -174,7 +191,13 @@ void Nylon::keepalives() {
     return round_counter_ - kv.second > cfg_.rvp_ttl_rounds;
   });
   if (round_counter_ % cfg_.keepalive_rounds != 0) return;
-  for (const auto& [peer, _] : rvp_links_) {
+  std::vector<net::NodeId> peers;
+  peers.reserve(rvp_links_.size());
+  // detlint:allow(unordered-iter) keys only, sorted below before any
+  // side effect — the send order is id-ascending, not hash order.
+  for (const auto& [peer, _] : rvp_links_) peers.push_back(peer);
+  std::sort(peers.begin(), peers.end());
+  for (const net::NodeId peer : peers) {
     network().send(self(), peer, std::make_shared<NylonKeepalive>());
   }
 }

@@ -6,7 +6,7 @@ namespace croupier::metrics {
 
 ClassLoad summarize_load(
     const net::TrafficMeter& meter,
-    const std::unordered_map<net::NodeId, net::NatType>& classes,
+    std::span<const std::pair<net::NodeId, net::NatType>> classes,
     sim::Duration window) {
   CROUPIER_ASSERT(window > 0);
   const double secs = sim::to_seconds(window);
@@ -17,9 +17,12 @@ ClassLoad summarize_load(
   for (const auto& [id, type] : classes) {
     const auto t = meter.totals(id);
     if (type == net::NatType::Public) {
+      // detlint:allow(float-accum) summand order follows `classes`, which
+      // callers pass sorted by node id (World::class_map) — byte-stable.
       pub_bytes += static_cast<double>(t.bytes_total());
       ++load.public_nodes;
     } else {
+      // detlint:allow(float-accum) same fixed, caller-sorted order.
       priv_bytes += static_cast<double>(t.bytes_total());
       ++load.private_nodes;
     }

@@ -2,7 +2,8 @@
 // bytes/second, split by node class).
 #pragma once
 
-#include <unordered_map>
+#include <span>
+#include <utility>
 
 #include "net/address.hpp"
 #include "net/traffic.hpp"
@@ -20,9 +21,11 @@ struct ClassLoad {
 /// Averages per-node load (sent + received bytes, headers included) over a
 /// measurement window, separately for public and private nodes. Nodes in
 /// `classes` that produced no traffic still count toward the average.
+/// `classes` should be ordered (World::class_map sorts by node id) so the
+/// float accumulation order is deterministic.
 ClassLoad summarize_load(
     const net::TrafficMeter& meter,
-    const std::unordered_map<net::NodeId, net::NatType>& classes,
+    std::span<const std::pair<net::NodeId, net::NatType>> classes,
     sim::Duration window);
 
 }  // namespace croupier::metrics

@@ -162,6 +162,8 @@ StreamingGraphStats StreamingGraphEstimator::tick(
     }
     const double possible = static_cast<double>(hood.size()) *
                             (static_cast<double>(hood.size()) - 1.0) / 2.0;
+    // detlint:allow(float-accum) probe order is drawn from the seeded
+    // RngStream, so the summation order is fixed by the seed.
     cc_sum += static_cast<double>(links) / possible;
   }
   if (cc_samples > 0) {

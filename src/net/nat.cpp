@@ -29,6 +29,8 @@ bool NatBox::allows_inbound(sim::SimTime now, NodeId src) const {
 
 std::size_t NatBox::live_entries(sim::SimTime now) const {
   std::size_t n = 0;
+  // detlint:allow(unordered-iter) order-insensitive count — every visit
+  // order yields the same n.
   for (const auto& [id, t] : last_outbound_) {
     if (entry_live(now, t)) ++n;
   }
@@ -39,6 +41,8 @@ void NatBox::maybe_collect(sim::SimTime now) {
   ops_since_gc_ = 0;
   std::vector<NodeId> dead;
   dead.reserve(last_outbound_.size());
+  // detlint:allow(unordered-iter) collects a set then erases it — the
+  // resulting table state is independent of visit order.
   for (const auto& [id, t] : last_outbound_) {
     if (!entry_live(now, t)) dead.push_back(id);
   }

@@ -1,5 +1,6 @@
 #include "runtime/world.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -265,9 +266,16 @@ std::uint64_t World::rounds_of(net::NodeId id) const {
   return it == nodes_.end() ? 0 : it->second->rounds;
 }
 
+std::vector<net::NodeId> World::sorted_ids() const {
+  std::vector<net::NodeId> ids = alive_ids_;
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 void World::for_each_sampler(
     const std::function<void(net::NodeId, pss::PeerSampler&)>& fn) const {
-  for (const auto& [id, node] : nodes_) {
+  for (const net::NodeId id : sorted_ids()) {
+    const auto& node = nodes_.at(id);
     if (node->pss != nullptr) fn(id, *node->pss);
   }
 }
@@ -276,7 +284,8 @@ metrics::OverlayGraph World::snapshot_overlay(bool usable_only) const {
   std::vector<std::pair<net::NodeId, std::vector<net::NodeId>>> adjacency;
   adjacency.reserve(nodes_.size());
   const auto alive_fn = [this](net::NodeId id) { return alive(id); };
-  for (const auto& [id, node] : nodes_) {
+  for (const net::NodeId id : sorted_ids()) {
+    const auto& node = nodes_.at(id);
     if (node->pss == nullptr) continue;
     adjacency.emplace_back(id, usable_only
                                    ? node->pss->usable_neighbors(alive_fn)
@@ -285,11 +294,12 @@ metrics::OverlayGraph World::snapshot_overlay(bool usable_only) const {
   return metrics::OverlayGraph::build(adjacency);
 }
 
-std::unordered_map<net::NodeId, net::NatType> World::class_map() const {
-  std::unordered_map<net::NodeId, net::NatType> out;
+std::vector<std::pair<net::NodeId, net::NatType>> World::class_map() const {
+  std::vector<std::pair<net::NodeId, net::NatType>> out;
   out.reserve(nodes_.size());
-  for (const auto& [id, node] : nodes_) {
-    if (node->pss != nullptr) out.emplace(id, node->nat_cfg.nat_type());
+  for (const net::NodeId id : sorted_ids()) {
+    const auto& node = nodes_.at(id);
+    if (node->pss != nullptr) out.emplace_back(id, node->nat_cfg.nat_type());
   }
   return out;
 }
@@ -302,7 +312,8 @@ void World::set_app_handler(net::NodeId id, net::MessageHandler* handler) {
 
 std::vector<double> World::ratio_estimates(std::uint64_t min_rounds) const {
   std::vector<double> out;
-  for (const auto& [id, node] : nodes_) {
+  for (const net::NodeId id : sorted_ids()) {
+    const auto& node = nodes_.at(id);
     if (node->pss == nullptr || node->rounds < min_rounds) continue;
     if (const auto est = node->pss->ratio_estimate(); est.has_value()) {
       out.push_back(*est);

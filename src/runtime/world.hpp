@@ -11,6 +11,7 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "metrics/graph.hpp"
@@ -88,6 +89,9 @@ class World {
   [[nodiscard]] const std::vector<net::NodeId>& alive_ids() const {
     return alive_ids_;
   }
+  /// Live node ids in ascending order — the deterministic iteration basis
+  /// for every snapshot/aggregate the recorders and sinks consume.
+  [[nodiscard]] std::vector<net::NodeId> sorted_ids() const;
 
   /// Ground-truth public/private counts and ratio ω over live nodes.
   [[nodiscard]] std::size_t count(net::NatType type) const;
@@ -153,8 +157,9 @@ class World {
       bool usable_only = false) const;
 
   /// Ground-truth class of every live gossiping node (for overhead
-  /// accounting).
-  [[nodiscard]] std::unordered_map<net::NodeId, net::NatType> class_map()
+  /// accounting), sorted by node id so downstream accumulation order is
+  /// deterministic.
+  [[nodiscard]] std::vector<std::pair<net::NodeId, net::NatType>> class_map()
       const;
 
   /// All current ratio estimates from nodes with >= min_rounds rounds.

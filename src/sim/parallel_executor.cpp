@@ -134,14 +134,14 @@ void ParallelExecutor::run_shard(std::size_t shard) {
   auto& events = shard_events_[shard];
   Simulator::ShardLog& log = logs_[shard];
   log.owner = &sim_;
-  Simulator::tls_log_ = &log;
+  Simulator::bind_shard_log(&log);
   for (auto& ev : events) {
     log.current_time = ev.time;
     log.current_id = ev.id;
     ++log.executed;
     ev.fn();
   }
-  Simulator::tls_log_ = nullptr;
+  Simulator::bind_shard_log(nullptr);
 }
 
 void ParallelExecutor::worker_loop(std::size_t shard) {

@@ -13,6 +13,8 @@ Simulator::ShardLog* Simulator::active_log() const {
   return (log != nullptr && log->owner == this) ? log : nullptr;
 }
 
+void Simulator::bind_shard_log(ShardLog* log) { tls_log_ = log; }
+
 SimTime Simulator::now() const {
   const ShardLog* log = active_log();
   return log != nullptr ? log->current_time : now_;

@@ -119,6 +119,12 @@ class Simulator {
   /// nullptr when executing serially.
   [[nodiscard]] ShardLog* active_log() const;
 
+  /// Binds/unbinds the calling thread's shard log. All tls_log_ access
+  /// stays inside simulator.cpp: gcc routes cross-TU thread_local
+  /// references through a TLS wrapper that UBSan's null check
+  /// mis-flags as a store through null.
+  static void bind_shard_log(ShardLog* log);
+
   EventId schedule_impl(SimTime at, Affinity affinity,
                         EventQueue::Callback fn, bool check_past);
 

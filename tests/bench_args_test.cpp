@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -44,8 +45,27 @@ TEST(BenchArgs, ParsesJobs) {
 }
 
 TEST(BenchArgs, ParsesCsvPath) {
+  if (built_with_sanitizer()) {
+    GTEST_SKIP() << "--csv is refused under sanitizer builds (by design)";
+  }
   EXPECT_EQ(parse({"--csv=/tmp/out.csv"}).csv, "/tmp/out.csv");
   EXPECT_TRUE(parse({"--csv="}).csv.empty());
+}
+
+TEST(BenchArgs, CsvRefusedUnderSanitizer) {
+  // Sanitized timings must never become a baseline: --csv is a hard
+  // error (exit 2), not a warning, in an instrumented binary.
+  if (!built_with_sanitizer()) {
+    GTEST_SKIP() << "needs an -fsanitize build to exercise the refusal";
+  }
+  EXPECT_EXIT(parse({"--csv=/tmp/out.csv"}), testing::ExitedWithCode(2),
+              "refusing --csv");
+}
+
+TEST(BenchArgs, BuildInfoReportsSanitizerAndExits) {
+  // --build-info prints provenance (stdout, for run_benches.sh) and
+  // exits 0 without launching the bench.
+  EXPECT_EXIT(parse({"--build-info"}), testing::ExitedWithCode(0), "");
 }
 
 TEST(BenchArgs, MalformedJobsKeepsDefault) {
@@ -126,8 +146,12 @@ TEST(BenchArgs, TypoedFlagWarns) {
 }
 
 TEST(BenchArgs, KnownFlagsDoNotWarn) {
+  std::vector<std::string> argv{"--runs=3", "--seed=2", "--jobs=1", "--fast"};
+  // --csv exits a sanitized binary by design (see CsvRefusedUnderSanitizer),
+  // so only exercise it in ordinary builds.
+  if (!built_with_sanitizer()) argv.emplace_back("--csv=/tmp/x");
   ::testing::internal::CaptureStderr();
-  (void)parse({"--runs=3", "--seed=2", "--jobs=1", "--csv=/tmp/x", "--fast"});
+  (void)parse(std::move(argv));
   EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
 }
 

@@ -1,0 +1,18 @@
+// Fixture: file-level suppression covers every finding of the named
+// rule in the file. (Not compiled — scanned by detlint_test.)
+// detlint:allow-file(entropy) fixture: whole-file waiver for entropy
+#include <cstdlib>
+#include <ctime>
+
+int first() {
+  return std::rand();  // covered by the allow-file directive
+}
+
+int second() {
+  std::srand(1);  // covered too
+  return std::rand();
+}
+
+long still_flagged() {
+  return time(nullptr);  // FINDING: wallclock — a different rule
+}

@@ -1,0 +1,28 @@
+// Fixture: the `entropy` rule. Ambient entropy sources are banned; all
+// randomness must flow from sim::RngStream. (Not compiled — scanned by
+// detlint_test.)
+#include <cstdlib>
+#include <random>
+
+int bad_rand() {
+  return std::rand();  // FINDING: entropy
+}
+
+void bad_seed() {
+  std::srand(42);          // FINDING: entropy
+  std::random_device dev;  // FINDING: entropy
+  (void)dev;
+}
+
+int suppressed_rand() {
+  // detlint:allow(entropy) fixture exercising a suppressed finding
+  return std::rand();
+}
+
+struct Gen {
+  int rand;  // a field named rand is data, not the libc call
+};
+
+int not_entropy(const Gen& g) {
+  return g.rand + 1;
+}

@@ -1,0 +1,24 @@
+// Fixture: the `float-accum` rule. Scanned under the path
+// src/metrics/float_accum.cpp so the metrics-only scoping applies.
+// (Not compiled — scanned by detlint_test.)
+#include <cstddef>
+#include <span>
+
+double bad_sum(std::span<const double> xs) {
+  double sum = 0.0;
+  for (double x : xs) sum += x;  // FINDING: float-accum
+  return sum;
+}
+
+double suppressed_sum(std::span<const double> xs) {
+  double sum = 0.0;
+  // detlint:allow(float-accum) fixture: caller passes a sorted span
+  for (double x : xs) sum += x;
+  return sum;
+}
+
+std::size_t fine_int_accum(std::span<const int> xs) {
+  std::size_t n = 0;
+  for (int x : xs) n += static_cast<std::size_t>(x);  // integer: exact
+  return n;
+}

@@ -1,0 +1,19 @@
+// Fixture: the `ptr-key` rule — pointer-keyed ordered containers order
+// by address, which ASLR shuffles per run. (Not compiled — scanned by
+// detlint_test.)
+#include <map>
+#include <set>
+#include <string>
+
+struct Node {
+  int id;
+};
+
+std::map<Node*, int> bad_ptr_map;        // FINDING: ptr-key
+std::set<const Node*> bad_ptr_set;       // FINDING: ptr-key
+
+// detlint:allow(ptr-key) fixture: suppressed pointer-keyed container
+std::map<Node*, int> suppressed_ptr_map;
+
+std::map<int, Node*> fine_ptr_value;     // pointer value, not key: fine
+std::map<std::string, int> fine_map;

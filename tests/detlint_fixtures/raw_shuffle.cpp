@@ -1,0 +1,25 @@
+// Fixture: the `raw-shuffle` rule — std::shuffle/std::sample bypass the
+// seeded sim::RngStream. (Not compiled — scanned by detlint_test.)
+#include <algorithm>
+#include <random>
+#include <vector>
+
+void bad_shuffle(std::vector<int>& v, std::mt19937& g) {
+  std::shuffle(v.begin(), v.end(), g);  // FINDING: raw-shuffle
+}
+
+void suppressed_shuffle(std::vector<int>& v, std::mt19937& g) {
+  // detlint:allow(raw-shuffle) fixture: suppressed raw shuffle call
+  std::shuffle(v.begin(), v.end(), g);
+}
+
+struct Rng {
+  // The project's own seeded API: unqualified shuffle/sample are the
+  // sanctioned RngStream members, not the std:: algorithms.
+  template <typename T>
+  void shuffle(std::vector<T>& v);
+};
+
+void fine_stream_shuffle(std::vector<int>& v, Rng& rng) {
+  rng.shuffle(v);  // RngStream member: no finding
+}

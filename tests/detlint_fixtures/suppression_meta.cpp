@@ -1,0 +1,19 @@
+// Fixture: the `suppression` meta-rule — bad directives are findings
+// themselves. (Not compiled — scanned by detlint_test.)
+#include <cstdlib>
+
+int unknown_rule() {
+  // detlint:allow(no-such-rule) names a rule detlint does not know
+  return std::rand();  // FINDING survives: entropy
+}
+
+int short_reason() {
+  // detlint:allow(entropy) nope
+  return std::rand();  // FINDING survives: reason under 8 characters
+}
+
+// detlint:allow(wallclock) fixture: nothing here reads a clock, so this
+// suppression is dead and the meta-rule flags it.
+int unused_directive() {
+  return 7;
+}

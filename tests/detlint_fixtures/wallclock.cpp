@@ -1,0 +1,23 @@
+// Fixture: the `wallclock` rule. Wall-clock reads are banned outside
+// suppressed reporting sites. (Not compiled — scanned by detlint_test.)
+#include <chrono>
+#include <ctime>
+
+long bad_time() {
+  return time(nullptr);  // FINDING: wallclock
+}
+
+double bad_chrono() {
+  const auto t0 = std::chrono::steady_clock::now();  // FINDING: wallclock
+  const auto t1 = std::chrono::system_clock::now();  // FINDING: wallclock
+  (void)t1;
+  return std::chrono::duration<double>(
+             // detlint:allow(wallclock) fixture: suppressed reporting read
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+int not_wallclock(int time) {
+  // A parameter named `time` is not the libc call.
+  return time + 1;
+}

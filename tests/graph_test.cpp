@@ -168,7 +168,7 @@ TEST(OverheadSummary, SplitsByClass) {
   meter.on_deliver(1, 500);   // public: 1500 total
   meter.on_send(2, 300);      // private: 300
   meter.on_send(3, 100);      // private: 100
-  std::unordered_map<net::NodeId, net::NatType> classes{
+  const std::vector<std::pair<net::NodeId, net::NatType>> classes{
       {1, net::NatType::Public},
       {2, net::NatType::Private},
       {3, net::NatType::Private},

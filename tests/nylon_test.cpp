@@ -44,6 +44,26 @@ TEST(Nylon, RvpTableBounded) {
   });
 }
 
+TEST(Nylon, TwinRunByteIdenticalTraffic) {
+  // Twin-run regression for two determinism fixes: RVP/route eviction
+  // breaks round ties on the lower id (not on hash iteration order) and
+  // keepalives go out in ascending-id order. A tight table bound makes
+  // eviction constant; same seed must meter identical traffic per node.
+  auto run_once = [] {
+    NylonConfig cfg = small_cfg();
+    cfg.max_rvp_links = 4;  // force the eviction path constantly
+    auto world = make_world(11, cfg);
+    populate(world, 8, 16);
+    world.simulator().run_until(sim::sec(40));
+    std::vector<std::pair<net::NodeId, std::uint64_t>> out;
+    for (const net::NodeId id : world.sorted_ids()) {
+      out.emplace_back(id, world.network().meter().totals(id).bytes_total());
+    }
+    return out;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
 TEST(Nylon, HolePunchingReachesPrivateNodes) {
   auto world = make_world(5);
   populate(world, 5, 15);

@@ -100,6 +100,58 @@ TEST(World, DeterministicAcrossRuns) {
   EXPECT_EQ(a.second, b.second);
 }
 
+TEST(World, SortedSnapshotBasisSurvivesChurn) {
+  // Regression for a determinism fix: every published view (class_map,
+  // for_each_sampler visit order, overlay vertex order) iterates the
+  // ascending-id basis, never hash-table or swap-remove order. Kills
+  // scramble alive_ids_'s internal order via swap-remove; the views must
+  // not see that.
+  auto world = make_world(7);
+  populate(world, 8, 24);
+  world.simulator().run_until(sim::sec(10));
+  const auto ids0 = world.alive_ids();
+  world.kill(ids0[1]);
+  world.kill(ids0[5]);
+  world.kill(ids0[9]);
+  world.simulator().run_until(sim::sec(20));
+
+  const auto sorted = world.sorted_ids();
+  EXPECT_TRUE(std::is_sorted(sorted.begin(), sorted.end()));
+  EXPECT_EQ(sorted.size(), world.alive_count());
+
+  const auto classes = world.class_map();
+  EXPECT_TRUE(std::is_sorted(
+      classes.begin(), classes.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; }));
+
+  std::vector<net::NodeId> visited;
+  world.for_each_sampler(
+      [&](net::NodeId id, pss::PeerSampler&) { visited.push_back(id); });
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+
+  const auto overlay = world.snapshot_overlay();
+  EXPECT_TRUE(std::is_sorted(overlay.ids().begin(), overlay.ids().end()));
+}
+
+TEST(World, TwinRunAggregatesAfterChurnBitIdentical) {
+  // Twin-run regression: two same-seed runs through abrupt churn must
+  // agree bit-for-bit on every float aggregate the recorders publish.
+  auto run_once = [] {
+    auto world = make_world(42);
+    populate(world, 6, 18);
+    world.simulator().run_until(sim::sec(15));
+    const auto ids = world.alive_ids();
+    world.kill(ids[2]);
+    world.kill(ids[7]);
+    world.simulator().run_until(sim::sec(30));
+    return std::make_pair(world.ratio_estimates(), world.class_map());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);  // exact double equality, not near
+  EXPECT_EQ(a.second, b.second);
+}
+
 TEST(World, DifferentSeedsDiverge) {
   auto overlay_for = [](std::uint64_t seed) {
     auto world = make_world(seed);

@@ -1,0 +1,114 @@
+// detlint CLI: scans src/, bench/, and tools/ under --root (default the
+// current directory) and exits nonzero when any determinism finding
+// survives suppression — the ctest/CI gate.
+//
+//   detlint [--root=DIR] [extra files or dirs...]
+//   detlint --list-rules
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool scannable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h" ||
+         ext == ".cxx";
+}
+
+void collect(const fs::path& root, const fs::path& p,
+             std::vector<std::string>& out) {
+  std::error_code ec;
+  if (fs::is_directory(p, ec)) {
+    for (fs::recursive_directory_iterator it(p, ec), end; it != end;
+         it.increment(ec)) {
+      if (it->is_regular_file(ec) && scannable(it->path())) {
+        out.push_back(fs::relative(it->path(), root, ec).generic_string());
+      }
+    }
+  } else if (fs::is_regular_file(p, ec) && scannable(p)) {
+    out.push_back(fs::relative(p, root, ec).generic_string());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> extra;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--root=", 0) == 0) {
+      root = a.substr(7);
+    } else if (a == "--list-rules") {
+      list_rules = true;
+    } else if (a == "--help") {
+      std::printf("usage: detlint [--root=DIR] [files-or-dirs...]\n"
+                  "       detlint --list-rules\n");
+      return 0;
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "detlint: unknown flag %s\n", a.c_str());
+      return 2;
+    } else {
+      extra.push_back(a);
+    }
+  }
+
+  if (list_rules) {
+    for (const std::string& r : detlint::Linter::rule_ids()) {
+      std::printf("%s\n", r.c_str());
+    }
+    return 0;
+  }
+
+  std::vector<std::string> paths;
+  if (extra.empty()) {
+    for (const char* dir : {"src", "bench", "tools"}) {
+      collect(root, fs::path(root) / dir, paths);
+    }
+  } else {
+    for (const std::string& e : extra) {
+      collect(root, fs::path(root) / e, paths);
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  paths.erase(std::unique(paths.begin(), paths.end()), paths.end());
+  if (paths.empty()) {
+    std::fprintf(stderr, "detlint: nothing to scan under %s\n", root.c_str());
+    return 2;
+  }
+
+  detlint::Linter linter;
+  for (const std::string& rel : paths) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "detlint: cannot read %s\n", rel.c_str());
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    linter.add_file(rel, buf.str());
+  }
+
+  const std::vector<detlint::Finding> findings = linter.run();
+  for (const detlint::Finding& f : findings) {
+    std::printf("%s\n", detlint::format(f).c_str());
+  }
+  if (!findings.empty()) {
+    std::printf("detlint: %zu finding(s) across %zu file(s) — fix the "
+                "hazard or add `// detlint:allow(<rule>) <reason>`\n",
+                findings.size(), paths.size());
+    return 1;
+  }
+  std::printf("detlint: clean (%zu files scanned)\n", paths.size());
+  return 0;
+}

@@ -1,0 +1,265 @@
+// Lexical front end: blanks comments and string/char literals so the
+// rule passes match only real code, and harvests detlint:allow
+// suppressions from the comment text as it goes.
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <string>
+
+#include "detlint.hpp"
+
+namespace detlint {
+namespace {
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+/// True iff `s` is shaped like a rule id: lowercase letters and dashes.
+/// Anything else (e.g. the `rule[,rule]` placeholder in documentation
+/// that *describes* the syntax) marks the comment as prose, not a
+/// directive.
+bool rule_shaped(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::islower(static_cast<unsigned char>(c)) || c == '-')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses one comment's text for a suppression directive. Grammar:
+///   detlint:allow(<ids>) reason...
+///   detlint:allow-file(<ids>) reason...
+/// with <ids> a comma list of rule ids. Returns true when a directive is
+/// recognised — including `()` (empty rule list) and well-shaped-but-
+/// unknown ids, which the meta-rule flags. Placeholder text whose "ids"
+/// are not rule-shaped is treated as documentation and ignored; a typo'd
+/// directive that slips through this way simply fails to suppress, so
+/// the underlying finding still surfaces.
+bool parse_suppression(const std::string& comment, int line,
+                       Suppression& out) {
+  const std::size_t at = comment.find("detlint:allow");
+  if (at == std::string::npos) return false;
+  std::size_t p = at + std::string("detlint:allow").size();
+  // In a multi-line block comment the directive's own line is what the
+  // same-line/line-above matching works from.
+  out.line = line + static_cast<int>(
+                        std::count(comment.begin(),
+                                   comment.begin() + static_cast<std::ptrdiff_t>(at),
+                                   '\n'));
+  out.file_level = false;
+  if (comment.compare(p, 5, "-file") == 0) {
+    out.file_level = true;
+    p += 5;
+  }
+  if (p >= comment.size() || comment[p] != '(') return false;  // prose
+  const std::size_t close = comment.find(')', p);
+  if (close == std::string::npos) return false;
+  std::string rule;
+  std::vector<std::string> rules;
+  for (std::size_t i = p + 1; i <= close; ++i) {
+    if (i == close || comment[i] == ',') {
+      rule = trim(rule);
+      if (!rule.empty()) rules.push_back(rule);
+      rule.clear();
+    } else {
+      rule += comment[i];
+    }
+  }
+  for (const std::string& r : rules) {
+    if (!rule_shaped(r)) return false;  // documentation, not a directive
+  }
+  out.rules = rules;
+  out.reason = trim(comment.substr(close + 1));
+  return true;
+}
+
+}  // namespace
+
+FileScan preprocess(const std::string& path, const std::string& content) {
+  FileScan fs;
+  fs.path = path;
+  fs.code = content;
+  fs.line_starts.push_back(0);
+
+  enum class State {
+    Code,
+    LineComment,
+    BlockComment,
+    Str,
+    Char,
+    RawStr,
+  };
+  State state = State::Code;
+  int line = 1;
+  std::string comment_text;  // accumulates the current comment block
+  int comment_line = 1;
+  // Consecutive //-lines form one block so a suppression's reason can
+  // continue over several lines; the block's last line is the anchor the
+  // line-above matching works from.
+  bool pending = false;  // a finished //-block that the next line may extend
+  int pending_end = 0;   // its last line
+  std::string raw_delim;  // the )delim" closer of the active raw string
+
+  const auto flush_comment = [&](int end_line) {
+    Suppression sup;
+    if (parse_suppression(comment_text, comment_line, sup)) {
+      sup.end_line = end_line;
+      fs.suppressions.push_back(sup);
+    }
+    comment_text.clear();
+    pending = false;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    if (c == '\n') {
+      ++line;
+      fs.line_starts.push_back(i + 1);
+    }
+
+    switch (state) {
+      case State::Code:
+        if (pending && !std::isspace(static_cast<unsigned char>(c)) &&
+            !(c == '/' && (next == '/' || next == '*'))) {
+          flush_comment(pending_end);  // real code ends the //-block
+        }
+        if (c == '/' && next == '/') {
+          if (pending && line == pending_end + 1) {
+            comment_text += '\n';  // adjacent //-line: same block
+            pending = false;
+          } else {
+            if (pending) flush_comment(pending_end);
+            comment_line = line;
+          }
+          state = State::LineComment;
+          fs.code[i] = ' ';
+          fs.code[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          if (pending) flush_comment(pending_end);
+          state = State::BlockComment;
+          comment_line = line;
+          fs.code[i] = ' ';
+          fs.code[i + 1] = ' ';
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // Raw string: R"delim( ... )delim"
+          std::size_t j = i + 2;
+          std::string delim;
+          while (j < content.size() && content[j] != '(') {
+            delim += content[j];
+            ++j;
+          }
+          raw_delim = ")" + delim + "\"";
+          fs.code[i] = ' ';
+          for (std::size_t k = i + 1; k <= j && k < content.size(); ++k) {
+            fs.code[k] = ' ';
+          }
+          i = j;
+          state = State::RawStr;
+        } else if (c == '"') {
+          fs.code[i] = ' ';
+          state = State::Str;
+        } else if (c == '\'' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   content[i - 1])) &&
+                               content[i - 1] != '_'))) {
+          // The preceding-char check keeps digit separators (1'000'000)
+          // out of the literal state.
+          fs.code[i] = ' ';
+          state = State::Char;
+        }
+        break;
+
+      case State::LineComment:
+        if (c == '\n') {
+          pending = true;
+          pending_end = line - 1;  // ++line already ran for this '\n'
+          state = State::Code;
+        } else {
+          comment_text += c;
+          fs.code[i] = ' ';
+        }
+        break;
+
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          fs.code[i] = ' ';
+          fs.code[i + 1] = ' ';
+          ++i;
+          flush_comment(line);
+          state = State::Code;
+        } else {
+          if (c != '\n') {
+            comment_text += c;
+            fs.code[i] = ' ';
+          } else {
+            comment_text += '\n';
+          }
+        }
+        break;
+
+      case State::Str:
+        if (c == '\\') {
+          fs.code[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            fs.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '"') {
+          fs.code[i] = ' ';
+          state = State::Code;
+        } else if (c != '\n') {
+          fs.code[i] = ' ';
+        }
+        break;
+
+      case State::Char:
+        if (c == '\\') {
+          fs.code[i] = ' ';
+          if (next != '\0' && next != '\n') {
+            fs.code[i + 1] = ' ';
+            ++i;
+          }
+        } else if (c == '\'') {
+          fs.code[i] = ' ';
+          state = State::Code;
+        } else if (c != '\n') {
+          fs.code[i] = ' ';
+        }
+        break;
+
+      case State::RawStr:
+        if (c == ')' && content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = i; k < i + raw_delim.size(); ++k) {
+            fs.code[k] = ' ';
+          }
+          i += raw_delim.size() - 1;
+          state = State::Code;
+        } else if (c != '\n') {
+          fs.code[i] = ' ';
+        }
+        break;
+    }
+  }
+  if (state == State::LineComment || state == State::BlockComment) {
+    flush_comment(line);
+  } else if (pending) {
+    flush_comment(pending_end);
+  }
+  return fs;
+}
+
+}  // namespace detlint
