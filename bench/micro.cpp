@@ -10,6 +10,7 @@
 #include "core/estimator.hpp"
 #include "metrics/graph.hpp"
 #include "net/nat.hpp"
+#include "net/packet.hpp"
 #include "pss/view.hpp"
 #include "runtime/registry.hpp"
 #include "runtime/world.hpp"
@@ -73,6 +74,32 @@ void BM_ShuffleMessageEncode(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ShuffleMessageEncode);
+
+void BM_FragmentRoundTrip(benchmark::State& state) {
+  // Split + reassemble a message of `range` bytes over a small MTU,
+  // with two FEC repair fragments (the ablation_loss packet shape);
+  // feeding the repairs first forces the GF(256) decode path.
+  net::PacketConfig cfg;
+  cfg.mtu = 64;
+  cfg.fec_repair = 2;
+  const net::Fragmenter fragmenter(cfg);
+  std::vector<std::byte> message(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    message[i] = static_cast<std::byte>(i * 31 + 7);
+  }
+  for (auto _ : state) {
+    const auto frags = fragmenter.split(1, message);
+    net::FragmentAssembly assembly(frags.back().header);
+    for (auto it = frags.rbegin(); it != frags.rend(); ++it) {
+      if (assembly.add(it->header, it->payload)) break;
+    }
+    auto bytes = assembly.bytes();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(message.size()));
+}
+BENCHMARK(BM_FragmentRoundTrip)->Arg(200)->Arg(1400);
 
 void BM_ShuffleMessageDecode(benchmark::State& state) {
   core::CroupierShuffleReq req;

@@ -99,6 +99,23 @@ if [ -x "$LAB" ]; then
   check_same "croupier-lab-scenarios" "scen.j1" "scen.w4" || ok=0
   [ "$ok" = 1 ] && \
     echo "ok   croupier-lab scenarios flash/failure/loss (jobs 1/4, world-jobs 1/4)"
+
+  # The PR-8 packet layer — fragmentation at mtu=64, FEC repair under
+  # per-fragment loss, token-bucket bandwidth caps — must honour the same
+  # determinism contracts on both parallelism axes.
+  packet_flags=(
+    --spec="protocol=croupier nodes=300 ratio=0.2 mtu=64 duration=70"
+    --spec="protocol=croupier nodes=300 ratio=0.2 mtu=64 fec=2 loss=0.1 duration=70"
+    --spec="protocol=croupier nodes=300 ratio=0.2 mtu=128 bandwidth=rate:20000,burst:4000 duration=70"
+    --runs=2)
+  run_config "$LAB" "pkt.j1" "${packet_flags[@]}" --jobs=1 --world-jobs=1
+  run_config "$LAB" "pkt.j4" "${packet_flags[@]}" --jobs=4 --world-jobs=1
+  run_config "$LAB" "pkt.w4" "${packet_flags[@]}" --jobs=4 --world-jobs=4
+  ok=1
+  check_same "croupier-lab-packet" "pkt.j1" "pkt.j4" || ok=0
+  check_same "croupier-lab-packet" "pkt.j1" "pkt.w4" || ok=0
+  [ "$ok" = 1 ] && \
+    echo "ok   croupier-lab packet mtu/fec/bandwidth (jobs 1/4, world-jobs 1/4)"
 else
   echo "FAIL croupier-lab binary missing at $LAB"
   fail=1

@@ -1,0 +1,78 @@
+#include "fec/gf256.hpp"
+
+#include <array>
+
+#include "common/assert.hpp"
+
+namespace croupier::fec {
+
+namespace {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};  // doubled so mul skips a mod 255
+};
+
+constexpr Tables build_tables() {
+  Tables t{};
+  std::uint32_t x = 1;
+  for (std::uint32_t i = 0; i < 255; ++i) {
+    t.exp[i] = static_cast<std::uint8_t>(x);
+    t.log[x] = static_cast<std::uint8_t>(i);
+    // Multiply by the generator 0x03 = x + 1: x*3 = (x << 1) ^ x, reduced
+    // by 0x11b when the degree-8 bit appears.
+    x = (x << 1) ^ x;
+    if (x & 0x100) x ^= 0x11b;
+  }
+  for (std::uint32_t i = 255; i < 512; ++i) {
+    t.exp[i] = t.exp[i - 255];
+  }
+  return t;
+}
+
+constexpr Tables kTables = build_tables();
+
+}  // namespace
+
+std::uint8_t gf_mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return kTables.exp[static_cast<std::size_t>(kTables.log[a]) +
+                     static_cast<std::size_t>(kTables.log[b])];
+}
+
+std::uint8_t gf_inv(std::uint8_t a) {
+  CROUPIER_ASSERT_MSG(a != 0, "GF(256) inverse of zero");
+  return kTables.exp[255 - static_cast<std::size_t>(kTables.log[a])];
+}
+
+void gf_mul_add(std::byte* dst, const std::byte* src, std::size_t len,
+                std::uint8_t coeff) {
+  if (coeff == 0) return;
+  if (coeff == 1) {
+    for (std::size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const std::size_t log_c = kTables.log[coeff];
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto s = static_cast<std::uint8_t>(src[i]);
+    if (s == 0) continue;
+    dst[i] ^= static_cast<std::byte>(
+        kTables.exp[log_c + static_cast<std::size_t>(kTables.log[s])]);
+  }
+}
+
+void gf_scale(std::byte* dst, std::size_t len, std::uint8_t coeff) {
+  if (coeff == 1) return;
+  CROUPIER_ASSERT(coeff != 0);
+  const std::size_t log_c = kTables.log[coeff];
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto d = static_cast<std::uint8_t>(dst[i]);
+    dst[i] = d == 0 ? std::byte{0}
+                    : static_cast<std::byte>(
+                          kTables.exp[log_c +
+                                      static_cast<std::size_t>(
+                                          kTables.log[d])]);
+  }
+}
+
+}  // namespace croupier::fec

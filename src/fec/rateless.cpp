@@ -1,0 +1,105 @@
+#include "fec/rateless.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "fec/gf256.hpp"
+
+namespace croupier::fec {
+
+std::uint8_t repair_coeff(std::size_t k, std::size_t repair_index,
+                          std::size_t source_index) {
+  CROUPIER_ASSERT(source_index < k);
+  CROUPIER_ASSERT(k + repair_index < kMaxCodedFragments);
+  // x_r = k + repair_index and y_i = source_index never collide (x >= k,
+  // y < k), so the XOR is non-zero and invertible.
+  const auto x = static_cast<std::uint8_t>(k + repair_index);
+  const auto y = static_cast<std::uint8_t>(source_index);
+  return gf_inv(static_cast<std::uint8_t>(x ^ y));
+}
+
+std::vector<std::byte> encode_repair(std::span<const std::byte> message,
+                                     std::size_t k, std::size_t chunk_len,
+                                     std::size_t repair_index) {
+  CROUPIER_ASSERT(k >= 1 && chunk_len >= 1);
+  CROUPIER_ASSERT(k * chunk_len >= message.size());
+  std::vector<std::byte> out(chunk_len, std::byte{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = i * chunk_len;
+    if (begin >= message.size()) break;  // all-zero tail chunks contribute 0
+    const std::size_t len = std::min(chunk_len, message.size() - begin);
+    gf_mul_add(out.data(), message.data() + begin, len,
+               repair_coeff(k, repair_index, i));
+  }
+  return out;
+}
+
+Decoder::Decoder(std::size_t k, std::size_t chunk_len)
+    : k_(k), chunk_len_(chunk_len) {
+  CROUPIER_ASSERT(k >= 1 && chunk_len >= 1);
+  CROUPIER_ASSERT(k <= kMaxCodedFragments);
+}
+
+bool Decoder::add(std::size_t index, std::span<const std::byte> payload) {
+  CROUPIER_ASSERT(payload.size() <= chunk_len_);
+  if (rows_.size() == k_) return false;
+  if (std::find(indices_.begin(), indices_.end(), index) != indices_.end()) {
+    return false;
+  }
+  Row row;
+  row.coeff.assign(k_, 0);
+  if (index < k_) {
+    row.coeff[index] = 1;
+  } else {
+    CROUPIER_ASSERT(index < kMaxCodedFragments);
+    for (std::size_t i = 0; i < k_; ++i) {
+      row.coeff[i] = repair_coeff(k_, index - k_, i);
+    }
+  }
+  row.data.assign(chunk_len_, std::byte{0});
+  if (!payload.empty()) {
+    std::memcpy(row.data.data(), payload.data(), payload.size());
+  }
+  indices_.push_back(index);
+  rows_.push_back(std::move(row));
+  return true;
+}
+
+std::optional<std::vector<std::byte>> Decoder::decode() const {
+  if (rows_.size() < k_) return std::nullopt;
+  // Work on a copy: decode() is a const query and the caller may retry
+  // (it never needs to here — ready() gates the call — but the copy also
+  // keeps elimination from corrupting rows on the singular path).
+  std::vector<Row> m = rows_;
+  for (std::size_t col = 0; col < k_; ++col) {
+    // Partial "pivoting": any row with a non-zero entry works over a
+    // field; take the first for determinism.
+    std::size_t pivot = col;
+    while (pivot < m.size() && m[pivot].coeff[col] == 0) ++pivot;
+    if (pivot == m.size()) return std::nullopt;  // singular
+    std::swap(m[col], m[pivot]);
+    const std::uint8_t inv = gf_inv(m[col].coeff[col]);
+    gf_scale(m[col].data.data(), chunk_len_, inv);
+    for (std::size_t i = col; i < k_; ++i) {
+      m[col].coeff[i] = gf_mul(m[col].coeff[i], inv);
+    }
+    for (std::size_t r = 0; r < m.size(); ++r) {
+      if (r == col) continue;
+      const std::uint8_t f = m[r].coeff[col];
+      if (f == 0) continue;
+      gf_mul_add(m[r].data.data(), m[col].data.data(), chunk_len_, f);
+      for (std::size_t i = col; i < k_; ++i) {
+        m[r].coeff[i] = gf_add(m[r].coeff[i], gf_mul(f, m[col].coeff[i]));
+      }
+    }
+  }
+  std::vector<std::byte> out;
+  out.reserve(k_ * chunk_len_);
+  for (std::size_t i = 0; i < k_; ++i) {
+    out.insert(out.end(), m[i].data.begin(), m[i].data.end());
+  }
+  return out;
+}
+
+}  // namespace croupier::fec

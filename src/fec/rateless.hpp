@@ -1,0 +1,81 @@
+// Rateless erasure codec over GF(256) for fragmented messages.
+//
+// A message split into k equal-size chunks (tail zero-padded) can ship
+// any number of extra repair fragments; a receiver reconstructs the
+// message from ANY k distinct fragments, source or repair — the k-of-n
+// property (wh256/Wirehair-style, but with a systematic Cauchy
+// construction instead of random rows so recovery is guaranteed, not
+// just probable).
+//
+// Repair row r mixes the sources with Cauchy coefficients
+//   coeff(r, i) = 1 / ((k + r) XOR i)   in GF(256),
+// a pure function of (k, r, i): repair payloads can be generated on
+// demand ("rateless") without consuming any RNG stream, and both sides
+// derive the same matrix from the fragment indices already on the wire.
+// Every square submatrix of a Cauchy matrix is invertible, so decoding
+// succeeds at exactly k received rows and fails cleanly below k. The
+// construction needs k + repairs <= 256 distinct field points
+// (kMaxCodedFragments); the packet layer falls back to plain
+// fragmentation beyond that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace croupier::fec {
+
+/// Cauchy construction limit: source + repair fragment indices must be
+/// distinct points of GF(256).
+constexpr std::size_t kMaxCodedFragments = 256;
+
+/// Coefficient of source chunk `source_index` (< k) in repair row
+/// `repair_index` (wire fragment index k + repair_index).
+[[nodiscard]] std::uint8_t repair_coeff(std::size_t k,
+                                        std::size_t repair_index,
+                                        std::size_t source_index);
+
+/// Builds repair payload `repair_index` over `message` split into k
+/// chunks of chunk_len bytes (the tail chunk implicitly zero-padded).
+/// Requires k >= 1, k * chunk_len >= message.size() and
+/// k + repair_index < kMaxCodedFragments.
+[[nodiscard]] std::vector<std::byte> encode_repair(
+    std::span<const std::byte> message, std::size_t k, std::size_t chunk_len,
+    std::size_t repair_index);
+
+/// Accumulates received fragments of one coded message and solves for
+/// the source chunks once k distinct rows arrived.
+class Decoder {
+ public:
+  Decoder(std::size_t k, std::size_t chunk_len);
+
+  /// Adds fragment `index` (< k: source chunk, >= k: repair row). Short
+  /// payloads are zero-padded to chunk_len. Returns false for a
+  /// duplicate index or when k rows are already held.
+  bool add(std::size_t index, std::span<const std::byte> payload);
+
+  /// True once k distinct fragments are held.
+  [[nodiscard]] bool ready() const { return rows_.size() == k_; }
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Gaussian elimination over the held rows; the concatenated k source
+  /// chunks (k * chunk_len bytes) on success, nullopt when fewer than k
+  /// rows are held (or the rows are singular, which the Cauchy
+  /// construction rules out for its own fragments).
+  [[nodiscard]] std::optional<std::vector<std::byte>> decode() const;
+
+ private:
+  struct Row {
+    std::vector<std::uint8_t> coeff;  // k coefficients
+    std::vector<std::byte> data;      // chunk_len bytes
+  };
+
+  std::size_t k_;
+  std::size_t chunk_len_;
+  std::vector<std::size_t> indices_;  // accepted fragment indices
+  std::vector<Row> rows_;
+};
+
+}  // namespace croupier::fec

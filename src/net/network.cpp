@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "wire/wire.hpp"
 
 namespace croupier::net {
 
@@ -25,6 +26,13 @@ Network::Network(sim::Simulator& simulator,
     : Network(simulator, std::move(latency), rng,
               make_loss_model(LossConfig::uniform(loss_probability))) {}
 
+void Network::set_packet_config(const PacketConfig& cfg) {
+  CROUPIER_ASSERT_MSG(next_msg_id_ == 1 && meter_.per_node().empty(),
+                      "packet config must be set before traffic flows");
+  packet_ = cfg;
+  fragmenter_ = Fragmenter(cfg);
+}
+
 void Network::attach(NodeId id, const NatConfig& cfg,
                      MessageHandler& handler) {
   CROUPIER_ASSERT_MSG(!nodes_.contains(id), "NodeId already attached");
@@ -38,6 +46,7 @@ void Network::attach(NodeId id, const NatConfig& cfg,
 void Network::detach(NodeId id) {
   const auto erased = nodes_.erase(id);
   CROUPIER_ASSERT_MSG(erased == 1, "detach of unattached node");
+  buckets_.erase(id);
 }
 
 NatType Network::type_of(NodeId id) const {
@@ -75,6 +84,11 @@ IpAddr Network::public_ip(NodeId id) const {
   return IpAddr{0x52000000u | (id & 0x00ffffffu)};
 }
 
+std::size_t Network::pending_reassemblies(NodeId id) const {
+  const auto it = nodes_.find(id);
+  return it == nodes_.end() ? 0 : it->second.assemblies.size();
+}
+
 void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   CROUPIER_ASSERT(msg != nullptr);
   const auto from_it = nodes_.find(from);
@@ -82,7 +96,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
 
   // Serialization cost is charged here so it runs on the worker when the
   // parallel engine is active.
-  const std::size_t bytes = msg->wire_size() + kUdpIpHeaderBytes;
+  const std::size_t wire_bytes = msg->wire_size();
 
   // The sender's own gateway opens/refreshes a mapping toward `to`
   // regardless of whether the packet ultimately arrives. The box belongs
@@ -91,6 +105,27 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
     from_it->second.nat->on_outbound(simulator_.now(), to);
   }
 
+  if (fragmenter_.needs_fragmentation(wire_bytes)) {
+    // Encode and split on the worker (pure sender-local work); the
+    // msg_id is stamped by the serial half.
+    wire::Writer w;
+    msg->encode(w);
+    const std::vector<std::byte> buf = std::move(w).take();
+    CROUPIER_ASSERT_MSG(buf.size() == wire_bytes,
+                        "wire_size() disagrees with encode()");
+    auto frags = fragmenter_.split(0, buf);
+    if (!simulator_.deferring()) {
+      finish_send_fragments(from, to, std::move(msg), std::move(frags));
+      return;
+    }
+    simulator_.defer([this, from, to, msg = std::move(msg),
+                      frags = std::move(frags)]() mutable {
+      finish_send_fragments(from, to, std::move(msg), std::move(frags));
+    });
+    return;
+  }
+
+  const std::size_t bytes = wire_bytes + kUdpIpHeaderBytes;
   if (!simulator_.deferring()) {
     // Sequential engine (or serial-affinity event): no closure, no
     // allocation — the pre-parallel-engine hot path unchanged.
@@ -107,28 +142,44 @@ NatType Network::class_or_public(NodeId id) const {
   return it == nodes_.end() ? NatType::Public : it->second.cfg.nat_type();
 }
 
+double Network::loss_probability(NodeId from, NodeId to) const {
+  if (loss_ == nullptr) return 0.0;
+  // Class lookups are paid only for models that read them.
+  return loss_class_sensitive_
+             ? loss_->probability(simulator_.now(), class_or_public(from),
+                                  class_or_public(to))
+             : loss_->probability(simulator_.now(), NatType::Public,
+                                  NatType::Public);
+}
+
+sim::Duration Network::bucket_delay(NodeId from, std::size_t bytes) {
+  if (packet_.bandwidth_bps == 0) return 0;
+  auto it = buckets_.find(from);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(from, TokenBucket(packet_.bandwidth_bps,
+                                        packet_.burst_bytes()))
+             .first;
+  }
+  return it->second.charge(simulator_.now(), bytes);
+}
+
 void Network::finish_send(NodeId from, NodeId to, MessagePtr msg,
                           std::size_t bytes) {
   meter_.on_send(from, bytes);
+  const sim::Duration queue_delay = bucket_delay(from, bytes);
 
   // One die roll per packet with a positive drop probability — and none
   // otherwise, exactly the draw pattern of the historic uniform scalar,
-  // so pre-LossModel runs replay byte-identically. Class lookups are
-  // paid only for models that read them.
-  if (loss_ != nullptr) {
-    const double p =
-        loss_class_sensitive_
-            ? loss_->probability(simulator_.now(), class_or_public(from),
-                                 class_or_public(to))
-            : loss_->probability(simulator_.now(), NatType::Public,
-                                 NatType::Public);
-    if (p > 0.0 && rng_.chance(p)) {
-      ++drops_.loss;
-      return;
-    }
+  // so pre-LossModel runs replay byte-identically.
+  const double p = loss_probability(from, to);
+  if (p > 0.0 && rng_.chance(p)) {
+    ++drops_.loss;
+    drops_.loss_bytes += bytes;
+    return;
   }
 
-  const sim::Duration delay = latency_->sample(from, to, rng_);
+  const sim::Duration delay = queue_delay + latency_->sample(from, to, rng_);
   const sim::Affinity affinity =
       delivery_affinity_ ? delivery_affinity_(to, *msg) : sim::kSerialAffinity;
   simulator_.schedule_after(
@@ -138,6 +189,36 @@ void Network::finish_send(NodeId from, NodeId to, MessagePtr msg,
       });
 }
 
+void Network::finish_send_fragments(NodeId from, NodeId to, MessagePtr msg,
+                                    std::vector<Fragment> frags) {
+  const std::uint64_t msg_id = next_msg_id_++;
+  const double p = loss_probability(from, to);
+  const sim::Affinity affinity =
+      delivery_affinity_ ? delivery_affinity_(to, *msg) : sim::kSerialAffinity;
+  for (auto& frag : frags) {
+    frag.header.msg_id = msg_id;
+    const std::size_t bytes = frag.wire_size() + kUdpIpHeaderBytes;
+    meter_.on_send(from, bytes);
+    ++drops_.fragments_sent;
+    // The datagram leaves the sender's access link whether or not the
+    // loss die downstream kills it, so the bucket is charged first.
+    const sim::Duration queue_delay = bucket_delay(from, bytes);
+    if (p > 0.0 && rng_.chance(p)) {
+      ++drops_.loss;
+      drops_.loss_bytes += bytes;
+      ++drops_.fragments_lost;
+      continue;
+    }
+    const sim::Duration delay =
+        queue_delay + latency_->sample(from, to, rng_);
+    simulator_.schedule_after(
+        delay, affinity,
+        [this, from, to, msg, frag = std::move(frag), bytes]() mutable {
+          deliver_fragment(from, to, std::move(msg), std::move(frag), bytes);
+        });
+  }
+}
+
 void Network::deliver(NodeId from, NodeId to, MessagePtr msg,
                       std::size_t bytes) {
   const bool deferring = simulator_.deferring();
@@ -145,8 +226,12 @@ void Network::deliver(NodeId from, NodeId to, MessagePtr msg,
   if (to_it == nodes_.end()) {
     if (!deferring) {
       ++drops_.dead_receiver;
+      drops_.dead_receiver_bytes += bytes;
     } else {
-      simulator_.defer([this] { ++drops_.dead_receiver; });
+      simulator_.defer([this, bytes] {
+        ++drops_.dead_receiver;
+        drops_.dead_receiver_bytes += bytes;
+      });
     }
     return;
   }
@@ -154,21 +239,132 @@ void Network::deliver(NodeId from, NodeId to, MessagePtr msg,
       !to_it->second.nat->allows_inbound(simulator_.now(), from)) {
     if (!deferring) {
       ++drops_.nat_filtered;
+      drops_.nat_filtered_bytes += bytes;
     } else {
-      simulator_.defer([this] { ++drops_.nat_filtered; });
+      simulator_.defer([this, bytes] {
+        ++drops_.nat_filtered;
+        drops_.nat_filtered_bytes += bytes;
+      });
     }
     return;
   }
   if (!deferring) {
     ++drops_.delivered;
+    drops_.delivered_bytes += bytes;
     meter_.on_deliver(to, bytes);
   } else {
     simulator_.defer([this, to, bytes] {
       ++drops_.delivered;
+      drops_.delivered_bytes += bytes;
       meter_.on_deliver(to, bytes);
     });
   }
   to_it->second.handler->on_message(from, *msg);
+}
+
+void Network::deliver_fragment(NodeId from, NodeId to, MessagePtr msg,
+                               Fragment frag, std::size_t bytes) {
+  const bool deferring = simulator_.deferring();
+  const auto to_it = nodes_.find(to);
+  if (to_it == nodes_.end()) {
+    if (!deferring) {
+      ++drops_.dead_receiver;
+      drops_.dead_receiver_bytes += bytes;
+      ++drops_.fragments_lost;
+    } else {
+      simulator_.defer([this, bytes] {
+        ++drops_.dead_receiver;
+        drops_.dead_receiver_bytes += bytes;
+        ++drops_.fragments_lost;
+      });
+    }
+    return;
+  }
+  if (to_it->second.nat.has_value() &&
+      !to_it->second.nat->allows_inbound(simulator_.now(), from)) {
+    if (!deferring) {
+      ++drops_.nat_filtered;
+      drops_.nat_filtered_bytes += bytes;
+      ++drops_.fragments_lost;
+    } else {
+      simulator_.defer([this, bytes] {
+        ++drops_.nat_filtered;
+        drops_.nat_filtered_bytes += bytes;
+        ++drops_.fragments_lost;
+      });
+    }
+    return;
+  }
+  if (!deferring) {
+    drops_.delivered_bytes += bytes;
+    meter_.on_deliver(to, bytes);
+  } else {
+    simulator_.defer([this, to, bytes] {
+      drops_.delivered_bytes += bytes;
+      meter_.on_deliver(to, bytes);
+    });
+  }
+
+  // Reassembly buffers are the receiving node's own state (this event is
+  // sharded on `to`, like the NAT box above), so the mutation is inline.
+  auto& assemblies = to_it->second.assemblies;
+  auto it = assemblies.find(frag.header.msg_id);
+  if (it == assemblies.end()) {
+    it = assemblies
+             .emplace(frag.header.msg_id,
+                      Assembly{FragmentAssembly(frag.header), msg})
+             .first;
+    // One GC event per entry, armed at first-fragment arrival. Never
+    // cancelled (cancel() is off-limits inside parallel batches): if the
+    // message completes first, the entry sits inert — suppressing late
+    // duplicates — until the timeout sweeps it.
+    const std::uint64_t msg_id = frag.header.msg_id;
+    const sim::Affinity affinity = delivery_affinity_
+                                       ? delivery_affinity_(to, *msg)
+                                       : sim::kSerialAffinity;
+    simulator_.schedule_after(
+        packet_.reassembly_timeout, affinity,
+        [this, to, msg_id] { expire_assembly(to, msg_id); });
+  }
+  if (it->second.frags.add(frag.header, frag.payload)) {
+    // This fragment completed the message: reconstruct the bytes (the
+    // honest path — repair fragments really decode) and deliver the
+    // carried message.
+    const auto reassembled = it->second.frags.bytes();
+    CROUPIER_ASSERT_MSG(reassembled.has_value() &&
+                            reassembled->size() == frag.header.total_len,
+                        "reassembly yielded the wrong byte count");
+    const auto held =
+        static_cast<std::uint64_t>(it->second.frags.fragments_held());
+    if (!deferring) {
+      ++drops_.delivered;
+      drops_.fragments_reassembled += held;
+    } else {
+      simulator_.defer([this, held] {
+        ++drops_.delivered;
+        drops_.fragments_reassembled += held;
+      });
+    }
+    to_it->second.handler->on_message(from, *it->second.msg);
+  }
+}
+
+void Network::expire_assembly(NodeId to, std::uint64_t msg_id) {
+  const auto to_it = nodes_.find(to);
+  if (to_it == nodes_.end()) return;  // node died; state already gone
+  auto& assemblies = to_it->second.assemblies;
+  const auto it = assemblies.find(msg_id);
+  if (it == assemblies.end()) return;
+  if (!it->second.frags.complete()) {
+    const auto held =
+        static_cast<std::uint64_t>(it->second.frags.fragments_held());
+    if (!simulator_.deferring()) {
+      drops_.fragments_expired += held;
+    } else {
+      simulator_.defer([this, held] { drops_.fragments_expired += held; });
+    }
+  }
+  assemblies.erase(it);
 }
 
 std::string to_string(IpAddr ip) {

@@ -8,14 +8,26 @@
 // the property ("private nodes cannot be reached unless they initiated
 // contact") that all the protocols in this repository are designed around.
 //
+// Packet layer (net/packet): with a PacketConfig whose mtu is positive, a
+// message larger than the MTU is split into framed fragments, each its
+// own datagram — its own loss die, latency sample and byte charge — and
+// reassembled at the receiver (FEC repair fragments optional); incomplete
+// reassemblies are garbage-collected after a deterministic timeout. A
+// positive bandwidth_bps additionally meters every sender through a
+// TokenBucket whose queueing delay adds to the propagation latency, so
+// saturation shows up as RTT inflation. With the default config
+// (mtu=0, no bandwidth cap) none of this machinery runs and the Network
+// is byte-identical to its pre-packet self.
+//
 // Parallel-engine contract: send() and deliver() run on worker threads
 // when the round-synchronous engine is active, so every touch of shared
 // state — the traffic meter, the loss/latency RNG, the drop counters, and
 // the event queue — is routed through Simulator::defer(), which replays
 // the effects serially in deterministic order. Only the calling node's
-// own NAT box is mutated inline (events are sharded by node, so that is
-// single-threaded by construction). Under the sequential engine defer()
-// degenerates to an immediate call and nothing changes.
+// own NAT box (and, on delivery, the receiving node's own reassembly
+// buffers — sharded by receiver exactly like the NAT box) is mutated
+// inline.  Under the sequential engine defer() degenerates to an
+// immediate call and nothing changes.
 #pragma once
 
 #include <cstdint>
@@ -23,12 +35,15 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "net/address.hpp"
 #include "net/latency.hpp"
 #include "net/loss.hpp"
 #include "net/message.hpp"
 #include "net/nat.hpp"
+#include "net/packet.hpp"
+#include "net/token_bucket.hpp"
 #include "net/traffic.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -38,10 +53,22 @@ namespace croupier::net {
 class Network {
  public:
   struct DropStats {
-    std::uint64_t loss = 0;        // random packet loss
+    std::uint64_t loss = 0;        // random packet loss (datagrams)
     std::uint64_t nat_filtered = 0;  // receiver NAT/firewall rejected sender
     std::uint64_t dead_receiver = 0;  // receiver left before delivery
-    std::uint64_t delivered = 0;
+    std::uint64_t delivered = 0;      // messages handed to handlers
+
+    // Wire bytes (UDP/IP headers included) per datagram outcome.
+    std::uint64_t loss_bytes = 0;
+    std::uint64_t nat_filtered_bytes = 0;
+    std::uint64_t dead_receiver_bytes = 0;
+    std::uint64_t delivered_bytes = 0;  // accepted by live receivers
+
+    // Packet layer (mtu > 0) only.
+    std::uint64_t fragments_sent = 0;
+    std::uint64_t fragments_lost = 0;  // loss + NAT-filtered + dead receiver
+    std::uint64_t fragments_reassembled = 0;  // consumed by completed messages
+    std::uint64_t fragments_expired = 0;      // dropped by reassembly GC
   };
 
   /// `loss` may be nullptr (a loss-free network: the loss die is never
@@ -53,6 +80,12 @@ class Network {
   /// wraps the probability in a UniformLoss model (0 = lossless).
   Network(sim::Simulator& simulator, std::unique_ptr<LatencyModel> latency,
           sim::RngStream rng, double loss_probability);
+
+  /// Arms the packet layer (MTU fragmentation, FEC, bandwidth caps).
+  /// Call before any traffic flows; the default PacketConfig keeps every
+  /// pre-packet run byte-identical.
+  void set_packet_config(const PacketConfig& cfg);
+  [[nodiscard]] const PacketConfig& packet_config() const { return packet_; }
 
   /// Registers a node. The handler must outlive the attachment.
   void attach(NodeId id, const NatConfig& cfg, MessageHandler& handler);
@@ -87,7 +120,7 @@ class Network {
   }
 
   /// Lower bound on the one-way latency of every packet (the parallel
-  /// engine's causal lookahead).
+  /// engine's causal lookahead; token-bucket queueing only ever adds).
   [[nodiscard]] sim::Duration min_latency() const {
     return latency_->min_latency();
   }
@@ -102,18 +135,50 @@ class Network {
   [[nodiscard]] const DropStats& drops() const { return drops_; }
   [[nodiscard]] sim::Simulator& simulator() { return simulator_; }
 
+  /// Incomplete reassembly entries currently buffered at `id` (tests).
+  [[nodiscard]] std::size_t pending_reassemblies(NodeId id) const;
+
  private:
+  /// One in-progress fragmented message at a receiver. The carried
+  /// MessagePtr is what reaches the handler once the byte-level
+  /// reassembly completes (the entry survives, inert, until its GC
+  /// timeout so late duplicates cannot re-open it).
+  struct Assembly {
+    FragmentAssembly frags;
+    MessagePtr msg;
+  };
+
   struct NodeState {
     NatConfig cfg;
     std::optional<NatBox> nat;  // engaged for Natted/Firewalled nodes
     MessageHandler* handler = nullptr;
+    /// Reassembly buffers, keyed by msg_id. Receiver-sharded state like
+    /// the NAT box: mutated inline from delivery events, never iterated.
+    std::unordered_map<std::uint64_t, Assembly> assemblies;
   };
 
-  /// The shared-state half of send(): meter charge, loss roll, latency
-  /// sample, delivery scheduling. Runs serially (directly from send() or
-  /// replayed by the parallel merge).
+  /// The shared-state half of send(): meter charge, bucket charge, loss
+  /// roll, latency sample, delivery scheduling. Runs serially (directly
+  /// from send() or replayed by the parallel merge).
   void finish_send(NodeId from, NodeId to, MessagePtr msg, std::size_t bytes);
+  /// Same serial half for a fragmented message: assigns the msg_id and
+  /// runs the per-datagram pipeline for every fragment.
+  void finish_send_fragments(NodeId from, NodeId to, MessagePtr msg,
+                             std::vector<Fragment> frags);
   void deliver(NodeId from, NodeId to, MessagePtr msg, std::size_t bytes);
+  void deliver_fragment(NodeId from, NodeId to, MessagePtr msg,
+                        Fragment frag, std::size_t bytes);
+  /// Reassembly GC: drops the entry for (to, msg_id); counts its
+  /// fragments as expired when the message never completed.
+  void expire_assembly(NodeId to, std::uint64_t msg_id);
+
+  /// Sender's token-bucket queueing delay for one datagram (0 when
+  /// bandwidth metering is off). Serial-half only.
+  sim::Duration bucket_delay(NodeId from, std::size_t bytes);
+
+  /// Loss probability for a (from, to) datagram right now; 0 without a
+  /// loss model.
+  [[nodiscard]] double loss_probability(NodeId from, NodeId to) const;
 
   /// NAT class for the loss model; a node that already left resolves to
   /// Public (the packet is doomed at delivery anyway — the rule only has
@@ -125,7 +190,13 @@ class Network {
   sim::RngStream rng_;
   std::unique_ptr<LossModel> loss_;
   bool loss_class_sensitive_ = false;  // cached loss_->class_sensitive()
+  PacketConfig packet_;
+  Fragmenter fragmenter_{PacketConfig{}};
+  std::uint64_t next_msg_id_ = 1;  // serial half only
   std::unordered_map<NodeId, NodeState> nodes_;
+  /// Per-sender buckets, created on first charge; serial-half only,
+  /// never iterated.
+  std::unordered_map<NodeId, TokenBucket> buckets_;
   TrafficMeter meter_;
   DropStats drops_;
   DeliveryAffinityFn delivery_affinity_;

@@ -1,0 +1,143 @@
+#include "net/packet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace croupier::net {
+
+void FragmentHeader::encode(wire::Writer& w) const {
+  w.u64(msg_id);
+  w.u16(index);
+  w.u16(count);
+  w.u16(source);
+  w.u16(payload_len);
+  w.u32(total_len);
+}
+
+FragmentHeader FragmentHeader::decode(wire::Reader& r) {
+  FragmentHeader h;
+  h.msg_id = r.u64();
+  h.index = r.u16();
+  h.count = r.u16();
+  h.source = r.u16();
+  h.payload_len = r.u16();
+  h.total_len = r.u32();
+  return h;
+}
+
+Fragmenter::Fragmenter(const PacketConfig& cfg) : cfg_(cfg) {
+  if (cfg_.mtu > 0) {
+    CROUPIER_ASSERT_MSG(cfg_.mtu > kFragmentHeaderBytes,
+                        "mtu must exceed the fragment header");
+    CROUPIER_ASSERT(cfg_.mtu <= kMaxMtu);
+  }
+}
+
+std::size_t Fragmenter::source_count(std::size_t message_bytes) const {
+  CROUPIER_ASSERT(needs_fragmentation(message_bytes));
+  const std::size_t chunk_cap = cfg_.mtu - kFragmentHeaderBytes;
+  return (message_bytes + chunk_cap - 1) / chunk_cap;
+}
+
+std::size_t Fragmenter::repair_count(std::size_t k) const {
+  if (!cfg_.fec_active()) return 0;
+  if (k >= fec::kMaxCodedFragments) return 0;  // plain-fragmentation fallback
+  std::size_t r = cfg_.fec_repair;
+  if (cfg_.fec_rate > 0.0) {
+    r += static_cast<std::size_t>(
+        std::ceil(cfg_.fec_rate * static_cast<double>(k)));
+  }
+  return std::min(r, fec::kMaxCodedFragments - k);
+}
+
+std::vector<Fragment> Fragmenter::split(
+    std::uint64_t msg_id, std::span<const std::byte> message) const {
+  CROUPIER_ASSERT(needs_fragmentation(message.size()));
+  const std::size_t k = source_count(message.size());
+  const std::size_t r = repair_count(k);
+  // Equal-size chunks (tail zero-padded logically) so repair rows line
+  // up; chunk_len <= mtu - header holds because k is the ceiling split.
+  const std::size_t chunk_len = (message.size() + k - 1) / k;
+  CROUPIER_ASSERT(chunk_len <= cfg_.mtu - kFragmentHeaderBytes);
+  CROUPIER_ASSERT_MSG(k + r <= 0xffff, "message too large for u16 fragment "
+                                       "count at this mtu");
+
+  std::vector<Fragment> out;
+  out.reserve(k + r);
+  FragmentHeader h;
+  h.msg_id = msg_id;
+  h.count = static_cast<std::uint16_t>(k + r);
+  h.source = static_cast<std::uint16_t>(k);
+  h.total_len = static_cast<std::uint32_t>(message.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t begin = i * chunk_len;
+    const std::size_t len = std::min(chunk_len, message.size() - begin);
+    h.index = static_cast<std::uint16_t>(i);
+    h.payload_len = static_cast<std::uint16_t>(len);
+    out.push_back(Fragment{
+        h, std::vector<std::byte>(message.begin() +
+                                      static_cast<std::ptrdiff_t>(begin),
+                                  message.begin() +
+                                      static_cast<std::ptrdiff_t>(begin +
+                                                                  len))});
+  }
+  for (std::size_t j = 0; j < r; ++j) {
+    h.index = static_cast<std::uint16_t>(k + j);
+    h.payload_len = static_cast<std::uint16_t>(chunk_len);
+    out.push_back(
+        Fragment{h, fec::encode_repair(message, k, chunk_len, j)});
+  }
+  return out;
+}
+
+FragmentAssembly::FragmentAssembly(const FragmentHeader& first)
+    : geometry_(first),
+      chunk_len_((first.total_len + first.source - 1) / first.source) {
+  CROUPIER_ASSERT(first.source >= 1 && first.count >= first.source);
+  CROUPIER_ASSERT(first.total_len >= 1);
+  have_.assign(first.count, false);
+  if (first.count > first.source) {
+    // Coded message: repair fragments can substitute for any source, so
+    // rows go through the GF(256) decoder (sender guarantees the Cauchy
+    // bound for coded messages).
+    decoder_.emplace(first.source, chunk_len_);
+  } else {
+    buffer_.assign(first.total_len, std::byte{0});
+  }
+}
+
+bool FragmentAssembly::add(const FragmentHeader& h,
+                           std::span<const std::byte> payload) {
+  if (h.msg_id != geometry_.msg_id || h.count != geometry_.count ||
+      h.source != geometry_.source || h.total_len != geometry_.total_len ||
+      h.index >= h.count || payload.size() != h.payload_len ||
+      payload.size() > chunk_len_) {
+    return false;  // corrupt or mismatched frame: ignore
+  }
+  if (complete() || have_[h.index]) return false;
+  have_[h.index] = true;
+  if (decoder_.has_value()) {
+    decoder_->add(h.index, payload);
+  } else {
+    // Plain fragmentation: chunk h.index lands at a fixed offset.
+    const std::size_t begin = static_cast<std::size_t>(h.index) * chunk_len_;
+    CROUPIER_ASSERT(begin + payload.size() <= buffer_.size());
+    std::copy(payload.begin(), payload.end(),
+              buffer_.begin() + static_cast<std::ptrdiff_t>(begin));
+  }
+  ++held_;
+  return complete();
+}
+
+std::optional<std::vector<std::byte>> FragmentAssembly::bytes() const {
+  if (!complete()) return std::nullopt;
+  if (!decoder_.has_value()) return buffer_;
+  auto padded = decoder_->decode();
+  if (!padded.has_value()) return std::nullopt;
+  padded->resize(geometry_.total_len);  // trim the zero-padded tail chunk
+  return padded;
+}
+
+}  // namespace croupier::net

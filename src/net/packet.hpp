@@ -1,0 +1,158 @@
+// Packet layer: MTU fragmentation framing and receiver-side reassembly.
+//
+// With `mtu=0` (the default) the layer is off and the Network treats a
+// message as one indivisible datagram — the historic model, byte
+// identical to every pre-packet run. With a positive MTU, a message
+// whose wire size exceeds it is split into k = ceil(size / (mtu -
+// header)) framed fragments, each riding its own datagram: its own loss
+// die, its own latency sample, its own byte charge. Optionally
+// (PacketConfig::fec_*) the sender appends rateless repair fragments
+// (fec/rateless) so the receiver can reconstruct from any k of the
+// k + r sent.
+//
+// Fragment frame (kFragmentHeaderBytes = 20, big-endian, on top of each
+// datagram payload):
+//
+//   u64 msg_id       globally unique per fragmented message
+//   u16 index        0..count-1; >= source means repair fragment
+//   u16 count        fragments sent for this message (k + repairs)
+//   u16 source       k, the source-chunk count
+//   u16 payload_len  bytes of chunk data following this header
+//   u32 total_len    original message wire size
+//
+// Reassembly (FragmentAssembly) completes on any k distinct fragments;
+// the Network garbage-collects incomplete entries after a deterministic
+// timeout so lossy links cannot grow receiver state without bound.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fec/rateless.hpp"
+#include "sim/time.hpp"
+#include "wire/wire.hpp"
+
+namespace croupier::net {
+
+/// Fixed per-fragment frame overhead (see layout above).
+constexpr std::size_t kFragmentHeaderBytes = 20;
+
+/// Largest meaningful MTU: the UDP payload limit over IPv4.
+constexpr std::size_t kMaxMtu = 65507;
+
+struct PacketConfig {
+  /// Max UDP payload bytes per datagram; 0 = packet layer off (whole
+  /// messages ride single datagrams, the historic byte-identical model).
+  std::size_t mtu = 0;
+  /// Per-node token-bucket rate in bytes/second; 0 = uncapped.
+  std::uint64_t bandwidth_bps = 0;
+  /// Bucket depth in bytes; 0 = one second of tokens (== rate).
+  std::uint64_t bandwidth_burst = 0;
+  /// Fixed repair fragments appended per fragmented message.
+  std::uint32_t fec_repair = 0;
+  /// Proportional repair: ceil(fec_rate * k) extra repair fragments.
+  double fec_rate = 0.0;
+  /// Incomplete reassembly entries are dropped this long after their
+  /// first fragment arrives.
+  sim::Duration reassembly_timeout = sim::sec(3);
+
+  /// True when any packet machinery (fragmentation or bandwidth
+  /// metering) is on; false = the pre-packet Network::send path.
+  [[nodiscard]] bool active() const { return mtu > 0 || bandwidth_bps > 0; }
+  [[nodiscard]] bool fec_active() const {
+    return mtu > 0 && (fec_repair > 0 || fec_rate > 0.0);
+  }
+  [[nodiscard]] std::uint64_t burst_bytes() const {
+    return bandwidth_burst > 0 ? bandwidth_burst : bandwidth_bps;
+  }
+};
+
+struct FragmentHeader {
+  std::uint64_t msg_id = 0;
+  std::uint16_t index = 0;
+  std::uint16_t count = 0;
+  std::uint16_t source = 0;
+  std::uint16_t payload_len = 0;
+  std::uint32_t total_len = 0;
+
+  void encode(wire::Writer& w) const;
+  /// Zeroed header with r.ok() == false on truncated input (the Reader
+  /// latches; callers check once).
+  static FragmentHeader decode(wire::Reader& r);
+
+  friend bool operator==(const FragmentHeader&,
+                         const FragmentHeader&) = default;
+};
+
+struct Fragment {
+  FragmentHeader header;
+  std::vector<std::byte> payload;
+
+  /// Bytes this fragment occupies on the wire (frame + chunk), before
+  /// the UDP/IP headers the Network charges per datagram.
+  [[nodiscard]] std::size_t wire_size() const {
+    return kFragmentHeaderBytes + payload.size();
+  }
+};
+
+/// Splits encoded messages into framed fragments per a PacketConfig.
+class Fragmenter {
+ public:
+  explicit Fragmenter(const PacketConfig& cfg);
+
+  /// True when a message of this wire size must be split (mtu on and
+  /// exceeded). Smaller messages ride one classic datagram, frame-free.
+  [[nodiscard]] bool needs_fragmentation(std::size_t message_bytes) const {
+    return cfg_.mtu > 0 && message_bytes > cfg_.mtu;
+  }
+
+  /// Source fragment count k = ceil(size / (mtu - header)).
+  [[nodiscard]] std::size_t source_count(std::size_t message_bytes) const;
+
+  /// Repair fragments for a k-chunk message: fec_repair + ceil(fec_rate
+  /// * k), clamped so k + r fits the Cauchy construction (and 0 when k
+  /// alone already exceeds it — plain fragmentation fallback).
+  [[nodiscard]] std::size_t repair_count(std::size_t k) const;
+
+  /// Splits `message` into source + repair fragments stamped with
+  /// msg_id. Requires needs_fragmentation(message.size()).
+  [[nodiscard]] std::vector<Fragment> split(
+      std::uint64_t msg_id, std::span<const std::byte> message) const;
+
+ private:
+  PacketConfig cfg_;
+};
+
+/// Receiver-side accumulator for one fragmented message.
+class FragmentAssembly {
+ public:
+  /// Geometry is taken from the first fragment seen (fragments of one
+  /// msg_id always agree in-sim; mismatching ones are ignored).
+  explicit FragmentAssembly(const FragmentHeader& first);
+
+  /// Feeds one fragment. Duplicates and geometry mismatches are
+  /// ignored. Returns true when this fragment completed the message.
+  bool add(const FragmentHeader& h, std::span<const std::byte> payload);
+
+  [[nodiscard]] bool complete() const { return held_ == geometry_.source; }
+  [[nodiscard]] std::size_t fragments_held() const { return held_; }
+
+  /// The reassembled message (total_len bytes), FEC-decoded when repair
+  /// fragments participated; nullopt while incomplete.
+  [[nodiscard]] std::optional<std::vector<std::byte>> bytes() const;
+
+ private:
+  FragmentHeader geometry_;
+  std::size_t chunk_len_;
+  std::size_t held_ = 0;
+  std::vector<bool> have_;  // per fragment index, duplicate suppression
+  /// Plain messages (count == source) assemble chunks in place; coded
+  /// ones (repair fragments present) go through the GF(256) decoder.
+  std::vector<std::byte> buffer_;
+  std::optional<fec::Decoder> decoder_;
+};
+
+}  // namespace croupier::net

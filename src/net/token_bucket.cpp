@@ -1,0 +1,38 @@
+#include "net/token_bucket.hpp"
+
+#include "common/assert.hpp"
+
+namespace croupier::net {
+
+TokenBucket::TokenBucket(std::uint64_t rate_bps, std::uint64_t burst_bytes)
+    : rate_(static_cast<std::int64_t>(rate_bps)),
+      capacity_ub_(static_cast<std::int64_t>(burst_bytes) * kUbPerByte),
+      tokens_ub_(capacity_ub_) {
+  CROUPIER_ASSERT_MSG(rate_ > 0, "token bucket needs a positive rate");
+  CROUPIER_ASSERT_MSG(capacity_ub_ > 0, "token bucket needs a positive burst");
+}
+
+sim::Duration TokenBucket::charge(sim::SimTime now, std::size_t bytes) {
+  CROUPIER_ASSERT_MSG(now >= last_, "token bucket charged out of order");
+  const auto elapsed = static_cast<std::int64_t>(now - last_);
+  last_ = now;
+
+  // Accrue rate_ µB per µs, saturating at the burst capacity. The
+  // threshold test keeps rate_ * elapsed from overflowing after a long
+  // idle gap.
+  const std::int64_t headroom = capacity_ub_ - tokens_ub_;
+  if (elapsed >= headroom / rate_ + 1) {
+    tokens_ub_ = capacity_ub_;
+  } else {
+    tokens_ub_ += rate_ * elapsed;
+    if (tokens_ub_ > capacity_ub_) tokens_ub_ = capacity_ub_;
+  }
+
+  tokens_ub_ -= static_cast<std::int64_t>(bytes) * kUbPerByte;
+  if (tokens_ub_ >= 0) return 0;
+  // Backlogged: this datagram departs when its last token accrues.
+  const std::int64_t deficit = -tokens_ub_;
+  return static_cast<sim::Duration>((deficit + rate_ - 1) / rate_);
+}
+
+}  // namespace croupier::net

@@ -1,0 +1,50 @@
+// Per-node bandwidth cap as a token bucket with an unbounded queue.
+//
+// The bucket never drops: a charge that exceeds the available tokens
+// borrows from the future and returns the queueing delay — the time the
+// datagram waits for its last token — which the Network adds to the
+// propagation latency, so link saturation shows up as RTT inflation
+// (the paper's NAT'd home-link scenario the MTU work exists for).
+//
+// All arithmetic is exact integer math in micro-byte units (1 byte =
+// 1'000'000 µB, mirroring the µs clock): tokens accrue at rate_bps
+// µB/µs, a send costs bytes * 1e6 µB, and a negative balance of d µB
+// means a delay of ceil(d / rate) µs. No floats, no drift — the same
+// charge sequence yields the same delays on every engine, which is what
+// the determinism gate requires.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace croupier::net {
+
+class TokenBucket {
+ public:
+  /// rate_bps: sustained bytes/second (> 0). burst_bytes: bucket depth;
+  /// a burst of that many bytes passes with zero delay from a full
+  /// bucket.
+  TokenBucket(std::uint64_t rate_bps, std::uint64_t burst_bytes);
+
+  /// Charges `bytes` at simulation time `now` (calls must be in
+  /// non-decreasing `now` order — the serial send half guarantees it).
+  /// Returns the queueing delay to add to the datagram's latency.
+  sim::Duration charge(sim::SimTime now, std::size_t bytes);
+
+  /// Current balance in bytes (negative = backlog), for tests.
+  [[nodiscard]] std::int64_t balance_bytes() const {
+    return tokens_ub_ / kUbPerByte;
+  }
+
+ private:
+  static constexpr std::int64_t kUbPerByte = 1'000'000;
+
+  std::int64_t rate_;         // bytes/s == µB/µs
+  std::int64_t capacity_ub_;  // burst in µB
+  std::int64_t tokens_ub_;    // may go negative (queued backlog)
+  sim::SimTime last_ = 0;
+};
+
+}  // namespace croupier::net

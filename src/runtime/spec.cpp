@@ -182,6 +182,16 @@ net::LossConfig ExperimentSpec::LossSpec::to_config() const {
   return cfg;
 }
 
+net::PacketConfig ExperimentSpec::packet_config() const {
+  net::PacketConfig cfg;
+  cfg.mtu = mtu;
+  cfg.bandwidth_bps = bandwidth_bps;
+  cfg.bandwidth_burst = bandwidth_burst;
+  cfg.fec_repair = fec_repair;
+  cfg.fec_rate = fec_rate;
+  return cfg;
+}
+
 std::size_t ExperimentSpec::publics() const {
   return static_cast<std::size_t>(ratio * static_cast<double>(nodes) + 0.5);
 }
@@ -222,6 +232,20 @@ void ExperimentSpec::validate() const {
           "a class pair");
   }
   check(loss.after_s >= 0.0, "loss after must be >= 0");
+  // Packet-layer bounds checked here, not inside the Fragmenter/bucket
+  // asserts: an mtu smaller than the fragment frame or a bucket with
+  // burst but no rate used to crash mid-trial instead of failing at
+  // parse/validate time (same rationale as the loss-rate check above).
+  check(mtu == 0 || (mtu > net::kFragmentHeaderBytes && mtu <= net::kMaxMtu),
+        "mtu must be 0 (off) or in (20, 65507] — a datagram must carry "
+        "more than the fragment header");
+  check(bandwidth_burst == 0 || bandwidth_bps > 0,
+        "bandwidth burst requires a positive rate — a zero-rate bucket "
+        "would never drain");
+  check(fec_rate >= 0.0, "fec rate must be >= 0");
+  check((fec_repair == 0 && fec_rate == 0.0) || mtu > 0,
+        "fec requires a positive mtu — repair fragments only exist for "
+        "fragmented messages");
   check(skew >= 0.0 && skew < 1.0, "skew must be in [0, 1)");
   check(private_round_scale > 0.0, "private-round-scale must be positive");
   check(latency_ms > 0.0, "latency-ms must be positive");
@@ -290,6 +314,26 @@ std::string ExperimentSpec::to_string() const {
     emit_pair("priv-priv", loss.priv_priv);
     if (loss.after_s != 0.0) {
       out << sep << "after:" << fmt_double(loss.after_s);
+    }
+  }
+  emit_n("mtu", mtu, defaults.mtu);
+  if (bandwidth_bps != 0 || bandwidth_burst != 0) {
+    // Scalar shorthand when the burst is defaulted (validate guarantees
+    // a burst never appears without a rate).
+    if (bandwidth_burst == 0) {
+      out << " bandwidth=" << bandwidth_bps;
+    } else {
+      out << " bandwidth=rate:" << bandwidth_bps << ",burst:"
+          << bandwidth_burst;
+    }
+  }
+  if (fec_repair != 0 || fec_rate != 0.0) {
+    if (fec_rate == 0.0) {
+      out << " fec=" << fec_repair;
+    } else {
+      out << " fec=";
+      if (fec_repair != 0) out << "repair:" << fec_repair << ',';
+      out << "rate:" << fmt_double(fec_rate);
     }
   }
   emit_d("skew", skew, defaults.skew);
@@ -393,6 +437,39 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
       }
     } else if (key == "loss") {
       spec.loss = parse_loss(value);
+    } else if (key == "mtu") {
+      spec.mtu = parse_size(key, value);
+    } else if (key == "bandwidth") {
+      spec.bandwidth_bps = 0;
+      spec.bandwidth_burst = 0;
+      for (const auto& [sub, text] : split_subkeys(key, value)) {
+        if (sub.empty() || sub == "rate") {
+          spec.bandwidth_bps = parse_size("bandwidth rate", text);
+        } else if (sub == "burst") {
+          spec.bandwidth_burst = parse_size("bandwidth burst", text);
+        } else {
+          fail("spec: bandwidth subkey must be rate|burst, got \"" + sub +
+               "\"");
+        }
+      }
+      if (spec.bandwidth_bps == 0) {
+        fail("spec: bandwidth rate must be positive (omit the key for an "
+             "uncapped link)");
+      }
+    } else if (key == "fec") {
+      spec.fec_repair = 0;
+      spec.fec_rate = 0.0;
+      for (const auto& [sub, text] : split_subkeys(key, value)) {
+        if (sub.empty() || sub == "repair") {
+          const std::size_t v = parse_size("fec repair", text);
+          if (v > 0xffff) fail("spec: fec repair count out of range");
+          spec.fec_repair = static_cast<std::uint32_t>(v);
+        } else if (sub == "rate") {
+          spec.fec_rate = parse_double("fec rate", text);
+        } else {
+          fail("spec: fec subkey must be repair|rate, got \"" + sub + "\"");
+        }
+      }
     } else if (key == "skew") {
       spec.skew = parse_double(key, value);
     } else if (key == "private-round-scale") {
@@ -497,6 +574,21 @@ SpecBuilder& SpecBuilder::loss(const ExperimentSpec::LossSpec& loss) {
   spec_.loss = loss;
   return *this;
 }
+SpecBuilder& SpecBuilder::mtu(std::size_t bytes) {
+  spec_.mtu = bytes;
+  return *this;
+}
+SpecBuilder& SpecBuilder::bandwidth(std::uint64_t bytes_per_s,
+                                    std::uint64_t burst_bytes) {
+  spec_.bandwidth_bps = bytes_per_s;
+  spec_.bandwidth_burst = burst_bytes;
+  return *this;
+}
+SpecBuilder& SpecBuilder::fec(std::uint32_t repair, double rate) {
+  spec_.fec_repair = repair;
+  spec_.fec_rate = rate;
+  return *this;
+}
 SpecBuilder& SpecBuilder::skew(double fraction) {
   spec_.skew = fraction;
   return *this;
@@ -565,6 +657,7 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
   World::Config cfg;
   cfg.seed = seed;
   cfg.loss = spec_.loss.to_config();
+  cfg.packet = spec_.packet_config();
   cfg.round_period = from_ms(spec_.round_ms);
   cfg.clock_skew = spec_.skew;
   cfg.private_round_scale = spec_.private_round_scale;

@@ -115,6 +115,18 @@ struct ExperimentSpec {
 
   // Network conditions.
   LossSpec loss;
+
+  // Packet layer (net/packet). mtu=0 (default) = whole messages ride
+  // single datagrams, the historic byte-identical model; a positive mtu
+  // fragments larger messages, `fec` appends rateless repair fragments,
+  // and `bandwidth` meters each sender through a token bucket whose
+  // queueing delay inflates delivery latency.
+  std::size_t mtu = 0;               // bytes per datagram payload; 0 = off
+  std::uint64_t bandwidth_bps = 0;   // bytes/second per node; 0 = uncapped
+  std::uint64_t bandwidth_burst = 0;  // bucket depth bytes; 0 = 1 s of rate
+  std::uint32_t fec_repair = 0;      // fixed repair fragments per message
+  double fec_rate = 0.0;             // + ceil(rate * k) proportional repairs
+
   double skew = 0.01;                // World::Config::clock_skew
   double private_round_scale = 1.0;  // ablation_skew's adversarial bias
   World::LatencyKind latency = World::LatencyKind::King;
@@ -130,6 +142,9 @@ struct ExperimentSpec {
   [[nodiscard]] std::size_t publics() const;
   [[nodiscard]] std::size_t privates() const { return nodes - publics(); }
   [[nodiscard]] sim::Duration duration() const;
+
+  /// The net-layer form of the mtu/bandwidth/fec fields.
+  [[nodiscard]] net::PacketConfig packet_config() const;
 
   /// Throws std::invalid_argument on out-of-range fields (ratio outside
   /// [0,1], churn outside [0,1), zero nodes, non-positive duration, ...).
@@ -175,6 +190,10 @@ class SpecBuilder {
       double fraction, double at_s,
       ExperimentSpec::FailureCorr corr = ExperimentSpec::FailureCorr::Region);
   SpecBuilder& loss(const ExperimentSpec::LossSpec& loss);
+  SpecBuilder& mtu(std::size_t bytes);
+  SpecBuilder& bandwidth(std::uint64_t bytes_per_s,
+                         std::uint64_t burst_bytes = 0);
+  SpecBuilder& fec(std::uint32_t repair, double rate = 0.0);
   SpecBuilder& skew(double fraction);
   SpecBuilder& private_round_scale(double scale);
   SpecBuilder& king_latency();

@@ -70,6 +70,7 @@ World::World(Config cfg, ProtocolFactory factory)
   network_ = std::make_unique<net::Network>(
       sim_, std::move(latency), master_rng_.fork(0x2E7),
       net::make_loss_model(cfg_.loss));
+  network_->set_packet_config(cfg_.packet);
 
   // Protocol traffic (tags < 0x80, non-NAT-ID) only ever touches the
   // receiving node's own state, so those deliveries shard by receiver.

@@ -36,6 +36,11 @@ class World {
     /// Message-loss conditions (per-class-pair, optionally time-varying;
     /// net::LossConfig::uniform(p) for the paper's flat probability).
     net::LossConfig loss;
+    /// Packet layer (MTU fragmentation, FEC repair, per-node bandwidth
+    /// caps). The default — mtu=0, uncapped — is the historic
+    /// one-message-one-datagram model, byte-identical to every
+    /// pre-packet run.
+    net::PacketConfig packet;
     sim::Duration round_period = sim::sec(1);
     /// Per-node round period is scaled by 1 ± clock_skew (uniform),
     /// standing in for the paper's "subject to clock skew".

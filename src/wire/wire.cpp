@@ -53,6 +53,13 @@ std::uint32_t Reader::u32() {
   return v;
 }
 
+std::span<const std::byte> Reader::bytes(std::size_t n) {
+  if (!take(n)) return {};
+  const auto out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::uint64_t Reader::u64() {
   if (!take(8)) return 0;
   std::uint64_t v = 0;

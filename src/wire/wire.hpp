@@ -45,6 +45,11 @@ class Reader {
   std::uint32_t u32();
   std::uint64_t u64();
 
+  /// Reads `n` raw bytes (a fragment payload, an opaque blob). Returns
+  /// an empty span — and latches ok() == false — when fewer than `n`
+  /// remain, mirroring the zero-value scalar reads.
+  std::span<const std::byte> bytes(std::size_t n);
+
   /// Number of unread bytes.
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 

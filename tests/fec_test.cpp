@@ -1,0 +1,221 @@
+// Rateless GF(256) erasure codec tests: field arithmetic, the Cauchy
+// k-of-n recovery guarantee, and clean failure below k fragments.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fec/gf256.hpp"
+#include "fec/rateless.hpp"
+
+namespace croupier::fec {
+namespace {
+
+TEST(Gf256, MulIdentityAndZero) {
+  for (int a = 0; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf_mul(x, 1), x);
+    EXPECT_EQ(gf_mul(1, x), x);
+    EXPECT_EQ(gf_mul(x, 0), 0);
+    EXPECT_EQ(gf_mul(0, x), 0);
+  }
+}
+
+TEST(Gf256, MulCommutes) {
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 5) {
+      EXPECT_EQ(gf_mul(static_cast<std::uint8_t>(a),
+                       static_cast<std::uint8_t>(b)),
+                gf_mul(static_cast<std::uint8_t>(b),
+                       static_cast<std::uint8_t>(a)));
+    }
+  }
+}
+
+TEST(Gf256, EveryNonZeroElementHasInverse) {
+  for (int a = 1; a < 256; ++a) {
+    const auto x = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf_mul(x, gf_inv(x)), 1) << "a=" << a;
+  }
+}
+
+TEST(Gf256, AesFieldSpotChecks) {
+  // 0x53 * 0xCA = 0x01 is the classic AES-field example pair.
+  EXPECT_EQ(gf_mul(0x53, 0xCA), 0x01);
+  EXPECT_EQ(gf_inv(0x53), 0xCA);
+  // Generator: 0x03 * 0x03 = 0x05 (x+1 squared = x^2+1, no reduction).
+  EXPECT_EQ(gf_mul(0x03, 0x03), 0x05);
+}
+
+TEST(Gf256, MulAddIsRowOperation) {
+  std::vector<std::byte> dst = {std::byte{1}, std::byte{2}, std::byte{3}};
+  const std::vector<std::byte> src = {std::byte{10}, std::byte{20},
+                                      std::byte{30}};
+  gf_mul_add(dst.data(), src.data(), dst.size(), 0x02);
+  for (std::size_t i = 0; i < dst.size(); ++i) {
+    const auto expect = gf_add(
+        static_cast<std::uint8_t>(i + 1),
+        gf_mul(0x02, static_cast<std::uint8_t>((i + 1) * 10)));
+    EXPECT_EQ(std::to_integer<std::uint8_t>(dst[i]), expect);
+  }
+}
+
+std::vector<std::byte> make_message(std::size_t n) {
+  std::vector<std::byte> msg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    msg[i] = static_cast<std::byte>(i * 37 + 11);
+  }
+  return msg;
+}
+
+/// The k chunks of `msg` (tail zero-padded to chunk_len).
+std::vector<std::vector<std::byte>> chunks_of(
+    const std::vector<std::byte>& msg, std::size_t k,
+    std::size_t chunk_len) {
+  std::vector<std::vector<std::byte>> out;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::vector<std::byte> chunk(chunk_len, std::byte{0});
+    for (std::size_t j = 0; j < chunk_len; ++j) {
+      const std::size_t pos = i * chunk_len + j;
+      if (pos < msg.size()) chunk[j] = msg[pos];
+    }
+    out.push_back(std::move(chunk));
+  }
+  return out;
+}
+
+TEST(Rateless, RepairCoeffIsNonZeroAndDeterministic) {
+  for (std::size_t k = 1; k <= 8; ++k) {
+    for (std::size_t r = 0; r < 4; ++r) {
+      for (std::size_t i = 0; i < k; ++i) {
+        EXPECT_NE(repair_coeff(k, r, i), 0);
+        EXPECT_EQ(repair_coeff(k, r, i), repair_coeff(k, r, i));
+      }
+    }
+  }
+}
+
+TEST(Rateless, DecodesFromExactlyKSourceFragments) {
+  const std::size_t k = 4, chunk_len = 5;
+  const auto msg = make_message(18);  // tail chunk 3 bytes + padding
+  const auto chunks = chunks_of(msg, k, chunk_len);
+
+  Decoder dec(k, chunk_len);
+  for (std::size_t i = 0; i < k; ++i) {
+    EXPECT_FALSE(dec.ready());
+    EXPECT_TRUE(dec.add(i, chunks[i]));
+  }
+  ASSERT_TRUE(dec.ready());
+  const auto out = dec.decode();
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), k * chunk_len);
+  for (std::size_t i = 0; i < msg.size(); ++i) EXPECT_EQ((*out)[i], msg[i]);
+}
+
+TEST(Rateless, DecodesFromAnyKOfNMixes) {
+  const std::size_t k = 3, chunk_len = 4;
+  const auto msg = make_message(11);
+  const auto chunks = chunks_of(msg, k, chunk_len);
+
+  // All (k+r choose k) = 20 subsets would be overkill; cover the shapes:
+  // sources only, repairs only, and every single-erasure substitution.
+  std::vector<std::vector<std::size_t>> picks = {{0, 1, 2}, {3, 4, 5}};
+  for (std::size_t missing = 0; missing < k; ++missing) {
+    std::vector<std::size_t> pick;
+    for (std::size_t i = 0; i < k; ++i) {
+      if (i != missing) pick.push_back(i);
+    }
+    pick.push_back(k + missing);  // substitute a distinct repair
+    picks.push_back(pick);
+  }
+
+  for (const auto& pick : picks) {
+    Decoder dec(k, chunk_len);
+    for (const std::size_t index : pick) {
+      if (index < k) {
+        EXPECT_TRUE(dec.add(index, chunks[index]));
+      } else {
+        EXPECT_TRUE(dec.add(
+            index, encode_repair(msg, k, chunk_len, index - k)));
+      }
+    }
+    ASSERT_TRUE(dec.ready());
+    const auto out = dec.decode();
+    ASSERT_TRUE(out.has_value());
+    for (std::size_t i = 0; i < msg.size(); ++i) {
+      EXPECT_EQ((*out)[i], msg[i]) << "pick[0]=" << pick[0];
+    }
+  }
+}
+
+TEST(Rateless, FailsCleanlyBelowK) {
+  const std::size_t k = 4, chunk_len = 6;
+  const auto msg = make_message(21);
+  Decoder dec(k, chunk_len);
+  // k-1 fragments, deliberately a mix of source and repair rows.
+  EXPECT_TRUE(dec.add(0, chunks_of(msg, k, chunk_len)[0]));
+  EXPECT_TRUE(dec.add(4, encode_repair(msg, k, chunk_len, 0)));
+  EXPECT_TRUE(dec.add(6, encode_repair(msg, k, chunk_len, 2)));
+  EXPECT_FALSE(dec.ready());
+  EXPECT_EQ(dec.rows(), 3u);
+  EXPECT_FALSE(dec.decode().has_value());
+}
+
+TEST(Rateless, RejectsDuplicatesAndOverfill) {
+  const std::size_t k = 2, chunk_len = 3;
+  const auto msg = make_message(6);
+  const auto chunks = chunks_of(msg, k, chunk_len);
+  Decoder dec(k, chunk_len);
+  EXPECT_TRUE(dec.add(0, chunks[0]));
+  EXPECT_FALSE(dec.add(0, chunks[0]));  // duplicate index
+  EXPECT_TRUE(dec.add(2, encode_repair(msg, k, chunk_len, 0)));
+  EXPECT_TRUE(dec.ready());
+  EXPECT_FALSE(dec.add(1, chunks[1]));  // already ready: rejected
+  EXPECT_EQ(dec.rows(), 2u);
+  const auto out = dec.decode();
+  ASSERT_TRUE(out.has_value());
+  for (std::size_t i = 0; i < msg.size(); ++i) EXPECT_EQ((*out)[i], msg[i]);
+}
+
+TEST(Rateless, ShortPayloadIsZeroPadded) {
+  // The tail source chunk rides the wire at its true (short) length;
+  // the decoder must treat it as zero-padded to chunk_len.
+  const std::size_t k = 2, chunk_len = 4;
+  const auto msg = make_message(6);  // tail chunk only 2 bytes
+  Decoder dec(k, chunk_len);
+  EXPECT_TRUE(dec.add(0, std::span<const std::byte>(msg).subspan(0, 4)));
+  EXPECT_TRUE(dec.add(1, std::span<const std::byte>(msg).subspan(4, 2)));
+  const auto out = dec.decode();
+  ASSERT_TRUE(out.has_value());
+  for (std::size_t i = 0; i < msg.size(); ++i) EXPECT_EQ((*out)[i], msg[i]);
+  EXPECT_EQ((*out)[6], std::byte{0});
+  EXPECT_EQ((*out)[7], std::byte{0});
+}
+
+TEST(Rateless, LargeKRoundTrip) {
+  // Near the Cauchy bound: k = 200 sources + 56 repairs = 256 points.
+  const std::size_t k = 200, chunk_len = 8;
+  const auto msg = make_message(k * chunk_len - 3);
+  const auto chunks = chunks_of(msg, k, chunk_len);
+  Decoder dec(k, chunk_len);
+  // Drop every 5th source chunk; replace with repairs.
+  std::size_t repair = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (i % 5 == 0) {
+      EXPECT_TRUE(dec.add(k + repair,
+                          encode_repair(msg, k, chunk_len, repair)));
+      ++repair;
+    } else {
+      EXPECT_TRUE(dec.add(i, chunks[i]));
+    }
+  }
+  ASSERT_LE(k + repair, kMaxCodedFragments);
+  ASSERT_TRUE(dec.ready());
+  const auto out = dec.decode();
+  ASSERT_TRUE(out.has_value());
+  for (std::size_t i = 0; i < msg.size(); ++i) EXPECT_EQ((*out)[i], msg[i]);
+}
+
+}  // namespace
+}  // namespace croupier::fec

@@ -1,0 +1,363 @@
+// Packet layer tests: fragment framing, Reader truncation latching,
+// fragmentation geometry, reassembly under reorder/duplication/expiry,
+// token-bucket conservation, and the Network-level fragmented path.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/packet.hpp"
+#include "net/token_bucket.hpp"
+#include "sim/simulator.hpp"
+
+namespace croupier::net {
+namespace {
+
+using sim::msec;
+using sim::sec;
+
+std::vector<std::byte> make_payload(std::size_t n) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::byte>(i * 13 + 5);
+  }
+  return out;
+}
+
+TEST(FragmentHeader, RoundTripsThroughWire) {
+  FragmentHeader h;
+  h.msg_id = 0x0123456789ABCDEFull;
+  h.index = 7;
+  h.count = 12;
+  h.source = 10;
+  h.payload_len = 44;
+  h.total_len = 437;
+
+  wire::Writer w;
+  h.encode(w);
+  EXPECT_EQ(w.size(), kFragmentHeaderBytes);
+
+  wire::Reader r(w.data());
+  const FragmentHeader back = FragmentHeader::decode(r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(back, h);
+}
+
+TEST(FragmentHeader, TruncatedDecodeLatchesReader) {
+  FragmentHeader h;
+  h.msg_id = 42;
+  h.payload_len = 16;
+  wire::Writer w;
+  h.encode(w);
+  // Cut mid-header: decode yields zeros and a latched reader.
+  wire::Reader r(w.data().subspan(0, kFragmentHeaderBytes - 3));
+  const FragmentHeader back = FragmentHeader::decode(r);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(back.total_len, 0u);
+}
+
+TEST(Reader, CutFragmentPayloadLatches) {
+  // A frame whose header promises more payload than the datagram holds:
+  // the bytes() read must latch, not return a short span.
+  FragmentHeader h;
+  h.msg_id = 1;
+  h.index = 0;
+  h.count = 2;
+  h.source = 2;
+  h.payload_len = 32;
+  h.total_len = 64;
+  wire::Writer w;
+  h.encode(w);
+  w.bytes(make_payload(20));  // 12 bytes short of payload_len
+
+  wire::Reader r(w.data());
+  const FragmentHeader back = FragmentHeader::decode(r);
+  ASSERT_TRUE(r.ok());
+  const auto payload = r.bytes(back.payload_len);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(payload.empty());
+  // Latched: every later read keeps failing, returns zeros.
+  EXPECT_EQ(r.u32(), 0u);
+  EXPECT_FALSE(r.exhausted());
+}
+
+TEST(Fragmenter, GeometryAtSmallMtu) {
+  PacketConfig cfg;
+  cfg.mtu = 64;  // 44-byte chunks
+  const Fragmenter frag(cfg);
+  EXPECT_FALSE(frag.needs_fragmentation(64));
+  EXPECT_TRUE(frag.needs_fragmentation(65));
+  EXPECT_EQ(frag.source_count(100), 3u);  // ceil(100 / 44)
+  EXPECT_EQ(frag.repair_count(3), 0u);    // fec off
+
+  const auto msg = make_payload(100);
+  const auto frags = frag.split(9, msg);
+  ASSERT_EQ(frags.size(), 3u);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < frags.size(); ++i) {
+    EXPECT_EQ(frags[i].header.msg_id, 9u);
+    EXPECT_EQ(frags[i].header.index, i);
+    EXPECT_EQ(frags[i].header.count, 3u);
+    EXPECT_EQ(frags[i].header.source, 3u);
+    EXPECT_EQ(frags[i].header.total_len, 100u);
+    EXPECT_LE(frags[i].wire_size(), cfg.mtu);
+    total += frags[i].payload.size();
+  }
+  EXPECT_EQ(total, 100u);  // source fragments carry exactly the message
+}
+
+TEST(Fragmenter, FecAppendsRepairFragments) {
+  PacketConfig cfg;
+  cfg.mtu = 64;
+  cfg.fec_repair = 2;
+  cfg.fec_rate = 0.5;  // + ceil(0.5 * k)
+  const Fragmenter frag(cfg);
+  EXPECT_EQ(frag.repair_count(3), 2u + 2u);
+
+  const auto msg = make_payload(100);  // k = 3
+  const auto frags = frag.split(1, msg);
+  ASSERT_EQ(frags.size(), 7u);
+  for (const auto& f : frags) {
+    EXPECT_EQ(f.header.count, 7u);
+    EXPECT_EQ(f.header.source, 3u);
+    EXPECT_LE(f.wire_size(), cfg.mtu);
+  }
+  // Repair payloads are full chunks.
+  EXPECT_EQ(frags[3].payload.size(), frags[0].payload.size());
+}
+
+TEST(FragmentAssembly, ReassemblesUnderReorderAndDuplication) {
+  PacketConfig cfg;
+  cfg.mtu = 64;
+  const auto msg = make_payload(150);  // k = 4
+  const auto frags = Fragmenter(cfg).split(5, msg);
+  ASSERT_EQ(frags.size(), 4u);
+
+  FragmentAssembly assembly(frags[2].header);
+  EXPECT_FALSE(assembly.add(frags[2].header, frags[2].payload));
+  EXPECT_FALSE(assembly.add(frags[2].header, frags[2].payload));  // dup
+  EXPECT_FALSE(assembly.add(frags[0].header, frags[0].payload));
+  EXPECT_FALSE(assembly.add(frags[3].header, frags[3].payload));
+  EXPECT_EQ(assembly.fragments_held(), 3u);
+  EXPECT_FALSE(assembly.bytes().has_value());  // incomplete
+  EXPECT_TRUE(assembly.add(frags[1].header, frags[1].payload));
+  ASSERT_TRUE(assembly.complete());
+  const auto out = assembly.bytes();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(FragmentAssembly, FecDecodeAtExactlyKofN) {
+  PacketConfig cfg;
+  cfg.mtu = 64;
+  cfg.fec_repair = 2;
+  const auto msg = make_payload(150);  // k = 4, n = 6
+  const auto frags = Fragmenter(cfg).split(5, msg);
+  ASSERT_EQ(frags.size(), 6u);
+
+  // Drop sources 1 and 3; the two repairs substitute.
+  FragmentAssembly assembly(frags[4].header);
+  assembly.add(frags[4].header, frags[4].payload);
+  assembly.add(frags[0].header, frags[0].payload);
+  assembly.add(frags[5].header, frags[5].payload);
+  EXPECT_FALSE(assembly.complete());  // k-1 held: must not complete
+  EXPECT_FALSE(assembly.bytes().has_value());
+  EXPECT_TRUE(assembly.add(frags[2].header, frags[2].payload));
+  const auto out = assembly.bytes();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST(FragmentAssembly, IgnoresGeometryMismatches) {
+  PacketConfig cfg;
+  cfg.mtu = 64;
+  const auto msg = make_payload(100);
+  const auto frags = Fragmenter(cfg).split(5, msg);
+  FragmentAssembly assembly(frags[0].header);
+  EXPECT_FALSE(assembly.add(frags[0].header, frags[0].payload));
+
+  FragmentHeader bad = frags[1].header;
+  bad.total_len = 999;  // mismatched geometry
+  EXPECT_FALSE(assembly.add(bad, frags[1].payload));
+  bad = frags[1].header;
+  bad.index = bad.count;  // out-of-range index
+  EXPECT_FALSE(assembly.add(bad, frags[1].payload));
+  // Payload length disagreeing with the header is ignored too.
+  EXPECT_FALSE(assembly.add(
+      frags[1].header,
+      std::span<const std::byte>(frags[1].payload.data(), 1)));
+  EXPECT_EQ(assembly.fragments_held(), 1u);
+}
+
+TEST(TokenBucket, BurstPassesFreeThenDelaysExactly) {
+  // 1000 B/s, 500 B burst: the first 500 bytes are free; each byte
+  // beyond owes exactly 1 ms.
+  TokenBucket bucket(1000, 500);
+  EXPECT_EQ(bucket.charge(0, 500), 0u);
+  EXPECT_EQ(bucket.balance_bytes(), 0);
+  // 250 B with an empty bucket: last token arrives after 250 ms.
+  EXPECT_EQ(bucket.charge(0, 250), msec(250));
+  EXPECT_EQ(bucket.balance_bytes(), -250);
+}
+
+TEST(TokenBucket, ConservationAcrossChargePatterns) {
+  // However N bytes are sliced into datagrams at t=0, the LAST datagram's
+  // delay is the same: (N - burst) / rate.
+  const std::uint64_t rate = 2000, burst = 100;
+  const std::size_t total = 1100;
+  const sim::Duration expect = msec(500);  // (1100 - 100) B at 2000 B/s
+  for (const std::size_t slice : {std::size_t{1100}, std::size_t{100},
+                                  std::size_t{20}}) {
+    TokenBucket bucket(rate, burst);
+    sim::Duration last = 0;
+    for (std::size_t sent = 0; sent < total; sent += slice) {
+      last = bucket.charge(0, slice);
+    }
+    EXPECT_EQ(last, expect) << "slice=" << slice;
+    EXPECT_EQ(bucket.balance_bytes(), -static_cast<std::int64_t>(total -
+                                                                 burst));
+  }
+}
+
+TEST(TokenBucket, RefillsAtRateAndCapsAtBurst) {
+  TokenBucket bucket(1000, 500);
+  EXPECT_EQ(bucket.charge(0, 500), 0u);
+  // 100 ms later 100 tokens accrued.
+  EXPECT_EQ(bucket.charge(msec(100), 100), 0u);
+  EXPECT_EQ(bucket.balance_bytes(), 0);
+  // A long idle refills to burst, never beyond.
+  EXPECT_EQ(bucket.charge(sec(100), 500), 0u);
+  EXPECT_EQ(bucket.balance_bytes(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Network-level packet path.
+
+struct BigMsg final : Message {
+  std::vector<std::byte> blob;
+  explicit BigMsg(std::size_t n) : blob(make_payload(n)) {}
+  [[nodiscard]] std::uint8_t type() const override { return 0x7E; }
+  [[nodiscard]] const char* name() const override { return "big"; }
+  void encode(wire::Writer& w) const override {
+    w.u8(type());
+    w.u32(static_cast<std::uint32_t>(blob.size()));
+    w.bytes(blob);
+  }
+};
+
+struct Inbox final : MessageHandler {
+  std::vector<NodeId> received_from;
+  void on_message(NodeId from, const Message&) override {
+    received_from.push_back(from);
+  }
+};
+
+struct Fixture {
+  sim::Simulator sim;
+  std::unique_ptr<Network> net;
+  Inbox inbox_a, inbox_b;
+
+  explicit Fixture(const PacketConfig& cfg, double loss = 0.0) {
+    net = std::make_unique<Network>(
+        sim, std::make_unique<ConstantLatency>(msec(10)), sim::RngStream(7),
+        loss);
+    net->set_packet_config(cfg);
+    net->attach(1, NatConfig::open(), inbox_a);
+    net->attach(2, NatConfig::open(), inbox_b);
+  }
+};
+
+TEST(NetworkPacket, SmallMessagesRideClassicDatagrams) {
+  PacketConfig cfg;
+  cfg.mtu = 256;
+  Fixture f(cfg);
+  f.net->send(1, 2, std::make_shared<BigMsg>(100));  // 105 B wire < mtu
+  f.sim.run();
+  EXPECT_EQ(f.inbox_b.received_from.size(), 1u);
+  EXPECT_EQ(f.net->drops().fragments_sent, 0u);
+}
+
+TEST(NetworkPacket, LargeMessageFragmentsAndReassembles) {
+  PacketConfig cfg;
+  cfg.mtu = 128;  // 108-byte chunks
+  Fixture f(cfg);
+  f.net->send(1, 2, std::make_shared<BigMsg>(300));  // 305 B -> k = 3
+  f.sim.run_until(msec(11));
+  ASSERT_EQ(f.inbox_b.received_from.size(), 1u);
+  EXPECT_EQ(f.inbox_b.received_from[0], 1u);
+  const auto& d = f.net->drops();
+  EXPECT_EQ(d.fragments_sent, 3u);
+  EXPECT_EQ(d.fragments_reassembled, 3u);
+  EXPECT_EQ(d.delivered, 1u);
+  // The completed entry lingers (suppressing late duplicates) until the
+  // deterministic GC sweeps it.
+  EXPECT_EQ(f.net->pending_reassemblies(2), 1u);
+  f.sim.run();
+  EXPECT_EQ(f.net->pending_reassemblies(2), 0u);
+  EXPECT_EQ(d.fragments_expired, 0u);  // complete entries never expire
+}
+
+TEST(NetworkPacket, LossyFragmentsExpireAndFecRecovers) {
+  PacketConfig cfg;
+  cfg.mtu = 128;
+  Fixture plain(cfg, 0.3);
+  cfg.fec_repair = 3;
+  Fixture fec(cfg, 0.3);
+
+  for (int i = 0; i < 50; ++i) {
+    plain.net->send(1, 2, std::make_shared<BigMsg>(300));  // k = 3
+    fec.net->send(1, 2, std::make_shared<BigMsg>(300));    // k=3 (+3 repair)
+  }
+  plain.sim.run();
+  fec.sim.run();
+
+  // Same per-fragment loss, but plain needs all 3 of 3 where FEC needs
+  // any 3 of 6; with p=0.3 that's ~34% vs ~93% message survival.
+  EXPECT_LT(plain.inbox_b.received_from.size(),
+            fec.inbox_b.received_from.size());
+  EXPECT_GT(plain.net->drops().fragments_expired, 0u);
+  EXPECT_EQ(plain.net->pending_reassemblies(2), 0u);  // GC swept them all
+  EXPECT_EQ(fec.net->pending_reassemblies(2), 0u);
+  // Byte accounting covers every datagram outcome.
+  const auto& d = plain.net->drops();
+  EXPECT_GT(d.loss_bytes, 0u);
+  EXPECT_GT(d.delivered_bytes, 0u);
+}
+
+TEST(NetworkPacket, BandwidthCapInflatesDelivery) {
+  PacketConfig cfg;
+  cfg.bandwidth_bps = 1000;   // 1000 B/s
+  cfg.bandwidth_burst = 200;  // one datagram's worth
+  Fixture f(cfg);
+  // 100-byte blob = 105 wire + 28 UDP/IP = 133 B per datagram.
+  f.net->send(1, 2, std::make_shared<BigMsg>(100));
+  f.net->send(1, 2, std::make_shared<BigMsg>(100));
+  f.sim.run();
+  // First datagram fits the burst (delivered at 10 ms); the second owes
+  // 66 of its 133 bytes = 66 ms of queueing on top of the 10 ms latency.
+  ASSERT_EQ(f.inbox_b.received_from.size(), 2u);
+  EXPECT_EQ(f.sim.now(), msec(10) + msec(66));
+}
+
+TEST(NetworkPacket, DetachDropsBucketAndAssemblies) {
+  PacketConfig cfg;
+  cfg.mtu = 128;
+  cfg.bandwidth_bps = 500;
+  Fixture f(cfg);
+  f.net->send(1, 2, std::make_shared<BigMsg>(300));
+  f.sim.run_until(msec(11));
+  EXPECT_EQ(f.inbox_b.received_from.size(), 1u);
+  f.net->detach(2);
+  EXPECT_EQ(f.net->pending_reassemblies(2), 0u);
+  // Sending to the dead receiver counts dead fragments, crashes nothing.
+  f.net->send(1, 2, std::make_shared<BigMsg>(300));
+  f.sim.run();
+  EXPECT_EQ(f.net->drops().dead_receiver, 3u);
+  EXPECT_GT(f.net->drops().dead_receiver_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace croupier::net

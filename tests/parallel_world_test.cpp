@@ -94,6 +94,11 @@ struct RunFingerprint {
   std::uint64_t dead_receiver = 0;
   std::size_t alive = 0;
   std::uint64_t bytes_total = 0;
+  std::uint64_t fragments_sent = 0;
+  std::uint64_t fragments_lost = 0;
+  std::uint64_t fragments_reassembled = 0;
+  std::uint64_t fragments_expired = 0;
+  std::uint64_t delivered_bytes = 0;
 
   bool operator==(const RunFingerprint&) const = default;
 };
@@ -128,6 +133,11 @@ RunFingerprint run_spec(const run::ExperimentSpec& spec, std::uint64_t seed,
   fp.lost = drops.loss;
   fp.nat_filtered = drops.nat_filtered;
   fp.dead_receiver = drops.dead_receiver;
+  fp.fragments_sent = drops.fragments_sent;
+  fp.fragments_lost = drops.fragments_lost;
+  fp.fragments_reassembled = drops.fragments_reassembled;
+  fp.fragments_expired = drops.fragments_expired;
+  fp.delivered_bytes = drops.delivered_bytes;
   fp.alive = world.alive_count();
   for (const auto& [node, totals] : world.network().meter().per_node()) {
     fp.bytes_total += totals.bytes_total();
@@ -251,6 +261,52 @@ TEST(ParallelWorldDeterminism, StructuredTimeVaryingLoss) {
                         .duration(40)
                         .build();
   expect_engine_equivalence(spec, 29);
+}
+
+TEST(ParallelWorldDeterminism, FragmentedShufflesReassembleIdentically) {
+  // mtu=64 forces every croupier shuffle through the fragmenter (k = 2):
+  // per-receiver reassembly maps mutate inline under node affinity and
+  // each message adds a GC event — both must replay identically.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier:alpha=25,gamma=50")
+                        .nodes(300)
+                        .ratio(0.2)
+                        .mtu(64)
+                        .duration(50)
+                        .build();
+  expect_engine_equivalence(spec, 31);
+}
+
+TEST(ParallelWorldDeterminism, FecUnderFragmentLossDrawsIdentically) {
+  // Per-fragment loss multiplies the network RNG draw count and the FEC
+  // decoder exercises the GF(256) elimination on partial arrivals; the
+  // draw pattern and reassembly outcomes must not depend on the engine.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(250)
+                        .ratio(0.2)
+                        .mtu(64)
+                        .fec(2)
+                        .loss(0.1)
+                        .duration(45)
+                        .build();
+  expect_engine_equivalence(spec, 37);
+}
+
+TEST(ParallelWorldDeterminism, BandwidthCapDelaysIdentically) {
+  // Token buckets are charged from the serial halves in timestamp order;
+  // the queueing delay they add to every datagram must be identical
+  // whatever the worker count, or delivery times (and therefore every
+  // downstream shuffle) diverge.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier")
+                        .nodes(200)
+                        .ratio(0.2)
+                        .mtu(128)
+                        .bandwidth(20000, 4000)
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 41);
 }
 
 TEST(ParallelWorldDeterminism, ZeroMinLatencyDegeneratesToSameTimestamp) {

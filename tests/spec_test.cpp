@@ -206,6 +206,79 @@ TEST(ExperimentSpec, ValidateRejectsOutOfRangeFields) {
   EXPECT_NO_THROW((void)SpecBuilder().build());
 }
 
+TEST(ExperimentSpec, PacketFamiliesParseAndRoundTrip) {
+  // Scalar shorthands.
+  const auto scalar = ExperimentSpec::parse(
+      "protocol=croupier mtu=512 bandwidth=20000 fec=2 duration=100");
+  EXPECT_EQ(scalar.mtu, 512u);
+  EXPECT_EQ(scalar.bandwidth_bps, 20000u);
+  EXPECT_EQ(scalar.bandwidth_burst, 0u);
+  EXPECT_EQ(scalar.fec_repair, 2u);
+  EXPECT_EQ(scalar.fec_rate, 0.0);
+  EXPECT_EQ(ExperimentSpec::parse(scalar.to_string()), scalar);
+
+  // Composite forms.
+  const auto full = ExperimentSpec::parse(
+      "protocol=croupier mtu=256 bandwidth=rate:10000,burst:40000 "
+      "fec=repair:1,rate:0.25 duration=100");
+  EXPECT_EQ(full.bandwidth_bps, 10000u);
+  EXPECT_EQ(full.bandwidth_burst, 40000u);
+  EXPECT_EQ(full.fec_repair, 1u);
+  EXPECT_EQ(full.fec_rate, 0.25);
+  EXPECT_EQ(ExperimentSpec::parse(full.to_string()), full);
+
+  // Rate-only fec round-trips without a repair subkey.
+  const auto rate_only = ExperimentSpec::parse(
+      "protocol=croupier mtu=256 fec=rate:0.5 duration=100");
+  EXPECT_EQ(rate_only.fec_repair, 0u);
+  EXPECT_EQ(rate_only.fec_rate, 0.5);
+  EXPECT_EQ(ExperimentSpec::parse(rate_only.to_string()), rate_only);
+
+  // Defaults stay omitted: the packet keys add zero bytes to pre-packet
+  // specs (the mtu=0 compatibility contract).
+  EXPECT_EQ(ExperimentSpec().to_string(),
+            "protocol=croupier nodes=1000 ratio=0.2 duration=200");
+
+  // Builder surface mirrors the grammar.
+  const auto built = SpecBuilder().mtu(256).bandwidth(10000, 40000)
+                         .fec(1, 0.25).build();
+  EXPECT_EQ(built.mtu, 256u);
+  EXPECT_EQ(built.bandwidth_burst, 40000u);
+  EXPECT_EQ(built.fec_rate, 0.25);
+}
+
+TEST(ExperimentSpec, PacketValidationRejectsBadGeometry) {
+  // mtu must exceed the 20-byte fragment header.
+  EXPECT_THROW((void)SpecBuilder().mtu(20).build(), std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().mtu(12).build(), std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().mtu(70000).build(),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)SpecBuilder().mtu(21).build());
+  EXPECT_NO_THROW((void)SpecBuilder().mtu(0).build());  // off
+
+  // Zero-rate buckets: a burst without a rate would never drain.
+  EXPECT_THROW((void)SpecBuilder().bandwidth(0, 1000).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("bandwidth=0"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("bandwidth=burst:1000"),
+               std::invalid_argument);
+
+  // FEC without fragmentation has nothing to repair.
+  EXPECT_THROW((void)SpecBuilder().fec(2).build(), std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().mtu(256).fec(0, -0.5).build(),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)SpecBuilder().mtu(256).fec(2).build());
+
+  // Malformed values and unknown subkeys fail loudly.
+  EXPECT_THROW((void)ExperimentSpec::parse("mtu=abc"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("bandwidth=rate:1,depth:9"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("fec=repair:1,q:2"),
+               std::invalid_argument);
+}
+
 TEST(ExperimentSpec, PopulationArithmeticMatchesHistoricBenches) {
   // The benches historically used n/5-style integer division; the spec's
   // round-half-up must agree at every paper operating point.

@@ -68,6 +68,17 @@ constexpr const char* kUsage =
     "                             uniform or per-class-pair message loss\n"
     "                             (pairs are sender-receiver with `any`\n"
     "                             wildcards; after delays activation)\n"
+    "  --mtu=N                    datagram payload limit in bytes; larger\n"
+    "                             messages split into fragments, each its\n"
+    "                             own loss roll (0 = off, default)\n"
+    "  --bandwidth=BPS | --bandwidth=rate:BPS,burst:BYTES\n"
+    "                             per-node send cap (token bucket, bytes/\n"
+    "                             second); queueing delay when saturated\n"
+    "                             inflates delivery latency\n"
+    "  --fec=R | --fec=repair:R,rate:X\n"
+    "                             rateless repair fragments appended per\n"
+    "                             fragmented message (fixed count plus\n"
+    "                             ceil(rate*k)); requires --mtu\n"
     "  --skew=S                   clock skew fraction (default 0.01)\n"
     "  --private-round-scale=X    slow private rounds by X (default 1)\n"
     "  --latency=king|constant|coordinate   latency model (default king)\n"
@@ -108,6 +119,7 @@ struct LabFlags {
         "join-private-ms", "step-publics", "step-privates", "step-at",
         "step-every-ms",  "flash",        "churn",       "churn-at",
         "catastrophe",    "catastrophe-at", "failure",   "loss",
+        "mtu",            "bandwidth",    "fec",
         "skew",           "private-round-scale",
         "latency",        "latency-ms",   "round-ms",    "duration",
         "record",         "record-every",
@@ -261,8 +273,9 @@ struct PointTiming {
   exp::Accum seconds;
   double max_seconds = 0.0;
   std::uint64_t max_rss = 0;  // resident set observed at fold time
+  net::Network::DropStats drops;  // summed across the point's trials
 
-  void add(double s) {
+  void add(double s, const net::Network::DropStats& d) {
     seconds.add(s);
     max_seconds = std::max(max_seconds, s);
     // Sampled when the trial folds. Trials of different points
@@ -270,6 +283,18 @@ struct PointTiming {
     // own footprint — tight when points run alone, still the number
     // that answers "did this sweep fit in memory".
     max_rss = std::max(max_rss, exp::current_rss_bytes());
+    drops.loss += d.loss;
+    drops.nat_filtered += d.nat_filtered;
+    drops.dead_receiver += d.dead_receiver;
+    drops.delivered += d.delivered;
+    drops.loss_bytes += d.loss_bytes;
+    drops.nat_filtered_bytes += d.nat_filtered_bytes;
+    drops.dead_receiver_bytes += d.dead_receiver_bytes;
+    drops.delivered_bytes += d.delivered_bytes;
+    drops.fragments_sent += d.fragments_sent;
+    drops.fragments_lost += d.fragments_lost;
+    drops.fragments_reassembled += d.fragments_reassembled;
+    drops.fragments_expired += d.fragments_expired;
   }
 };
 
@@ -278,15 +303,26 @@ void report_timing(const std::vector<std::string>& labels,
                    const bench::BenchArgs& args, double elapsed) {
   const std::size_t shards = std::max<std::size_t>(1, args.world_jobs);
   for (std::size_t p = 0; p < labels.size(); ++p) {
+    const auto& d = timing[p].drops;
     std::fprintf(stderr,
                  "# timing %s: trials=%zu wall-sum=%.2fs wall-max=%.2fs "
-                 "rss-max=%.1fMiB effective-parallelism=%zu "
+                 "rss-max=%.1fMiB "
+                 "drop-bytes=loss:%llu,nat:%llu,dead:%llu "
+                 "frags=sent:%llu,lost:%llu,reassembled:%llu,expired:%llu "
+                 "effective-parallelism=%zu "
                  "(%zu trials x %zu world shards)\n",
                  labels[p].c_str(), timing[p].seconds.n(),
                  timing[p].seconds.mean() *
                      static_cast<double>(timing[p].seconds.n()),
                  timing[p].max_seconds,
                  static_cast<double>(timing[p].max_rss) / (1024.0 * 1024.0),
+                 static_cast<unsigned long long>(d.loss_bytes),
+                 static_cast<unsigned long long>(d.nat_filtered_bytes),
+                 static_cast<unsigned long long>(d.dead_receiver_bytes),
+                 static_cast<unsigned long long>(d.fragments_sent),
+                 static_cast<unsigned long long>(d.fragments_lost),
+                 static_cast<unsigned long long>(d.fragments_reassembled),
+                 static_cast<unsigned long long>(d.fragments_expired),
                  args.trial_jobs() * shards, args.trial_jobs(), shards);
   }
   std::fprintf(stderr, "# timing total: elapsed=%.2fs peak-rss=%.1fMiB\n",
@@ -366,8 +402,9 @@ void emit_graph_sampled(exp::ResultSink& sink, const std::string& label,
 }
 
 /// Runs the sweep's trial grid with streaming per-point folds plus
-/// per-trial wall-clock capture. `run_trial(p, seed)` executes one trial;
-/// its result is folded in grid order (byte-identical for every --jobs).
+/// per-trial wall-clock and drop-stat capture. `run_trial(p, seed)`
+/// executes one trial and returns (series, DropStats); the series is
+/// folded in grid order (byte-identical for every --jobs).
 template <typename Fold, typename RunTrial>
 std::vector<Fold> run_lab_grid(exp::TrialPool& pool,
                                const bench::BenchArgs& args,
@@ -382,15 +419,16 @@ std::vector<Fold> run_lab_grid(exp::TrialPool& pool,
         // detlint:allow(wallclock) per-trial timing, reported on stderr
         // only (report_timing) — never reaches the result sink.
         const auto start = std::chrono::steady_clock::now();
-        auto series = run_trial(p, exp::trial_seed(args.seed, p, r));
+        auto trial = run_trial(p, exp::trial_seed(args.seed, p, r));
         // detlint:allow(wallclock) stderr-only timing, as above.
         const auto trial_end = std::chrono::steady_clock::now();
         const std::chrono::duration<double> took = trial_end - start;
-        return std::make_pair(std::move(series), took.count());
+        return std::make_tuple(std::move(trial.first), trial.second,
+                               took.count());
       },
       [&](std::size_t i, auto&& result) {
-        folds[i / args.runs].add(result.first);
-        timing[i / args.runs].add(result.second);
+        folds[i / args.runs].add(std::get<0>(result));
+        timing[i / args.runs].add(std::get<2>(result), std::get<1>(result));
       });
   return folds;
 }
@@ -464,7 +502,8 @@ int main(int argc, char** argv) {
         [&](std::size_t p, std::uint64_t seed) {
           run::Experiment experiment(specs[p], seed, args.world_jobs);
           experiment.run();
-          return to_graph_series(*experiment.graph_stats());
+          return std::make_pair(to_graph_series(*experiment.graph_stats()),
+                                experiment.world().network().drops());
         },
         timing);
     for (std::size_t p = 0; p < specs.size(); ++p) {
@@ -476,7 +515,9 @@ int main(int argc, char** argv) {
         [&](std::size_t p, std::uint64_t seed) {
           run::Experiment experiment(specs[p], seed, args.world_jobs);
           experiment.run();
-          return to_sampled_series(*experiment.graph_sampled());
+          return std::make_pair(
+              to_sampled_series(*experiment.graph_sampled()),
+              experiment.world().network().drops());
         },
         timing);
     for (std::size_t p = 0; p < specs.size(); ++p) {
@@ -486,7 +527,10 @@ int main(int argc, char** argv) {
     const auto folds = run_lab_grid<bench::SeriesFold>(
         pool, args, specs.size(),
         [&](std::size_t p, std::uint64_t seed) {
-          return bench::run_spec_series(specs[p], seed, args.world_jobs);
+          run::Experiment experiment(specs[p], seed, args.world_jobs);
+          experiment.run();
+          return std::make_pair(bench::to_series(*experiment.estimation()),
+                                experiment.world().network().drops());
         },
         timing);
     for (std::size_t p = 0; p < specs.size(); ++p) {
