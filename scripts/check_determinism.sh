@@ -116,6 +116,24 @@ if [ -x "$LAB" ]; then
   check_same "croupier-lab-packet" "pkt.j1" "pkt.w4" || ok=0
   [ "$ok" = 1 ] && \
     echo "ok   croupier-lab packet mtu/fec/bandwidth (jobs 1/4, world-jobs 1/4)"
+
+  # The PR-9 randomness audit + adversarial processes — eclipse respawn,
+  # NAT flapping through World::reclassify, the hub adversary shim — all
+  # recorded through the randomness auditor, must honour the same
+  # determinism contracts on both parallelism axes.
+  randomness_flags=(
+    --spec="protocol=croupier nodes=250 ratio=0.2 eclipse=target:1,at:20,period:2 record=randomness duration=60"
+    --spec="protocol=nylon nodes=250 ratio=0.2 natflap=frac:0.1,at:20,period:10 record=randomness duration=60"
+    --spec="protocol=gozar nodes=250 ratio=0.2 adversary=hubs:2 record=randomness duration=60"
+    --runs=2)
+  run_config "$LAB" "rand.j1" "${randomness_flags[@]}" --jobs=1 --world-jobs=1
+  run_config "$LAB" "rand.j4" "${randomness_flags[@]}" --jobs=4 --world-jobs=1
+  run_config "$LAB" "rand.w4" "${randomness_flags[@]}" --jobs=4 --world-jobs=4
+  ok=1
+  check_same "croupier-lab-randomness" "rand.j1" "rand.j4" || ok=0
+  check_same "croupier-lab-randomness" "rand.j1" "rand.w4" || ok=0
+  [ "$ok" = 1 ] && \
+    echo "ok   croupier-lab randomness eclipse/natflap/adversary (jobs 1/4, world-jobs 1/4)"
 else
   echo "FAIL croupier-lab binary missing at $LAB"
   fail=1

@@ -1,0 +1,110 @@
+// Statistical randomness audit of a peer-sampling overlay.
+//
+// Fig. 6 eyeballs in-degree histograms in the honest case; this module
+// turns sampler randomness into numbers a test can gate on (PeerSwap,
+// arXiv:2408.03829, shows randomness claims are most fragile under
+// adversarial dynamics — and Diaconis-style test batteries are how
+// shuffles that "look random" get caught). Three estimators, each with a
+// closed-form expectation under uniform sampling:
+//
+//  - in-degree chi-square: goodness-of-fit of cumulative per-node
+//    in-degree counts against the uniform expectation. Reported as the
+//    normalized statistic z = (chi2 - dof) / sqrt(2*dof), which is
+//    approximately N(0,1) for large dof — |z| <~ 3 passes, a hub-forming
+//    or eclipse-biased sampler drives z far positive;
+//  - lag-1 repeat rate: fraction of a node's current out-neighbours that
+//    already appeared in its previous observation, vs the expectation
+//    for a fresh uniform re-sample (view / (n-1)). The ratio
+//    observed/expected is ~1 for an independent sampler, (n-1)/view for
+//    a frozen (periodic) one;
+//  - public-selection bias: fraction of view entries pointing at public
+//    nodes vs the true public ratio omega. ratio ~1 = class-unbiased.
+//
+// All accumulation is integer (counts and exact products); doubles enter
+// only in the final closed-form divisions, so the output is bit-stable
+// regardless of node count or iteration batching.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "net/address.hpp"
+#include "net/nat.hpp"
+
+namespace croupier::metrics {
+
+/// Chi-square goodness-of-fit of observed counts against the uniform
+/// expectation (every cell equally likely).
+struct ChiSquareFit {
+  double statistic = 0.0;  // chi^2
+  double dof = 0.0;        // cells - 1
+  double z = 0.0;          // (chi2 - dof) / sqrt(2*dof); ~N(0,1)
+};
+
+/// Fits `counts` (one observed tally per cell) against uniform. Returns
+/// zeros for fewer than two cells or an all-zero tally.
+[[nodiscard]] ChiSquareFit chi_square_uniform(
+    std::span<const std::uint64_t> counts);
+
+/// One audit snapshot.
+struct RandomnessPoint {
+  double t_seconds = 0.0;
+
+  // In-degree chi-square over cumulative counts.
+  double chi2 = 0.0;
+  double chi2_z = 0.0;
+
+  // Lag-1 temporal independence.
+  double repeat_observed = 0.0;  // overlap entries / current entries
+  double repeat_expected = 0.0;  // uniform re-sample expectation
+  double repeat_ratio = 0.0;     // observed / expected; ~1 = independent
+
+  // Public-vs-private selection bias.
+  double public_fraction = 0.0;  // public entries / total entries
+  double public_expected = 0.0;  // true ratio omega
+  double bias_ratio = 0.0;       // fraction / omega; ~1 = unbiased
+
+  std::size_t nodes = 0;           // audited nodes this tick
+  std::uint64_t edges_observed = 0;  // cumulative in-degree observations
+};
+
+/// Accumulating auditor: feed it one adjacency snapshot per tick (the
+/// node's out-neighbour lists in ascending-id order, as the World
+/// recorders produce them) and it maintains the cross-tick state the
+/// estimators need — cumulative per-node in-degree and each node's
+/// previous neighbour set. Nodes absent from a snapshot (dead or not yet
+/// gossiping) are dropped from both: their history describes an overlay
+/// member that no longer exists.
+class RandomnessAuditor {
+ public:
+  using Adjacency =
+      std::vector<std::pair<net::NodeId, std::vector<net::NodeId>>>;
+  using ClassMap = std::vector<std::pair<net::NodeId, net::NatType>>;
+
+  /// Observes one snapshot. `classes` gives the NAT class per node
+  /// (targets outside it count as private — they left the class map by
+  /// dying, and a dead target is certainly not a reachable public);
+  /// `true_ratio` is omega at snapshot time.
+  RandomnessPoint observe(const Adjacency& adjacency, const ClassMap& classes,
+                          double true_ratio, double t_seconds);
+
+  /// Drops all cross-tick state (fresh audit epoch).
+  void reset();
+
+  /// Cumulative in-degree observations so far (after drops).
+  [[nodiscard]] std::uint64_t edges_observed() const {
+    return edges_observed_;
+  }
+
+ private:
+  // Ordered by node id so every iteration (chi-square accumulation,
+  // pruning) is deterministic without sorting.
+  std::map<net::NodeId, std::uint64_t> indegree_;
+  std::map<net::NodeId, std::vector<net::NodeId>> prev_;  // sorted lists
+  std::uint64_t edges_observed_ = 0;
+};
+
+}  // namespace croupier::metrics

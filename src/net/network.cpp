@@ -49,6 +49,16 @@ void Network::detach(NodeId id) {
   buckets_.erase(id);
 }
 
+void Network::reclassify(NodeId id, const NatConfig& cfg) {
+  const auto it = nodes_.find(id);
+  CROUPIER_ASSERT_MSG(it != nodes_.end(), "reclassify of unattached node");
+  it->second.cfg = cfg;
+  it->second.nat.reset();
+  if (!cfg.behaves_public()) it->second.nat.emplace(cfg);
+  it->second.assemblies.clear();
+  buckets_.erase(id);
+}
+
 NatType Network::type_of(NodeId id) const {
   const auto it = nodes_.find(id);
   CROUPIER_ASSERT(it != nodes_.end());

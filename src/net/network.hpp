@@ -93,6 +93,12 @@ class Network {
   /// Removes a node (death/leave). In-flight packets to it are dropped.
   void detach(NodeId id);
 
+  /// Swaps a node's ground-truth NAT configuration in place (oscillating
+  /// reclassification scenarios). The NAT box is rebuilt from scratch and
+  /// half-finished reassemblies are dropped — a real re-homing loses its
+  /// mappings the same way.
+  void reclassify(NodeId id, const NatConfig& cfg);
+
   [[nodiscard]] bool attached(NodeId id) const {
     return nodes_.contains(id);
   }

@@ -1,0 +1,278 @@
+#include "runtime/adversary.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/arrg.hpp"
+#include "baselines/cyclon.hpp"
+#include "baselines/gozar.hpp"
+#include "baselines/nylon.hpp"
+#include "core/croupier.hpp"
+#include "runtime/registry.hpp"
+
+namespace croupier::run {
+
+namespace {
+
+// Promotion targets per round and the bound on the victim list. Small on
+// purpose: a hub's reach comes from answering every request, not from
+// flooding.
+constexpr std::size_t kPromoteFanout = 2;
+constexpr std::size_t kRecentCap = 32;
+constexpr std::size_t kSeedFanout = 5;
+
+}  // namespace
+
+AdversaryDialect dialect_for_protocol(const std::string& protocol_spec) {
+  const auto [name, opts] = ProtocolRegistry::parse_spec(protocol_spec);
+  (void)opts;
+  if (name == "croupier") return AdversaryDialect::Croupier;
+  if (name == "cyclon") return AdversaryDialect::Cyclon;
+  if (name == "gozar") return AdversaryDialect::Gozar;
+  if (name == "nylon") return AdversaryDialect::Nylon;
+  if (name == "arrg") return AdversaryDialect::Arrg;
+  throw std::invalid_argument("adversary: no hub dialect for protocol '" +
+                              name + "'");
+}
+
+HubSampler::HubSampler(Context ctx, AdversaryDialect dialect)
+    : pss::PeerSampler(std::move(ctx)), dialect_(dialect) {}
+
+void HubSampler::init() {
+  for (const net::NodeId id :
+       bootstrap().sample_public(kSeedFanout, self(), rng())) {
+    remember(id);
+  }
+}
+
+void HubSampler::remember(net::NodeId peer) {
+  if (peer == self() || peer == net::kNilNode) return;
+  if (std::find(recent_.begin(), recent_.end(), peer) != recent_.end()) {
+    return;
+  }
+  recent_.push_back(peer);
+  while (recent_.size() > kRecentCap) recent_.pop_front();
+}
+
+void HubSampler::promote_to(net::NodeId target) {
+  switch (dialect_) {
+    case AdversaryDialect::Croupier: {
+      auto req = std::make_shared<core::CroupierShuffleReq>();
+      req->sender = pss::NodeDescriptor::self(self(), nat_type());
+      network().send(self(), target, std::move(req));
+      break;
+    }
+    case AdversaryDialect::Cyclon: {
+      auto req = std::make_shared<baselines::CyclonShuffleReq>();
+      req->sender = pss::NodeDescriptor::self(self(), nat_type());
+      network().send(self(), target, std::move(req));
+      break;
+    }
+    case AdversaryDialect::Gozar: {
+      auto req = std::make_shared<baselines::GozarShuffleReq>();
+      req->sender =
+          baselines::GozarDescriptor{self(), nat_type(), 0, {}};
+      req->nonce = next_nonce_++;
+      network().send(self(), target, std::move(req));
+      break;
+    }
+    case AdversaryDialect::Nylon: {
+      auto req = std::make_shared<baselines::NylonShuffleReq>();
+      req->sender =
+          baselines::NylonDescriptor{self(), nat_type(), 0, self()};
+      network().send(self(), target, std::move(req));
+      break;
+    }
+    case AdversaryDialect::Arrg: {
+      auto req = std::make_shared<baselines::ArrgShuffleReq>();
+      req->sender = pss::NodeDescriptor::self(self(), nat_type());
+      network().send(self(), target, std::move(req));
+      break;
+    }
+  }
+}
+
+void HubSampler::round() {
+  if (recent_.empty()) init();
+  for (std::size_t i = 0; i < kPromoteFanout && !recent_.empty(); ++i) {
+    const net::NodeId target = recent_.front();
+    recent_.pop_front();
+    recent_.push_back(target);
+    promote_to(target);
+  }
+}
+
+void HubSampler::on_message(net::NodeId from, const net::Message& msg) {
+  switch (dialect_) {
+    case AdversaryDialect::Croupier:
+      switch (msg.type()) {
+        case core::kCroupierShuffleReq: {
+          const auto& req = static_cast<const core::CroupierShuffleReq&>(msg);
+          remember(req.sender.id);
+          ++poisoned_exchanges_;
+          auto res = std::make_shared<core::CroupierShuffleRes>();
+          res->pub.push_back(pss::NodeDescriptor::self(self(), nat_type()));
+          network().send(self(), from, std::move(res));
+          break;
+        }
+        case core::kCroupierShuffleRes:
+          remember(from);
+          break;
+        default:
+          break;
+      }
+      break;
+
+    case AdversaryDialect::Cyclon:
+      switch (msg.type()) {
+        case baselines::kCyclonShuffleReq: {
+          const auto& req = static_cast<const baselines::CyclonShuffleReq&>(msg);
+          remember(req.sender.id);
+          ++poisoned_exchanges_;
+          auto res = std::make_shared<baselines::CyclonShuffleRes>();
+          res->entries.push_back(pss::NodeDescriptor::self(self(), nat_type()));
+          network().send(self(), from, std::move(res));
+          break;
+        }
+        case baselines::kCyclonShuffleRes:
+          remember(from);
+          break;
+        default:
+          break;
+      }
+      break;
+
+    case AdversaryDialect::Gozar:
+      switch (msg.type()) {
+        case baselines::kGozarShuffleReq: {
+          const auto& req = static_cast<const baselines::GozarShuffleReq&>(msg);
+          remember(req.sender.id);
+          ++poisoned_exchanges_;
+          auto res = std::make_shared<baselines::GozarShuffleRes>();
+          res->responder = self();
+          res->entries.push_back(
+              baselines::GozarDescriptor{self(), nat_type(), 0, {}});
+          if (req.sender.nat_type == net::NatType::Public ||
+              from == req.sender.id) {
+            network().send(self(), req.sender.id, std::move(res));
+          } else {
+            // Forwarded by a relay: the honest response path, with
+            // poisoned contents.
+            auto rel = std::make_shared<baselines::GozarRelayedRes>();
+            rel->final_target = req.sender.id;
+            rel->inner = std::move(*res);
+            network().send(self(), from, std::move(rel));
+          }
+          break;
+        }
+        case baselines::kGozarRelayedReq: {
+          // We were picked as a relay parent. Instead of forwarding,
+          // answer in the final target's name: the initiator's pending
+          // exchange matches `responder` and merges our self-promotion.
+          // Its NAT mapping toward us is open — it just sent us this.
+          const auto& rel = static_cast<const baselines::GozarRelayedReq&>(msg);
+          remember(rel.inner.sender.id);
+          ++hijacked_relays_;
+          auto res = std::make_shared<baselines::GozarShuffleRes>();
+          res->responder = rel.final_target;
+          res->entries.push_back(
+              baselines::GozarDescriptor{self(), nat_type(), 0, {}});
+          network().send(self(), rel.inner.sender.id, std::move(res));
+          break;
+        }
+        case baselines::kGozarPing:
+          // Stay a live (and thus repeatedly chosen) relay parent.
+          network().send(self(), from, std::make_shared<baselines::GozarPong>());
+          break;
+        case baselines::kGozarShuffleRes:
+          remember(from);
+          break;
+        default:
+          break;
+      }
+      break;
+
+    case AdversaryDialect::Nylon:
+      switch (msg.type()) {
+        case baselines::kNylonShuffleReq: {
+          const auto& req = static_cast<const baselines::NylonShuffleReq&>(msg);
+          remember(req.sender.id);
+          ++poisoned_exchanges_;
+          auto res = std::make_shared<baselines::NylonShuffleRes>();
+          res->entries.push_back(
+              baselines::NylonDescriptor{self(), nat_type(), 0, self()});
+          network().send(self(), from, std::move(res));
+          break;
+        }
+        case baselines::kNylonShuffleRes:
+          remember(from);
+          break;
+        case baselines::kNylonPunchReq:
+          // Swallow the hole-punch chain: the initiator's exchange with
+          // its real target silently fails.
+          ++hijacked_relays_;
+          break;
+        case baselines::kNylonConnect: {
+          // Answer like an honest target — the punch completes toward
+          // us, and the follow-up shuffle request gets poisoned.
+          const auto& c = static_cast<const baselines::NylonConnect&>(msg);
+          remember(c.initiator);
+          network().send(self(), c.initiator,
+                         std::make_shared<baselines::NylonPunchOpen>());
+          break;
+        }
+        default:
+          break;
+      }
+      break;
+
+    case AdversaryDialect::Arrg:
+      switch (msg.type()) {
+        case baselines::kArrgShuffleReq: {
+          const auto& req = static_cast<const baselines::ArrgShuffleReq&>(msg);
+          remember(req.sender.id);
+          ++poisoned_exchanges_;
+          auto res = std::make_shared<baselines::ArrgShuffleRes>();
+          res->entries.push_back(pss::NodeDescriptor::self(self(), nat_type()));
+          network().send(self(), from, std::move(res));
+          break;
+        }
+        case baselines::kArrgShuffleRes:
+          remember(from);
+          break;
+        default:
+          break;
+      }
+      break;
+  }
+}
+
+std::optional<pss::NodeDescriptor> HubSampler::sample() {
+  return pss::NodeDescriptor::self(self(), nat_type());
+}
+
+std::vector<net::NodeId> HubSampler::out_neighbors() const {
+  std::vector<net::NodeId> out(recent_.begin(), recent_.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+ProtocolFactory make_hub_adversary_factory(ProtocolFactory inner,
+                                           std::size_t hubs,
+                                           AdversaryDialect dialect) {
+  auto assigned = std::make_shared<std::size_t>(0);
+  return [inner = std::move(inner), hubs, dialect,
+          assigned](pss::PeerSampler::Context ctx)
+             -> std::unique_ptr<pss::PeerSampler> {
+    if (*assigned < hubs && ctx.nat_type == net::NatType::Public) {
+      ++*assigned;
+      return std::make_unique<HubSampler>(std::move(ctx), dialect);
+    }
+    return inner(std::move(ctx));
+  };
+}
+
+}  // namespace croupier::run

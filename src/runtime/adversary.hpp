@@ -1,0 +1,87 @@
+// Hub-forming adversary: a registry-pluggable protocol shim.
+//
+// `adversary=hubs:N` replaces the first N *public* spawns with HubSampler
+// instances that speak the honest protocol's wire dialect but answer
+// every shuffle with self-promoting descriptors (fresh age-0 copies of
+// the hub itself) instead of a random view subset. Under Gozar the hub
+// additionally hijacks the relay path: when chosen as a relay parent it
+// answers the relayed request itself, impersonating the final target in
+// `responder`, so the private initiator's pending exchange matches and
+// the poison merges. Croupier gives a hub no such amplification channel —
+// privates never receive requests, so a hub only poisons the exchanges
+// addressed to it, same as any public node.
+//
+// This is the adversarial half of the randomness audit (PeerSwap,
+// arXiv:2408.03829): the `record=randomness` chi-square over in-degree is
+// exactly the statistic a successful hub drives off the uniform band.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "pss/protocol.hpp"
+#include "runtime/world.hpp"
+
+namespace croupier::run {
+
+/// Which honest wire dialect the hub speaks (and subverts).
+enum class AdversaryDialect : std::uint8_t {
+  Croupier,
+  Cyclon,
+  Gozar,
+  Nylon,
+  Arrg,
+};
+
+/// Dialect for a protocol spec string ("gozar:parents=3" -> Gozar).
+/// Throws std::invalid_argument for a protocol without a dialect.
+[[nodiscard]] AdversaryDialect dialect_for_protocol(
+    const std::string& protocol_spec);
+
+/// A node that answers every shuffle with self-promotion. Exposed so
+/// tests can identify hubs by dynamic_cast; constructed through
+/// make_hub_adversary_factory in normal use.
+class HubSampler final : public pss::PeerSampler {
+ public:
+  HubSampler(Context ctx, AdversaryDialect dialect);
+
+  void init() override;
+  void round() override;
+  void on_message(net::NodeId from, const net::Message& msg) override;
+
+  std::optional<pss::NodeDescriptor> sample() override;
+  [[nodiscard]] std::vector<net::NodeId> out_neighbors() const override;
+
+  /// Shuffle requests answered with self-promotion so far.
+  [[nodiscard]] std::uint64_t poisoned_exchanges() const {
+    return poisoned_exchanges_;
+  }
+  /// Gozar relayed requests hijacked (answered in the target's name).
+  [[nodiscard]] std::uint64_t hijacked_relays() const {
+    return hijacked_relays_;
+  }
+
+ private:
+  void remember(net::NodeId peer);
+  void promote_to(net::NodeId target);
+
+  AdversaryDialect dialect_;
+  // Recently heard-from peers — the hub's promotion targets and its
+  // out_neighbors() as seen by the audit. Bounded FIFO, membership
+  // checked on insert.
+  std::deque<net::NodeId> recent_;
+  std::uint16_t next_nonce_ = 0;  // gozar request dedup key
+  std::uint64_t poisoned_exchanges_ = 0;
+  std::uint64_t hijacked_relays_ = 0;
+};
+
+/// Wraps `inner` so the first `hubs` public-node constructions yield
+/// HubSamplers speaking `dialect`; everyone else gets the honest
+/// protocol. Spawns execute in serial scenario events, so the shared
+/// assignment counter needs no synchronisation.
+[[nodiscard]] ProtocolFactory make_hub_adversary_factory(
+    ProtocolFactory inner, std::size_t hubs, AdversaryDialect dialect);
+
+}  // namespace croupier::run

@@ -133,4 +133,47 @@ bool SampledGraphStatsRecorder::write_csv(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+RandomnessAuditRecorder::RandomnessAuditRecorder(World& world, Options opt)
+    : world_(world), opt_(opt) {
+  CROUPIER_ASSERT(opt_.interval > 0);
+}
+
+void RandomnessAuditRecorder::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void RandomnessAuditRecorder::tick() {
+  if (!running_) return;
+  metrics::RandomnessAuditor::Adjacency adjacency;
+  adjacency.reserve(world_.gossiping_count());
+  for (const net::NodeId id : world_.sorted_ids()) {
+    const auto* s = world_.sampler(id);
+    if (s == nullptr) continue;
+    adjacency.emplace_back(id, s->out_neighbors());
+  }
+  auto point = auditor_.observe(adjacency, world_.class_map(),
+                                world_.true_ratio(),
+                                sim::to_seconds(world_.simulator().now()));
+  series_.push_back(point);
+  world_.simulator().schedule_after(opt_.interval, [this] { tick(); });
+}
+
+bool RandomnessAuditRecorder::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "t_seconds,chi2,chi2_z,repeat_observed,repeat_expected,"
+         "repeat_ratio,public_fraction,public_expected,bias_ratio,nodes,"
+         "edges\n";
+  for (const auto& p : series_) {
+    out << p.t_seconds << ',' << p.chi2 << ',' << p.chi2_z << ','
+        << p.repeat_observed << ',' << p.repeat_expected << ','
+        << p.repeat_ratio << ',' << p.public_fraction << ','
+        << p.public_expected << ',' << p.bias_ratio << ',' << p.nodes << ','
+        << p.edges_observed << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
 }  // namespace croupier::run

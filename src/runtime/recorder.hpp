@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "metrics/estimation.hpp"
+#include "metrics/randomness.hpp"
 #include "metrics/streaming.hpp"
 #include "runtime/world.hpp"
 
@@ -141,6 +142,51 @@ class SampledGraphStatsRecorder {
   metrics::StreamingGraphEstimator estimator_;
   std::uint64_t kill_epoch_ = 0;
   std::vector<Point> series_;
+};
+
+struct RandomnessRecorderOptions {
+  sim::Duration interval = sim::sec(10);
+};
+
+/// Periodic statistical randomness audit (record=randomness): feeds the
+/// live overlay snapshot to a metrics::RandomnessAuditor and records the
+/// chi-square / lag-1 / class-bias point per tick. Draws no randomness
+/// itself — the estimators are closed-form over the snapshot — so the
+/// series is a pure function of the overlay trajectory. Departed nodes
+/// are pruned by the auditor, not by epoch reset: under the eclipse and
+/// churn scenarios the *surviving* population's accumulated skew is
+/// exactly the signal.
+class RandomnessAuditRecorder {
+ public:
+  using Options = RandomnessRecorderOptions;
+
+  RandomnessAuditRecorder(World& world, Options opt = {});
+
+  void start(sim::SimTime at);
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::vector<metrics::RandomnessPoint>& series() const {
+    return series_;
+  }
+
+  /// The last recorded point (empty-series safe: returns zeros).
+  [[nodiscard]] metrics::RandomnessPoint latest() const {
+    return series_.empty() ? metrics::RandomnessPoint{} : series_.back();
+  }
+
+  /// Dumps the series as CSV (t_seconds,chi2,chi2_z,repeat_observed,
+  /// repeat_expected,repeat_ratio,public_fraction,public_expected,
+  /// bias_ratio,nodes,edges).
+  bool write_csv(const std::string& path) const;
+
+ private:
+  void tick();
+
+  World& world_;
+  Options opt_;
+  bool running_ = false;
+  metrics::RandomnessAuditor auditor_;
+  std::vector<metrics::RandomnessPoint> series_;
 };
 
 }  // namespace croupier::run

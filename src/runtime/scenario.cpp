@@ -433,4 +433,115 @@ void ChurnProcess::tick() {
   }
 }
 
+// ---------------------------------------------------------------- eclipse
+
+EclipseProcess::EclipseProcess(World& world, net::NodeId target,
+                               sim::Duration period)
+    : ScenarioProcess(world), target_(target), period_(period) {
+  CROUPIER_ASSERT(target_ != net::kNilNode);
+  CROUPIER_ASSERT(period_ > 0);
+}
+
+void EclipseProcess::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  pending_ = world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void EclipseProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != sim::kInvalidEventId) {
+    world_.simulator().cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+}
+
+void EclipseProcess::tick() {
+  pending_ = sim::kInvalidEventId;
+  if (!running_) return;
+
+  const auto* sampler =
+      world_.alive(target_) ? world_.sampler(target_) : nullptr;
+  if (sampler != nullptr) {
+    // Snapshot, sort and dedupe the target's out-edges so the kill order
+    // is a pure function of the view contents.
+    std::vector<net::NodeId> neighbors = sampler->out_neighbors();
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    for (const net::NodeId id : neighbors) {
+      if (id == target_ || !world_.alive(id)) continue;
+      const net::NatType type = world_.type_of(id);
+      world_.kill(id);
+      world_.spawn(type == net::NatType::Public ? net::NatConfig::open()
+                                                : net::NatConfig::natted());
+      ++stats_.replaced;
+    }
+  }
+
+  if (running_) {
+    pending_ = world_.simulator().schedule_after(period_, [this] { tick(); });
+  }
+}
+
+// ---------------------------------------------------------------- natflap
+
+NatFlapProcess::NatFlapProcess(World& world, double fraction,
+                               sim::Duration period)
+    : ScenarioProcess(world), fraction_(fraction), period_(period) {
+  CROUPIER_ASSERT(fraction_ > 0.0 && fraction_ <= 1.0);
+  CROUPIER_ASSERT(period_ > 0);
+}
+
+void NatFlapProcess::start(sim::SimTime at) {
+  CROUPIER_ASSERT(!running_);
+  running_ = true;
+  pending_ = world_.simulator().schedule_at(at, [this] { tick(); });
+}
+
+void NatFlapProcess::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (pending_ != sim::kInvalidEventId) {
+    world_.simulator().cancel(pending_);
+    pending_ = sim::kInvalidEventId;
+  }
+  // Flapped nodes keep their flipped class until the next "back" phase
+  // of a restarted process — a stopped attack does not undo itself.
+}
+
+void NatFlapProcess::tick() {
+  pending_ = sim::kInvalidEventId;
+  if (!running_) return;
+
+  if (out_phase_) {
+    const auto targets = static_cast<std::size_t>(std::floor(
+        fraction_ * static_cast<double>(world_.alive_count())));
+    const auto victims =
+        world_.scenario_rng().sample(
+            std::span<const net::NodeId>(world_.alive_ids()), targets);
+    for (const net::NodeId id : victims) {
+      const net::NatConfig orig = world_.nat_config_of(id);
+      flapped_.emplace_back(id, orig);
+      world_.reclassify(id, orig.nat_type() == net::NatType::Public
+                                ? net::NatConfig::natted()
+                                : net::NatConfig::open());
+      ++stats_.reclassified;
+    }
+  } else {
+    for (const auto& [id, orig] : flapped_) {
+      if (!world_.alive(id)) continue;  // churn/failure got it meanwhile
+      world_.reclassify(id, orig);
+      ++stats_.reclassified;
+    }
+    flapped_.clear();
+  }
+  out_phase_ = !out_phase_;
+
+  if (running_) {
+    pending_ = world_.simulator().schedule_after(period_, [this] { tick(); });
+  }
+}
+
 }  // namespace croupier::run

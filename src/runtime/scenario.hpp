@@ -35,6 +35,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "net/nat.hpp"
 #include "runtime/world.hpp"
@@ -85,9 +87,10 @@ class ScenarioProcess {
 
   /// Lifetime totals of what the process did to the population.
   struct Stats {
-    std::uint64_t spawned = 0;   // nodes created
-    std::uint64_t killed = 0;    // nodes crashed
-    std::uint64_t replaced = 0;  // kill+respawn pairs (churn)
+    std::uint64_t spawned = 0;       // nodes created
+    std::uint64_t killed = 0;        // nodes crashed
+    std::uint64_t replaced = 0;      // kill+respawn pairs (churn, eclipse)
+    std::uint64_t reclassified = 0;  // in-place NAT class flips (natflap)
   };
   [[nodiscard]] virtual Stats stats() const = 0;
 
@@ -234,6 +237,68 @@ class ChurnProcess final : public ScenarioProcess {
   double carry_private_ = 0.0;
   sim::EventId pending_ = sim::kInvalidEventId;
   std::uint64_t replaced_ = 0;
+};
+
+/// Eclipse attack as a membership dynamic: each period, every node the
+/// target currently points at is crashed and replaced by a fresh node of
+/// the same NAT class (population size and ratio stay stable, so audit
+/// shifts are attributable to the attack, not to shrinkage). The target
+/// is forced to rebuild its view from strangers every period — a sampler
+/// whose replacement stream is not uniform leaks it in the target's
+/// in-degree and repeat statistics. A dead or not-yet-gossiping target
+/// makes the tick a deterministic no-op.
+class EclipseProcess final : public ScenarioProcess {
+ public:
+  EclipseProcess(World& world, net::NodeId target, sim::Duration period);
+  /// Cancels the pending tick, as in ChurnProcess.
+  ~EclipseProcess() override { stop(); }
+
+  void start(sim::SimTime at) override;
+  void stop() override;
+  [[nodiscard]] Stats stats() const override { return stats_; }
+
+ private:
+  void tick();
+
+  net::NodeId target_;
+  sim::Duration period_;
+  Stats stats_;
+  sim::EventId pending_ = sim::kInvalidEventId;
+};
+
+/// Oscillating NAT reclassification: each period alternates between an
+/// "out" phase — floor(frac * alive) uniformly drawn nodes flip class in
+/// place (public -> carrier NAT, private -> open) through
+/// World::reclassify, re-joining through the NAT-ID path when the world
+/// runs it — and a "back" phase restoring every still-alive flapped node
+/// to its original configuration. Node identities and RNG lineages
+/// survive the flip; only the protocol instance is rebuilt. This is the
+/// dynamic that breaks traversal-dependent samplers (gozar's relay
+/// parents, nylon's RVP chains reference classes that no longer hold)
+/// while a croupier private only ever depends on live publics.
+class NatFlapProcess final : public ScenarioProcess {
+ public:
+  NatFlapProcess(World& world, double fraction, sim::Duration period);
+  ~NatFlapProcess() override { stop(); }
+
+  void start(sim::SimTime at) override;
+  void stop() override;
+  [[nodiscard]] Stats stats() const override { return stats_; }
+
+  /// Nodes currently flipped away from their original class.
+  [[nodiscard]] std::size_t currently_flapped() const {
+    return flapped_.size();
+  }
+
+ private:
+  void tick();
+
+  double fraction_;
+  sim::Duration period_;
+  bool out_phase_ = true;  // next tick flips out; alternates
+  std::vector<std::pair<net::NodeId, net::NatConfig>> flapped_;
+  Stats stats_;
+  sim::EventId pending_ = sim::kInvalidEventId;
 };
 
 }  // namespace croupier::run

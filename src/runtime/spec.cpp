@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/adversary.hpp"
 #include "runtime/registry.hpp"
 
 namespace croupier::run {
@@ -87,6 +88,7 @@ const char* record_name(ExperimentSpec::RecordKind k) {
     case ExperimentSpec::RecordKind::Estimation: return "estimation";
     case ExperimentSpec::RecordKind::Graph: return "graph";
     case ExperimentSpec::RecordKind::GraphSampled: return "graph-sampled";
+    case ExperimentSpec::RecordKind::Randomness: return "randomness";
   }
   return "estimation";
 }
@@ -222,6 +224,26 @@ void ExperimentSpec::validate() const {
   check(failure_frac >= 0.0 && failure_frac <= 1.0,
         "failure frac must be in [0, 1]");
   check(failure_at_s >= 0.0, "failure at must be >= 0");
+  // Adversarial scenario bounds, rejected here rather than mid-trial:
+  // an eclipse target the join processes never spawn would silently
+  // no-op forever, natflap on an all-public population has no NAT class
+  // to flap, and a hub count >= nodes leaves no honest node to audit.
+  check(eclipse_target <= nodes,
+        "eclipse target must be a node id in [1, nodes] (0 = off; ids are "
+        "assigned 1..nodes in join order)");
+  check(eclipse_at_s >= 0.0, "eclipse at must be >= 0");
+  check(eclipse_period_s > 0.0, "eclipse period must be positive");
+  check(natflap_frac >= 0.0 && natflap_frac <= 1.0,
+        "natflap frac must be in [0, 1]");
+  check(natflap_frac == 0.0 || ratio < 1.0,
+        "natflap requires a mixed population — with ratio=1 there is no "
+        "NAT class to oscillate");
+  check(natflap_at_s >= 0.0, "natflap at must be >= 0");
+  check(natflap_period_s > 0.0, "natflap period must be positive");
+  check(adversary_hubs == 0 || adversary_hubs < nodes,
+        "adversary hubs must be < nodes — at least one honest node must "
+        "remain");
+  if (adversary_hubs > 0) (void)dialect_for_protocol(protocol);
   // Strictly below 1: a rate of 1.0 would silence a class pair outright
   // and used to slip through to the Network's hard assert mid-trial;
   // failing here keeps the error at parse/validate time.
@@ -296,6 +318,19 @@ std::string ExperimentSpec::to_string() const {
     out << " failure=at:" << fmt_double(failure_at_s) << ",frac:"
         << fmt_double(failure_frac) << ",corr:" << corr_name(failure_corr);
   }
+  if (eclipse_target != 0 || eclipse_at_s != defaults.eclipse_at_s ||
+      eclipse_period_s != defaults.eclipse_period_s) {
+    out << " eclipse=target:" << eclipse_target << ",at:"
+        << fmt_double(eclipse_at_s) << ",period:"
+        << fmt_double(eclipse_period_s);
+  }
+  if (natflap_frac != 0.0 || natflap_at_s != defaults.natflap_at_s ||
+      natflap_period_s != defaults.natflap_period_s) {
+    out << " natflap=frac:" << fmt_double(natflap_frac) << ",at:"
+        << fmt_double(natflap_at_s) << ",period:"
+        << fmt_double(natflap_period_s);
+  }
+  if (adversary_hubs != 0) out << " adversary=hubs:" << adversary_hubs;
   if (loss.is_uniform()) {
     // The historic scalar form, byte-identical for every pre-existing
     // spec (uniform zero is the default and stays omitted).
@@ -435,6 +470,49 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
                "\"");
         }
       }
+    } else if (key == "eclipse") {
+      const ExperimentSpec defaults;
+      spec.eclipse_target = defaults.eclipse_target;
+      spec.eclipse_at_s = defaults.eclipse_at_s;
+      spec.eclipse_period_s = defaults.eclipse_period_s;
+      for (const auto& [sub, text] : split_subkeys(key, value)) {
+        if (sub.empty() || sub == "target") {
+          spec.eclipse_target = parse_size("eclipse target", text);
+        } else if (sub == "at") {
+          spec.eclipse_at_s = parse_double("eclipse at", text);
+        } else if (sub == "period") {
+          spec.eclipse_period_s = parse_double("eclipse period", text);
+        } else {
+          fail("spec: eclipse subkey must be target|at|period, got \"" + sub +
+               "\"");
+        }
+      }
+    } else if (key == "natflap") {
+      const ExperimentSpec defaults;
+      spec.natflap_frac = defaults.natflap_frac;
+      spec.natflap_at_s = defaults.natflap_at_s;
+      spec.natflap_period_s = defaults.natflap_period_s;
+      for (const auto& [sub, text] : split_subkeys(key, value)) {
+        if (sub.empty() || sub == "frac") {
+          spec.natflap_frac = parse_double("natflap frac", text);
+        } else if (sub == "at") {
+          spec.natflap_at_s = parse_double("natflap at", text);
+        } else if (sub == "period") {
+          spec.natflap_period_s = parse_double("natflap period", text);
+        } else {
+          fail("spec: natflap subkey must be frac|at|period, got \"" + sub +
+               "\"");
+        }
+      }
+    } else if (key == "adversary") {
+      spec.adversary_hubs = 0;
+      for (const auto& [sub, text] : split_subkeys(key, value)) {
+        if (sub.empty() || sub == "hubs") {
+          spec.adversary_hubs = parse_size("adversary hubs", text);
+        } else {
+          fail("spec: adversary subkey must be hubs, got \"" + sub + "\"");
+        }
+      }
     } else if (key == "loss") {
       spec.loss = parse_loss(value);
     } else if (key == "mtu") {
@@ -496,8 +574,9 @@ ExperimentSpec ExperimentSpec::parse(const std::string& text) {
       else if (value == "estimation") spec.record = RecordKind::Estimation;
       else if (value == "graph") spec.record = RecordKind::Graph;
       else if (value == "graph-sampled") spec.record = RecordKind::GraphSampled;
-      else fail("spec: record must be none|estimation|graph|graph-sampled, got \"" + value +
-                "\"");
+      else if (value == "randomness") spec.record = RecordKind::Randomness;
+      else fail("spec: record must be none|estimation|graph|graph-sampled|"
+                "randomness, got \"" + value + "\"");
     } else if (key == "record-every") {
       spec.record_every_s = parse_double(key, value);
     } else {
@@ -570,6 +649,24 @@ SpecBuilder& SpecBuilder::correlated_failure(double fraction, double at_s,
   spec_.failure_corr = corr;
   return *this;
 }
+SpecBuilder& SpecBuilder::eclipse(std::size_t target, double at_s,
+                                  double period_s) {
+  spec_.eclipse_target = target;
+  spec_.eclipse_at_s = at_s;
+  spec_.eclipse_period_s = period_s;
+  return *this;
+}
+SpecBuilder& SpecBuilder::natflap(double fraction, double at_s,
+                                  double period_s) {
+  spec_.natflap_frac = fraction;
+  spec_.natflap_at_s = at_s;
+  spec_.natflap_period_s = period_s;
+  return *this;
+}
+SpecBuilder& SpecBuilder::adversary_hubs(std::size_t hubs) {
+  spec_.adversary_hubs = hubs;
+  return *this;
+}
 SpecBuilder& SpecBuilder::loss(const ExperimentSpec::LossSpec& loss) {
   spec_.loss = loss;
   return *this;
@@ -638,6 +735,12 @@ SpecBuilder& SpecBuilder::record_graph_sampled(double every_s) {
   return *this;
 }
 
+SpecBuilder& SpecBuilder::record_randomness(double every_s) {
+  spec_.record = ExperimentSpec::RecordKind::Randomness;
+  spec_.record_every_s = every_s;
+  return *this;
+}
+
 SpecBuilder& SpecBuilder::record_nothing() {
   spec_.record = ExperimentSpec::RecordKind::None;
   spec_.record_every_s = 0.0;
@@ -668,8 +771,14 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
   // seed identifies the experiment's *results*, and the engine guarantees
   // results are byte-identical for every world_jobs value.
   cfg.world_jobs = world_jobs;
-  world_ = std::make_unique<World>(
-      cfg, ProtocolRegistry::instance().make_from_spec(spec_.protocol));
+  ProtocolFactory factory =
+      ProtocolRegistry::instance().make_from_spec(spec_.protocol);
+  if (spec_.adversary_hubs > 0) {
+    factory = make_hub_adversary_factory(std::move(factory),
+                                         spec_.adversary_hubs,
+                                         dialect_for_protocol(spec_.protocol));
+  }
+  world_ = std::make_unique<World>(cfg, std::move(factory));
 
   // The scenario pipeline. Scheduling order mirrors what the benches
   // always did by hand — joins, then churn, then catastrophe, then
@@ -766,6 +875,19 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
         from_s(spec_.failure_at_s));
   }
 
+  if (spec_.eclipse_target != 0) {
+    arm(std::make_unique<EclipseProcess>(
+            *world_, static_cast<net::NodeId>(spec_.eclipse_target),
+            from_s(spec_.eclipse_period_s)),
+        from_s(spec_.eclipse_at_s));
+  }
+
+  if (spec_.natflap_frac > 0.0) {
+    arm(std::make_unique<NatFlapProcess>(*world_, spec_.natflap_frac,
+                                         from_s(spec_.natflap_period_s)),
+        from_s(spec_.natflap_at_s));
+  }
+
   switch (spec_.record) {
     case ExperimentSpec::RecordKind::None:
       break;
@@ -794,6 +916,15 @@ Experiment::Experiment(const ExperimentSpec& spec, std::uint64_t seed,
       graph_sampled_->start(opt.interval);
       break;
     }
+    case ExperimentSpec::RecordKind::Randomness: {
+      const sim::Duration every = spec_.record_every_s > 0.0
+                                      ? from_s(spec_.record_every_s)
+                                      : sim::sec(10);
+      randomness_ = std::make_unique<RandomnessAuditRecorder>(
+          *world_, RandomnessRecorderOptions{every});
+      randomness_->start(every);
+      break;
+    }
   }
 }
 
@@ -804,6 +935,7 @@ ScenarioProcess::Stats Experiment::scenario_stats() const {
     total.spawned += s.spawned;
     total.killed += s.killed;
     total.replaced += s.replaced;
+    total.reclassified += s.reclassified;
   }
   return total;
 }

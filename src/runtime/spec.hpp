@@ -36,7 +36,7 @@ struct ExperimentSpec {
     Instant,  // all nodes spawn before t=0 events run
   };
   enum class RecordKind : std::uint8_t { None, Estimation, Graph,
-                                         GraphSampled };
+                                         GraphSampled, Randomness };
   /// How a correlated failure picks its victims (see
   /// CorrelatedFailureProcess).
   using FailureCorr = CorrelatedFailureProcess::Corr;
@@ -112,6 +112,25 @@ struct ExperimentSpec {
   double failure_frac = 0.0;
   double failure_at_s = 60.0;
   FailureCorr failure_corr = FailureCorr::Region;
+
+  // Eclipse attack: every eclipse period, each node the target currently
+  // points at is crashed and replaced by a fresh node of the same class
+  // (EclipseProcess). 0 = off; node ids start at 1, and validate()
+  // rejects targets outside the initial population.
+  std::size_t eclipse_target = 0;
+  double eclipse_at_s = 60.0;
+  double eclipse_period_s = 1.0;
+
+  // Oscillating NAT reclassification (NatFlapProcess): every period
+  // alternates between flipping floor(frac * alive) nodes' NAT class in
+  // place and restoring them.
+  double natflap_frac = 0.0;
+  double natflap_at_s = 60.0;
+  double natflap_period_s = 10.0;
+
+  // Hub-forming adversary: the first `hubs` public spawns run the
+  // self-promoting HubSampler shim instead of the honest protocol.
+  std::size_t adversary_hubs = 0;
 
   // Network conditions.
   LossSpec loss;
@@ -189,6 +208,11 @@ class SpecBuilder {
   SpecBuilder& correlated_failure(
       double fraction, double at_s,
       ExperimentSpec::FailureCorr corr = ExperimentSpec::FailureCorr::Region);
+  SpecBuilder& eclipse(std::size_t target, double at_s = 60.0,
+                       double period_s = 1.0);
+  SpecBuilder& natflap(double fraction, double at_s = 60.0,
+                       double period_s = 10.0);
+  SpecBuilder& adversary_hubs(std::size_t hubs);
   SpecBuilder& loss(const ExperimentSpec::LossSpec& loss);
   SpecBuilder& mtu(std::size_t bytes);
   SpecBuilder& bandwidth(std::uint64_t bytes_per_s,
@@ -205,6 +229,7 @@ class SpecBuilder {
   SpecBuilder& record_estimation(double every_s = 0.0);
   SpecBuilder& record_graph(double every_s = 0.0);
   SpecBuilder& record_graph_sampled(double every_s = 0.0);
+  SpecBuilder& record_randomness(double every_s = 0.0);
   SpecBuilder& record_nothing();
 
   /// Validates and returns the spec (throws std::invalid_argument).
@@ -258,6 +283,9 @@ class Experiment {
   [[nodiscard]] const SampledGraphStatsRecorder* graph_sampled() const {
     return graph_sampled_.get();
   }
+  [[nodiscard]] const RandomnessAuditRecorder* randomness() const {
+    return randomness_.get();
+  }
 
  private:
   ExperimentSpec spec_;
@@ -268,6 +296,7 @@ class Experiment {
   std::unique_ptr<EstimationRecorder> estimation_;
   std::unique_ptr<GraphStatsRecorder> graph_stats_;
   std::unique_ptr<SampledGraphStatsRecorder> graph_sampled_;
+  std::unique_ptr<RandomnessAuditRecorder> randomness_;
 };
 
 }  // namespace croupier::run

@@ -16,6 +16,10 @@ struct World::NodeRuntime final : net::MessageHandler {
   bool pss_started = false;
   std::uint64_t rounds = 0;
   double period_scale = 1.0;
+  /// Bumped by reclassify(): pending round events from the previous
+  /// protocol instance carry the old epoch and become no-ops, so a node
+  /// never gossips on two round chains at once.
+  std::uint32_t round_epoch = 0;
   sim::RngStream rng;  // per-node stream; forked for sub-components
 
   std::unique_ptr<natid::NatIdClient> natid_client;
@@ -136,22 +140,40 @@ net::NodeId World::spawn_impl(const net::NatConfig& nat, bool skip_natid) {
     return id;
   }
 
+  start_natid(ref);
+  return id;
+}
+
+namespace {
+
+// Sub-component RNG fork tags. Epoch 0 keeps the historic small tags so
+// every pre-reclassify run stays byte-identical; later epochs shift the
+// base out of the low tag range, which no other fork uses.
+std::uint64_t epoch_tag(std::uint64_t base, std::uint32_t epoch) {
+  return epoch == 0 ? base : (base << 16) + epoch;
+}
+
+}  // namespace
+
+void World::start_natid(NodeRuntime& node) {
   // Run the distributed identification first; gossip starts when it
   // completes. The callback never outlives the node: kill() destroys the
   // client, whose destructor disarms the pending timeout.
+  const net::NodeId id = node.id;
   natid::NatIdClient::Config nid_cfg;
   nid_cfg.timeout = cfg_.natid_timeout;
-  nid_cfg.upnp_available = nat.cls == net::ConnectivityClass::UpnpIgd;
-  ref.natid_client = std::make_unique<natid::NatIdClient>(
-      id, *network_, bootstrap_, ref.rng.fork(0x71D), nid_cfg,
+  nid_cfg.upnp_available =
+      node.nat_cfg.cls == net::ConnectivityClass::UpnpIgd;
+  node.natid_client = std::make_unique<natid::NatIdClient>(
+      id, *network_, bootstrap_,
+      node.rng.fork(epoch_tag(0x71D, node.round_epoch)), nid_cfg,
       [this, id](net::NatType type) {
         const auto it = nodes_.find(id);
         if (it == nodes_.end()) return;
         it->second->identified = type;
         start_pss(*it->second);
       });
-  ref.natid_client->start();
-  return id;
+  node.natid_client->start();
 }
 
 void World::start_pss(NodeRuntime& node) {
@@ -161,7 +183,8 @@ void World::start_pss(NodeRuntime& node) {
   // Public nodes serve the NAT-ID protocol for future joiners.
   if (node.identified == net::NatType::Public) {
     node.natid_responder = std::make_unique<natid::NatIdResponder>(
-        node.id, *network_, bootstrap_, node.rng.fork(0x4E5));
+        node.id, *network_, bootstrap_,
+        node.rng.fork(epoch_tag(0x4E5, node.round_epoch)));
   }
 
   pss::PeerSampler::Context ctx;
@@ -169,7 +192,7 @@ void World::start_pss(NodeRuntime& node) {
   ctx.nat_type = node.identified;
   ctx.network = network_.get();
   ctx.bootstrap = &bootstrap_;
-  ctx.rng = node.rng.fork(0x955);
+  ctx.rng = node.rng.fork(epoch_tag(0x955, node.round_epoch));
   ctx.arena = &view_arena_;
   node.pss = factory_(std::move(ctx));
   CROUPIER_ASSERT(node.pss != nullptr);
@@ -183,15 +206,16 @@ void World::start_pss(NodeRuntime& node) {
   const auto phase = static_cast<sim::Duration>(
       node.rng.next_double() * static_cast<double>(cfg_.round_period));
   const net::NodeId id = node.id;
+  const std::uint32_t epoch = node.round_epoch;
   sim_.schedule_after(phase, static_cast<sim::Affinity>(id),
-                      [this, id] { schedule_round(id); });
+                      [this, id, epoch] { schedule_round(id, epoch); });
 }
 
-void World::schedule_round(net::NodeId id) {
+void World::schedule_round(net::NodeId id, std::uint32_t epoch) {
   const auto it = nodes_.find(id);
   if (it == nodes_.end()) return;  // died while the event was pending
   NodeRuntime& node = *it->second;
-  if (node.pss == nullptr) return;
+  if (node.pss == nullptr || node.round_epoch != epoch) return;
 
   node.pss->round();
   ++node.rounds;
@@ -199,7 +223,44 @@ void World::schedule_round(net::NodeId id) {
   const auto period = static_cast<sim::Duration>(
       static_cast<double>(cfg_.round_period) * node.period_scale);
   sim_.schedule_after(period, static_cast<sim::Affinity>(id),
-                      [this, id] { schedule_round(id); });
+                      [this, id, epoch] { schedule_round(id, epoch); });
+}
+
+void World::reclassify(net::NodeId id, const net::NatConfig& nat) {
+  const auto it = nodes_.find(id);
+  CROUPIER_ASSERT_MSG(it != nodes_.end(), "reclassify of dead node");
+  NodeRuntime& node = *it->second;
+
+  if (node.nat_cfg.nat_type() == net::NatType::Public) {
+    CROUPIER_ASSERT(public_count_ > 0);
+    --public_count_;
+  }
+  if (nat.nat_type() == net::NatType::Public) ++public_count_;
+  node.nat_cfg = nat;
+  network_->reclassify(id, nat);
+
+  // Tear down the old identity: the orphaned round chain dies on the
+  // epoch check, in-flight responses to the old instance are dropped by
+  // NodeRuntime's null check.
+  ++node.round_epoch;
+  if (node.pss != nullptr) {
+    CROUPIER_ASSERT(gossiping_count_ > 0);
+    --gossiping_count_;
+    node.pss.reset();
+  }
+  node.natid_client.reset();
+  node.natid_responder.reset();
+  node.pss_started = false;
+  node.rounds = 0;
+  if (bootstrap_.known(id)) bootstrap_.remove(id);
+
+  // Re-join through the same path spawn uses.
+  if (!cfg_.use_natid_protocol) {
+    node.identified = nat.nat_type();
+    start_pss(node);
+  } else {
+    start_natid(node);
+  }
 }
 
 void World::kill(net::NodeId id) {
@@ -254,6 +315,12 @@ net::NatType World::type_of(net::NodeId id) const {
   const auto it = nodes_.find(id);
   CROUPIER_ASSERT(it != nodes_.end());
   return it->second->nat_cfg.nat_type();
+}
+
+const net::NatConfig& World::nat_config_of(net::NodeId id) const {
+  const auto it = nodes_.find(id);
+  CROUPIER_ASSERT(it != nodes_.end());
+  return it->second->nat_cfg;
 }
 
 net::NatType World::identified_type_of(net::NodeId id) const {

@@ -87,6 +87,16 @@ class World {
   /// Removes a node abruptly (crash). In-flight traffic to it is lost.
   void kill(net::NodeId id);
 
+  /// Changes a live node's ground-truth NAT configuration in place (the
+  /// natflap scenario: a laptop re-homing from an open network to a
+  /// carrier NAT and back). The node's network identity and RNG lineage
+  /// survive, but its protocol instance is torn down and rebuilt through
+  /// the same join path spawn uses — including the distributed NAT-ID
+  /// protocol when the World runs it — because that is what a real
+  /// re-homed node would do. Clock skew is a node property and is kept;
+  /// private_round_scale is applied at spawn only.
+  void reclassify(net::NodeId id, const net::NatConfig& nat);
+
   [[nodiscard]] bool alive(net::NodeId id) const {
     return nodes_.contains(id);
   }
@@ -143,6 +153,9 @@ class World {
 
   /// Ground-truth classification of a live node.
   [[nodiscard]] net::NatType type_of(net::NodeId id) const;
+  /// Full ground-truth NAT configuration of a live node (what
+  /// reclassify() restores after a flap).
+  [[nodiscard]] const net::NatConfig& nat_config_of(net::NodeId id) const;
   /// Classification the node itself arrived at (== ground truth unless the
   /// NAT-ID protocol misidentified it).
   [[nodiscard]] net::NatType identified_type_of(net::NodeId id) const;
@@ -183,7 +196,8 @@ class World {
 
   net::NodeId spawn_impl(const net::NatConfig& nat, bool skip_natid);
   void start_pss(NodeRuntime& node);
-  void schedule_round(net::NodeId id);
+  void schedule_round(net::NodeId id, std::uint32_t epoch);
+  void start_natid(NodeRuntime& node);
 
   Config cfg_;
   ProtocolFactory factory_;

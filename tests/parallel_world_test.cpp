@@ -99,6 +99,8 @@ struct RunFingerprint {
   std::uint64_t fragments_reassembled = 0;
   std::uint64_t fragments_expired = 0;
   std::uint64_t delivered_bytes = 0;
+  std::uint64_t replaced = 0;      // eclipse respawns
+  std::uint64_t reclassified = 0;  // natflap class flips
 
   bool operator==(const RunFingerprint&) const = default;
 };
@@ -126,6 +128,20 @@ RunFingerprint run_spec(const run::ExperimentSpec& spec, std::uint64_t seed,
       fp.series.push_back(static_cast<double>(p.edges));
     }
   }
+  if (experiment.randomness() != nullptr) {
+    for (const auto& p : experiment.randomness()->series()) {
+      fp.series.push_back(p.t_seconds);
+      fp.series.push_back(p.chi2);
+      fp.series.push_back(p.chi2_z);
+      fp.series.push_back(p.repeat_ratio);
+      fp.series.push_back(p.bias_ratio);
+      fp.series.push_back(static_cast<double>(p.nodes));
+      fp.series.push_back(static_cast<double>(p.edges_observed));
+    }
+  }
+  const auto scenario = experiment.scenario_stats();
+  fp.replaced = scenario.replaced;
+  fp.reclassified = scenario.reclassified;
   run::World& world = experiment.world();
   fp.events = world.simulator().events_processed();
   const auto& drops = world.network().drops();
@@ -339,6 +355,53 @@ TEST(ParallelWorldDeterminism, ConstantLatencyMaximalBatches) {
                         .duration(40)
                         .build();
   expect_engine_equivalence(spec, 5);
+}
+
+TEST(ParallelWorldDeterminism, EclipseRespawnsIdentically) {
+  // The eclipse tick is one serial event that snapshots the target's
+  // view, mass-kills and respawns — every respawned node's RNG lineage
+  // and first-round schedule must replay identically, and the audit
+  // recorder folds the resulting in-degree skew into the fingerprint.
+  const auto spec = run::SpecBuilder()
+                        .protocol("croupier:alpha=25,gamma=50")
+                        .nodes(250)
+                        .ratio(0.2)
+                        .eclipse(1, 15.0, 2.0)
+                        .record_randomness(10.0)
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 43);
+}
+
+TEST(ParallelWorldDeterminism, NatFlapReclassifiesIdentically) {
+  // NAT flapping tears protocols down and rebuilds them in place with
+  // epoch-tagged RNG forks; pending round events of the old epoch must
+  // no-op identically under every engine, and nylon's punch chains are
+  // the workload most entangled with the flipped classes.
+  const auto spec = run::SpecBuilder()
+                        .protocol("nylon")
+                        .nodes(200)
+                        .ratio(0.2)
+                        .natflap(0.1, 15.0, 5.0)
+                        .record_randomness(10.0)
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 47);
+}
+
+TEST(ParallelWorldDeterminism, HubAdversaryUnderGozar) {
+  // Hub shims answer shuffles and hijack relays from inside the normal
+  // delivery path (node-affine events); their poisoned responses must
+  // interleave identically with honest traffic.
+  const auto spec = run::SpecBuilder()
+                        .protocol("gozar")
+                        .nodes(250)
+                        .ratio(0.2)
+                        .adversary_hubs(2)
+                        .record_randomness(10.0)
+                        .duration(40)
+                        .build();
+  expect_engine_equivalence(spec, 53);
 }
 
 TEST(ParallelWorldEngine, ReportsBatchingStats) {

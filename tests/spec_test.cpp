@@ -192,6 +192,54 @@ TEST(ExperimentSpec, NewScenarioFamiliesRoundTripFullyLoaded) {
   EXPECT_EQ(ExperimentSpec::parse(text).to_string(), text);
 }
 
+TEST(ExperimentSpec, AdversarialFamiliesParseValidateAndRoundTrip) {
+  const auto spec = SpecBuilder()
+                        .protocol("gozar")
+                        .nodes(400)
+                        .ratio(0.2)
+                        .eclipse(7, 33.5, 2.5)
+                        .natflap(0.15, 40.0, 12.5)
+                        .adversary_hubs(3)
+                        .record_randomness(5)
+                        .duration(120)
+                        .build();
+  const auto text = spec.to_string();
+  EXPECT_EQ(ExperimentSpec::parse(text), spec) << text;
+  EXPECT_EQ(ExperimentSpec::parse(text).to_string(), text);
+
+  // Scalar shorthands: the bare value names the family's primary knob.
+  EXPECT_EQ(ExperimentSpec::parse("eclipse=5").eclipse_target, 5u);
+  EXPECT_DOUBLE_EQ(ExperimentSpec::parse("natflap=0.1").natflap_frac, 0.1);
+  EXPECT_EQ(ExperimentSpec::parse("adversary=2").adversary_hubs, 2u);
+  EXPECT_EQ(ExperimentSpec::parse("record=randomness").record,
+            ExperimentSpec::RecordKind::Randomness);
+  EXPECT_THROW((void)ExperimentSpec::parse("eclipse=when:5"),
+               std::invalid_argument);
+  EXPECT_THROW((void)ExperimentSpec::parse("adversary=count:3"),
+               std::invalid_argument);
+}
+
+TEST(ExperimentSpec, AdversarialBoundsAreRejectedAtValidateTime) {
+  // An eclipse target the join processes never spawn (ids are assigned
+  // 1..nodes) would silently no-op forever.
+  EXPECT_THROW((void)SpecBuilder().nodes(100).eclipse(101).build(),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)SpecBuilder().nodes(100).eclipse(100).build());
+  EXPECT_THROW((void)SpecBuilder().eclipse(1, 10.0, 0.0).build(),
+               std::invalid_argument);
+  // NAT flapping needs a NAT class to flap.
+  EXPECT_THROW((void)SpecBuilder().ratio(1.0).natflap(0.1).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().natflap(1.5).build(),
+               std::invalid_argument);
+  EXPECT_THROW((void)SpecBuilder().natflap(0.1, 10.0, 0.0).build(),
+               std::invalid_argument);
+  // At least one honest node must remain to audit.
+  EXPECT_THROW((void)SpecBuilder().nodes(10).adversary_hubs(10).build(),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)SpecBuilder().nodes(10).adversary_hubs(9).build());
+}
+
 TEST(ExperimentSpec, ValidateRejectsOutOfRangeFields) {
   EXPECT_THROW((void)SpecBuilder().nodes(0).build(), std::invalid_argument);
   EXPECT_THROW((void)SpecBuilder().ratio(-0.1).build(),

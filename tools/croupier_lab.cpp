@@ -64,6 +64,15 @@ constexpr const char* kUsage =
     "                             (region = a contiguous latency\n"
     "                             neighbourhood around a random\n"
     "                             epicenter)\n"
+    "  --eclipse=target:N,at:S,period:S   eclipse attack: every period,\n"
+    "                             every node the target points at is\n"
+    "                             crashed and replaced, starving the\n"
+    "                             target of honest links\n"
+    "  --natflap=frac:F,at:S,period:S   NAT flapping: frac of nodes flip\n"
+    "                             NAT class each period and flip back the\n"
+    "                             next, invalidating relay/RVP state\n"
+    "  --adversary=hubs:N         N public joiners run the self-promoting\n"
+    "                             hub shim instead of the honest sampler\n"
     "  --loss=P | --loss=pub-pub:P,priv-any:P,...,after:S\n"
     "                             uniform or per-class-pair message loss\n"
     "                             (pairs are sender-receiver with `any`\n"
@@ -86,11 +95,14 @@ constexpr const char* kUsage =
     "  --round-ms=MS              gossip round period (default 1000)\n"
     "  --natid                    joiners run the NAT-ID protocol\n"
     "  --duration=S               horizon in seconds (default 200)\n"
-    "  --record=estimation|graph|graph-sampled\n"
+    "  --record=estimation|graph|graph-sampled|randomness\n"
     "                             what to record (default estimation);\n"
     "                             graph-sampled runs the O(sample)\n"
     "                             streaming estimators for worlds too\n"
-    "                             large to snapshot\n"
+    "                             large to snapshot; randomness runs the\n"
+    "                             statistical sampler audit (in-degree\n"
+    "                             chi-square z, lag-1 repeat ratio,\n"
+    "                             public-selection bias)\n"
     "  --record-every=S           sampling interval (default 1 / 10)\n"
     "harness:\n"
     "  --runs=N --seed=S --jobs=N --csv=PATH   as in the fig benches;\n"
@@ -119,6 +131,7 @@ struct LabFlags {
         "join-private-ms", "step-publics", "step-privates", "step-at",
         "step-every-ms",  "flash",        "churn",       "churn-at",
         "catastrophe",    "catastrophe-at", "failure",   "loss",
+        "eclipse",        "natflap",      "adversary",
         "mtu",            "bandwidth",    "fec",
         "skew",           "private-round-scale",
         "latency",        "latency-ms",   "round-ms",    "duration",
@@ -266,6 +279,41 @@ struct SampledFold {
   }
 };
 
+/// randomness recording: the statistical audit series — the three
+/// normalized statistics whose honest-case expectations are known in
+/// closed form (chi2 z ~ 0, repeat ratio ~ 1, bias ratio ~ 1).
+struct RandomnessSeries {
+  std::vector<double> t;
+  std::vector<double> chi2_z;
+  std::vector<double> repeat_ratio;
+  std::vector<double> bias_ratio;
+};
+
+RandomnessSeries to_randomness_series(const run::RandomnessAuditRecorder& rec) {
+  RandomnessSeries out;
+  for (const auto& p : rec.series()) {
+    out.t.push_back(p.t_seconds);
+    out.chi2_z.push_back(p.chi2_z);
+    out.repeat_ratio.push_back(p.repeat_ratio);
+    out.bias_ratio.push_back(p.bias_ratio);
+  }
+  return out;
+}
+
+struct RandomnessFold {
+  std::vector<double> t;
+  exp::SeriesAccum chi2_z;
+  exp::SeriesAccum repeat_ratio;
+  exp::SeriesAccum bias_ratio;
+
+  void add(const RandomnessSeries& run) {
+    if (t.empty()) t = run.t;
+    chi2_z.add(run.chi2_z);
+    repeat_ratio.add(run.repeat_ratio);
+    bias_ratio.add(run.bias_ratio);
+  }
+};
+
 /// Wall-clock accounting for one sweep point, reported on stderr so the
 /// determinism gate (which byte-compares stdout and CSV across --jobs /
 /// --world-jobs) never sees it.
@@ -401,6 +449,33 @@ void emit_graph_sampled(exp::ResultSink& sink, const std::string& label,
   sink.value(block, "final largest-component", final_comp);
 }
 
+void emit_randomness(exp::ResultSink& sink, const std::string& label,
+                     const RandomnessFold& fold, std::size_t n_runs) {
+  const std::vector<double> z = fold.chi2_z.means();
+  const std::vector<double> rep = fold.repeat_ratio.means();
+  const std::vector<double> bias = fold.bias_ratio.means();
+  const std::vector<double> t(
+      fold.t.begin(),
+      fold.t.begin() + static_cast<std::ptrdiff_t>(z.size()));
+  bench::emit_series(sink, label + " indegree-chi2-z", t, z,
+                     fold.chi2_z.stddevs(), n_runs, "%.0f", "%.4f");
+  bench::emit_series(sink, label + " repeat-ratio", t, rep,
+                     fold.repeat_ratio.stddevs(), n_runs, "%.0f", "%.4f");
+  bench::emit_series(sink, label + " bias-ratio", t, bias,
+                     fold.bias_ratio.stddevs(), n_runs, "%.0f", "%.4f");
+  const std::string block = "summary " + label;
+  const double final_z = z.empty() ? 0.0 : z.back();
+  const double final_rep = rep.empty() ? 0.0 : rep.back();
+  const double final_bias = bias.empty() ? 0.0 : bias.back();
+  sink.comment(exp::strf("%s: final chi2-z=%.3f final repeat-ratio=%.4f "
+                         "final bias-ratio=%.4f",
+                         block.c_str(), final_z, final_rep, final_bias));
+  sink.blank();
+  sink.value(block, "final chi2-z", final_z);
+  sink.value(block, "final repeat-ratio", final_rep);
+  sink.value(block, "final bias-ratio", final_bias);
+}
+
 /// Runs the sweep's trial grid with streaming per-point folds plus
 /// per-trial wall-clock and drop-stat capture. `run_trial(p, seed)`
 /// executes one trial and returns (series, DropStats); the series is
@@ -508,6 +583,20 @@ int main(int argc, char** argv) {
         timing);
     for (std::size_t p = 0; p < specs.size(); ++p) {
       emit_graph(sink, labels[p], folds[p], args.runs);
+    }
+  } else if (record == run::ExperimentSpec::RecordKind::Randomness) {
+    const auto folds = run_lab_grid<RandomnessFold>(
+        pool, args, specs.size(),
+        [&](std::size_t p, std::uint64_t seed) {
+          run::Experiment experiment(specs[p], seed, args.world_jobs);
+          experiment.run();
+          return std::make_pair(
+              to_randomness_series(*experiment.randomness()),
+              experiment.world().network().drops());
+        },
+        timing);
+    for (std::size_t p = 0; p < specs.size(); ++p) {
+      emit_randomness(sink, labels[p], folds[p], args.runs);
     }
   } else if (record == run::ExperimentSpec::RecordKind::GraphSampled) {
     const auto folds = run_lab_grid<SampledFold>(
