@@ -4,40 +4,73 @@
 # CI's `lint` job runs exactly this; locally it is the fast pre-commit
 # check — detlint alone takes well under a second.
 #
+# Every leg runs even when an earlier one fails; the exit code is the
+# aggregate, so CI annotates all findings from one run instead of
+# revealing them one leg at a time.
+#
 # Usage: scripts/run_lint.sh [--no-tidy]
-#   BUILD_DIR=...  build directory for the detlint binary
-#                  (default build-lint; reusing an existing build dir is
-#                  fine, detlint is a leaf target)
-#   TIDY_DIR=...   clang-tidy build directory (default build-tidy)
-set -euo pipefail
+#   BUILD_DIR=...    build directory for the detlint binary
+#                    (default build-lint; reusing an existing build dir is
+#                    fine, detlint is a leaf target)
+#   TIDY_DIR=...     clang-tidy build directory (default build-tidy)
+#   REQUIRE_TIDY=1   missing clang-tidy is a failure instead of a skip
+#                    (CI sets this: the tidy leg must actually execute)
+#   SARIF_OUT=...    also write the detlint report as SARIF to this path
+set -uo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-lint}
 TIDY_DIR=${TIDY_DIR:-build-tidy}
+REQUIRE_TIDY=${REQUIRE_TIDY:-0}
+SARIF_OUT=${SARIF_OUT:-}
 NO_TIDY=0
 if [ "${1:-}" = "--no-tidy" ]; then
   NO_TIDY=1
 fi
 
+failed=0
+
 echo "== detlint =="
-cmake -B "$BUILD_DIR" -S . -DCROUPIER_BUILD_TESTS=OFF \
-  -DCROUPIER_BUILD_BENCHES=OFF -DCROUPIER_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target detlint >/dev/null
-"$BUILD_DIR/tools/detlint/detlint" --root=.
+if cmake -B "$BUILD_DIR" -S . -DCROUPIER_BUILD_TESTS=OFF \
+     -DCROUPIER_BUILD_BENCHES=OFF -DCROUPIER_BUILD_EXAMPLES=OFF >/dev/null \
+   && cmake --build "$BUILD_DIR" -j "$(nproc)" --target detlint >/dev/null
+then
+  "$BUILD_DIR/tools/detlint/detlint" --root=. || failed=1
+  if [ -n "$SARIF_OUT" ]; then
+    # Second pass for the machine-readable mirror; the scan is sub-second.
+    "$BUILD_DIR/tools/detlint/detlint" --root=. --format=sarif \
+      --output="$SARIF_OUT" >/dev/null || true
+  fi
+else
+  echo "detlint: failed to build" >&2
+  failed=1
+fi
 
 if [ "$NO_TIDY" = 1 ]; then
-  exit 0
+  exit "$failed"
 fi
 if ! command -v clang-tidy >/dev/null 2>&1; then
-  echo "clang-tidy not installed; skipping (detlint gate passed)" >&2
-  exit 0
+  if [ "$REQUIRE_TIDY" = 1 ]; then
+    echo "clang-tidy required (REQUIRE_TIDY=1) but not installed" >&2
+    exit 1
+  fi
+  echo "clang-tidy not installed; skipping (detlint exit: $failed)" >&2
+  exit "$failed"
 fi
 
 echo "== clang-tidy ($(clang-tidy --version | sed -n 2p | tr -s ' ')) =="
 # A full compile with CMAKE_CXX_CLANG_TIDY checks every TU; warnings
 # print, and the checks listed in WarningsAsErrors fail the build.
-cmake -B "$TIDY_DIR" -S . -DCROUPIER_CLANG_TIDY=ON \
-  -DCROUPIER_BUILD_TESTS=OFF -DCROUPIER_BUILD_BENCHES=OFF \
-  -DCROUPIER_BUILD_EXAMPLES=OFF >/dev/null
-cmake --build "$TIDY_DIR" -j "$(nproc)"
-echo "lint: clean"
+if ! cmake -B "$TIDY_DIR" -S . -DCROUPIER_CLANG_TIDY=ON \
+       -DCROUPIER_BUILD_TESTS=OFF -DCROUPIER_BUILD_BENCHES=OFF \
+       -DCROUPIER_BUILD_EXAMPLES=OFF >/dev/null \
+   || ! cmake --build "$TIDY_DIR" -j "$(nproc)"; then
+  failed=1
+fi
+
+if [ "$failed" = 0 ]; then
+  echo "lint: clean"
+else
+  echo "lint: FAILED (see legs above)" >&2
+fi
+exit "$failed"

@@ -36,6 +36,7 @@ ArrgShuffleRes ArrgShuffleRes::decode(wire::Reader& r) {
 Arrg::Arrg(Context ctx, ArrgConfig cfg)
     : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.base.view_size, ctx_.arena) {
   CROUPIER_ASSERT(cfg_.open_list_size > 0);
+  view_.set_owner(self());
 }
 
 void Arrg::init() {

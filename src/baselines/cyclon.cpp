@@ -36,6 +36,7 @@ Cyclon::Cyclon(Context ctx, pss::PssConfig cfg)
     : PeerSampler(std::move(ctx)), cfg_(cfg), view_(cfg.view_size, ctx_.arena) {
   CROUPIER_ASSERT(cfg_.shuffle_size > 0 &&
                   cfg_.shuffle_size <= cfg_.view_size);
+  view_.set_owner(self());
 }
 
 void Cyclon::init() {

@@ -120,6 +120,7 @@ Gozar::Gozar(Context ctx, GozarConfig cfg)
   CROUPIER_ASSERT(cfg_.num_parents > 0);
   CROUPIER_ASSERT(cfg_.base.shuffle_size > 0 &&
                   cfg_.base.shuffle_size <= cfg_.base.view_size);
+  view_.set_owner(self());
 }
 
 GozarDescriptor Gozar::self_descriptor() const {

@@ -108,6 +108,7 @@ Nylon::Nylon(Context ctx, NylonConfig cfg)
                   cfg_.base.shuffle_size <= cfg_.base.view_size);
   CROUPIER_ASSERT(cfg_.keepalive_rounds > 0);
   CROUPIER_ASSERT(cfg_.rvp_ttl_rounds >= cfg_.keepalive_rounds);
+  view_.set_owner(self());
 }
 
 void Nylon::init() {

@@ -53,6 +53,8 @@ Croupier::Croupier(Context ctx, CroupierConfig cfg)
   if (cfg_.sizing == ViewSizing::RatioProportional) {
     CROUPIER_ASSERT(cfg_.base.view_size >= 2 * cfg_.min_view_slots);
   }
+  view_u_.set_owner(self());
+  view_v_.set_owner(self());
 }
 
 void Croupier::init() {

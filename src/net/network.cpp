@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "sim/conflict.hpp"
 #include "wire/wire.hpp"
 
 namespace croupier::net {
@@ -112,6 +113,7 @@ void Network::send(NodeId from, NodeId to, MessagePtr msg) {
   // regardless of whether the packet ultimately arrives. The box belongs
   // to the node this event is sharded on, so the mutation stays inline.
   if (from_it->second.nat.has_value()) {
+    sim::conflict::record_write(from, "Network: sender NAT box");
     from_it->second.nat->on_outbound(simulator_.now(), to);
   }
 
@@ -269,6 +271,7 @@ void Network::deliver(NodeId from, NodeId to, MessagePtr msg,
       meter_.on_deliver(to, bytes);
     });
   }
+  sim::conflict::record_write(to, "Network: receiver handler dispatch");
   to_it->second.handler->on_message(from, *msg);
 }
 
@@ -317,6 +320,7 @@ void Network::deliver_fragment(NodeId from, NodeId to, MessagePtr msg,
 
   // Reassembly buffers are the receiving node's own state (this event is
   // sharded on `to`, like the NAT box above), so the mutation is inline.
+  sim::conflict::record_write(to, "Network: reassembly buffers");
   auto& assemblies = to_it->second.assemblies;
   auto it = assemblies.find(frag.header.msg_id);
   if (it == assemblies.end()) {
@@ -332,6 +336,10 @@ void Network::deliver_fragment(NodeId from, NodeId to, MessagePtr msg,
     const sim::Affinity affinity = delivery_affinity_
                                        ? delivery_affinity_(to, *msg)
                                        : sim::kSerialAffinity;
+    // detlint:allow(naked-schedule) the GC arm discards the EventId and
+    // is deliberately un-guarded: schedule_impl auto-defers it when this
+    // delivery runs inside a parallel batch, and the event is harmless
+    // to replay late (expire_assembly tolerates a completed entry).
     simulator_.schedule_after(
         packet_.reassembly_timeout, affinity,
         [this, to, msg_id] { expire_assembly(to, msg_id); });

@@ -30,6 +30,7 @@
 #include "common/assert.hpp"
 #include "net/address.hpp"
 #include "pss/view_store.hpp"
+#include "sim/conflict.hpp"
 #include "sim/rng.hpp"
 
 namespace croupier::pss {
@@ -87,6 +88,16 @@ class PartialView {
 
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Tags the view with the node that owns it, for the conflict checker
+  /// (CROUPIER_CONFLICT_CHECK builds): every mutation then asserts it
+  /// happens on that node's own shard. Untagged views (tests, benches)
+  /// keep owner 0 and are never checked. No-op in normal builds.
+#if defined(CROUPIER_CONFLICT_CHECK)
+  void set_owner(net::NodeId owner) { owner_ = owner; }
+#else
+  void set_owner(net::NodeId /*owner*/) {}
+#endif
+
   /// Rebounds the view. Shrinking evicts oldest descriptors first (the
   /// repeated first-max eviction of the original, computed as one pass:
   /// the k evicted slots are exactly the k largest ages, ties broken by
@@ -94,6 +105,7 @@ class PartialView {
   /// where the public/private capacity split tracks the estimated ratio.
   void set_capacity(std::size_t capacity) {
     CROUPIER_ASSERT(capacity > 0);
+    record_mutation("PartialView::set_capacity");
     capacity_ = capacity;
     store_.reserve(capacity);
     if (store_.size() <= capacity_) return;
@@ -132,7 +144,10 @@ class PartialView {
   }
 
   /// Ages every descriptor by one round.
-  void age_all() { store_.bump_ages(); }
+  void age_all() {
+    record_mutation("PartialView::age_all");
+    store_.bump_ages();
+  }
 
   /// Tail policy: the oldest descriptor (ties broken by position, which is
   /// deterministic). Empty view yields nullopt.
@@ -145,6 +160,7 @@ class PartialView {
   bool remove(net::NodeId id) {
     const auto slot = store_.slot_of(id);
     if (!slot.has_value()) return false;
+    record_mutation("PartialView::remove");
     store_.erase_at(*slot);
     return true;
   }
@@ -153,6 +169,7 @@ class PartialView {
   /// descriptor was inserted.
   bool add_if_room(const Desc& d) {
     if (full() || contains(d.id)) return false;
+    record_mutation("PartialView::add_if_room");
     store_.push_back(d);
     return true;
   }
@@ -160,6 +177,7 @@ class PartialView {
   /// Unconditional insert used at bootstrap: if full, replaces the oldest
   /// descriptor; if the node is present, keeps the newer copy.
   void force_add(const Desc& d) {
+    record_mutation("PartialView::force_add");
     if (const auto slot = store_.slot_of(d.id); slot.has_value()) {
       if (d.age < store_.age_at(*slot)) store_.assign(*slot, d);
       return;
@@ -205,6 +223,7 @@ class PartialView {
   /// state fastest at the cost of more information loss than swapper.
   /// `self` is never inserted.
   void merge_healer(std::span<const Desc> received, net::NodeId self) {
+    record_mutation("PartialView::merge_healer");
     for (const auto& r : received) {
       if (r.id == self) continue;
       if (const auto slot = store_.slot_of(r.id); slot.has_value()) {
@@ -227,6 +246,7 @@ class PartialView {
   /// `self` is never inserted.
   void merge_swapper(std::span<const Desc> sent, std::span<const Desc> received,
                      net::NodeId self) {
+    record_mutation("PartialView::merge_swapper");
     std::deque<net::NodeId> evictable;
     for (const auto& d : sent) evictable.push_back(d.id);
 
@@ -256,7 +276,10 @@ class PartialView {
     }
   }
 
-  void clear() { store_.clear(); }
+  void clear() {
+    record_mutation("PartialView::clear");
+    store_.clear();
+  }
 
  private:
   [[nodiscard]] std::vector<Desc> materialize() const {
@@ -265,8 +288,21 @@ class PartialView {
     return out;
   }
 
+  /// Conflict-checker probe on every mutation path; compiles to nothing
+  /// in normal builds.
+  void record_mutation(const char* site) const {
+#if defined(CROUPIER_CONFLICT_CHECK)
+    sim::conflict::record_write(owner_, site);
+#else
+    (void)site;
+#endif
+  }
+
   std::size_t capacity_;
   ViewStore<Desc> store_;
+#if defined(CROUPIER_CONFLICT_CHECK)
+  net::NodeId owner_ = 0;  // 0 = untagged; never checked
+#endif
 };
 
 /// Dispatches a merge through the configured policy.

@@ -5,6 +5,7 @@
 
 #include "common/assert.hpp"
 #include "net/latency.hpp"
+#include "sim/conflict.hpp"
 
 namespace croupier::run {
 
@@ -56,18 +57,20 @@ World::World(Config cfg, ProtocolFactory factory)
   CROUPIER_ASSERT(cfg_.round_period > 0);
   CROUPIER_ASSERT(cfg_.clock_skew >= 0.0 && cfg_.clock_skew < 0.5);
 
+  // One fork feeds whichever latency model is selected: the branches are
+  // mutually exclusive, and hoisting keeps the tag single-sited (fork()
+  // is const, so taking it unconditionally changes no byte of any run).
+  const std::uint64_t latency_seed = master_rng_.fork(0x1A7).next_u64();
   std::unique_ptr<net::LatencyModel> latency;
   switch (cfg_.latency) {
     case LatencyKind::Constant:
       latency = std::make_unique<net::ConstantLatency>(cfg_.constant_latency);
       break;
     case LatencyKind::Coordinate:
-      latency = std::make_unique<net::CoordinateLatencyModel>(
-          master_rng_.fork(0x1A7).next_u64());
+      latency = std::make_unique<net::CoordinateLatencyModel>(latency_seed);
       break;
     case LatencyKind::King:
-      latency = std::make_unique<net::KingLatencyModel>(
-          master_rng_.fork(0x1A7).next_u64());
+      latency = std::make_unique<net::KingLatencyModel>(latency_seed);
       break;
   }
   const sim::Duration min_latency = latency->min_latency();
@@ -217,11 +220,15 @@ void World::schedule_round(net::NodeId id, std::uint32_t epoch) {
   NodeRuntime& node = *it->second;
   if (node.pss == nullptr || node.round_epoch != epoch) return;
 
+  sim::conflict::record_write(id, "World: per-node runtime (round)");
   node.pss->round();
   ++node.rounds;
 
   const auto period = static_cast<sim::Duration>(
       static_cast<double>(cfg_.round_period) * node.period_scale);
+  // detlint:allow(naked-schedule) the round re-arm discards the EventId
+  // (the chain is torn down via the epoch check, never cancel()), and
+  // schedule_impl auto-defers it when this runs inside a parallel batch.
   sim_.schedule_after(period, static_cast<sim::Affinity>(id),
                       [this, id, epoch] { schedule_round(id, epoch); });
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "sim/conflict.hpp"
 
 namespace croupier::sim {
 
@@ -139,7 +140,9 @@ void ParallelExecutor::run_shard(std::size_t shard) {
     log.current_time = ev.time;
     log.current_id = ev.id;
     ++log.executed;
+    conflict::begin_shard_event(ev.affinity);
     ev.fn();
+    conflict::end_shard_event();
   }
   Simulator::bind_shard_log(nullptr);
 }

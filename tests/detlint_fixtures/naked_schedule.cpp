@@ -1,0 +1,19 @@
+// Fixture: naked-schedule — Simulator scheduling API reached from shard
+// context without the deferring() guard.
+struct PeerSampler;  // marks this file as a protocol implementation
+
+void round() {
+  sim_.schedule_after(10, 1, [] {});
+  auto id = sim_.schedule_at(99, [] {});
+  sim_.cancel(id);
+  if (!sim_.deferring()) {
+    sim_.schedule_after(10, 1, [] {});
+  }
+  sim_.defer([] { sim_.schedule_after(10, 1, [] {}); });
+  // detlint:allow(naked-schedule) fixture: re-arm discards the EventId
+  sim_.schedule_after(10, 1, [] {});
+}
+
+void not_a_handler() {
+  sim_.schedule_after(10, 1, [] {});
+}

@@ -1,0 +1,13 @@
+// Fixture: rng-lineage — duplicate fork tags and shared static streams.
+void setup() {
+  auto a = master_rng_.fork(0x1A7);
+  auto b = master_rng_.fork(0x2E7);
+  auto c = master_rng_.fork(0x1A7);
+  auto d = other_rng_.fork(0x1A7);
+  auto e = master_rng_.fork(tag_for(7));
+  // detlint:allow(rng-lineage) fixture: intentional duplicate for tests
+  auto f = master_rng_.fork(0x2E7);
+}
+
+static sim::RngStream shared_stream;
+sim::RngStream fine_stream;

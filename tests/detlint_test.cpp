@@ -105,6 +105,69 @@ TEST(DetlintRules, FloatAccumScopedToMetrics) {
   EXPECT_NE(elsewhere[0].message.find("unused"), std::string::npos);
 }
 
+TEST(DetlintRules, CrossShardMutate) {
+  const auto fs = scan("tests/detlint_fixtures/cross_shard_mutate.cpp",
+                       "cross_shard_mutate.cpp");
+  // helper_bad (line 5) is pulled into shard context by the call from
+  // on_message; helper_serial_only (line 6) is identical code but
+  // unreachable from any node-affine root, so it stays quiet. The
+  // defer() argument (13), the !deferring() then-block (15), the
+  // read-only lookup (12), and the waived clear (18) are all clean.
+  EXPECT_EQ(lines_of(fs, "cross-shard-mutate"), (std::vector<int>{5, 9, 11}));
+  EXPECT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) {
+    if (f.line == 9) {
+      EXPECT_EQ(f.function, "on_message");
+    }
+  }
+}
+
+TEST(DetlintRules, CrossShardMutateScopedOutOfEngine) {
+  // The same bytes under src/sim/ are the engine kernel itself — out of
+  // affinity scope; the now-dead waiver surfaces as a meta finding.
+  const auto fs = scan("src/sim/cross_shard_mutate.cpp",
+                       "cross_shard_mutate.cpp");
+  EXPECT_TRUE(lines_of(fs, "cross-shard-mutate").empty());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "suppression");
+  EXPECT_NE(fs[0].message.find("unused"), std::string::npos);
+}
+
+TEST(DetlintRules, NakedSchedule) {
+  const auto fs = scan("tests/detlint_fixtures/naked_schedule.cpp",
+                       "naked_schedule.cpp");
+  // The raw schedule (6), the id-storing schedule_at (7), and the
+  // cancel (8) fire inside the protocol round; the guarded (10),
+  // deferred (12), waived (14), and non-handler (18) calls are clean.
+  EXPECT_EQ(lines_of(fs, "naked-schedule"), (std::vector<int>{6, 7, 8}));
+  EXPECT_EQ(fs.size(), 3u);
+  for (const auto& f : fs) {
+    EXPECT_EQ(f.function, "round");
+    if (f.line == 8) {
+      EXPECT_NE(f.message.find("cancel"), std::string::npos);
+    }
+  }
+}
+
+TEST(DetlintRules, RngLineage) {
+  const auto fs = scan("tests/detlint_fixtures/rng_lineage.cpp",
+                       "rng_lineage.cpp");
+  // The duplicate (master_rng_, 0x1A7) pair (5) and the static stream
+  // (12) fire; distinct tags (4), another receiver (6), a non-literal
+  // tag (7), and the waived duplicate (9) are clean.
+  EXPECT_EQ(lines_of(fs, "rng-lineage"), (std::vector<int>{5, 12}));
+  EXPECT_EQ(fs.size(), 2u);
+  for (const auto& f : fs) {
+    if (f.line == 5) {
+      EXPECT_NE(f.message.find("duplicate fork tag"), std::string::npos);
+      EXPECT_NE(f.message.find("line 3"), std::string::npos);
+    }
+    if (f.line == 12) {
+      EXPECT_NE(f.message.find("static"), std::string::npos);
+    }
+  }
+}
+
 TEST(DetlintRules, SuppressionMetaRule) {
   const auto fs = scan("tests/detlint_fixtures/suppression_meta.cpp",
                        "suppression_meta.cpp");

@@ -155,6 +155,7 @@ RunFingerprint run_spec(const run::ExperimentSpec& spec, std::uint64_t seed,
   fp.fragments_expired = drops.fragments_expired;
   fp.delivered_bytes = drops.delivered_bytes;
   fp.alive = world.alive_count();
+  // detlint:allow(unordered-iter) order-insensitive sum over the meter map
   for (const auto& [node, totals] : world.network().meter().per_node()) {
     fp.bytes_total += totals.bytes_total();
   }

@@ -1,6 +1,7 @@
 // detlint — the determinism lint.
 //
-// A token-level static-analysis pass over src/, bench/, and tools/ that
+// A token-level static-analysis pass over src/, bench/, tools/, and
+// tests/ (minus the deliberately-dirty detlint_fixtures/) that
 // enforces the repo's byte-identity contract at the source level: same
 // spec + seed => identical output bytes, regardless of --jobs or
 // --world-jobs. The dynamic gates (scripts/check_determinism.sh, the
@@ -38,6 +39,32 @@
 //                   Welford (exp::Accum/SeriesAccum) or iterate a
 //                   deterministically ordered sequence and say so in a
 //                   suppression.
+//   cross-shard-mutate
+//                   a function reachable from a node-affine handler root
+//                   (protocol on_message/round, Network send/deliver, the
+//                   round driver) touches cross-node engine state (the
+//                   traffic meter, drop counters, shared msg-id counter,
+//                   token buckets, the loss/latency RNG, the node table,
+//                   the bootstrap oracle) outside a Simulator::defer
+//                   argument or a `!deferring()` serial guard. Such a
+//                   write lands mid-batch on a worker thread and its
+//                   order relative to sibling shards is a scheduling
+//                   accident — the exact hazard the byte-identity
+//                   contract bans.
+//   naked-schedule  Simulator::schedule_after/schedule_at (or cancel)
+//                   reachable from shard context without the deferring()
+//                   guard. Inside a parallel batch schedule_impl
+//                   auto-defers and returns kInvalidEventId, so storing
+//                   or cancelling the id is broken; cancel() asserts
+//                   outright. Guard with !deferring(), route through
+//                   defer(), or waive with the reason the id is
+//                   discarded.
+//   rng-lineage     RngStream fork-tag audit: two forks of the same
+//                   receiver with the same literal tag yield *identical*
+//                   streams (fork hashes (lineage, tag) and nothing
+//                   else), and a static/thread_local RngStream is one
+//                   stream shared across node-affine handlers — its draw
+//                   order depends on batch scheduling.
 //   suppression     meta-rule: a detlint:allow with an unknown rule id,
 //                   a missing/too-short reason, or one that suppresses
 //                   nothing.
@@ -89,7 +116,11 @@ struct FunctionDef {
   std::size_t body_begin = 0;  // offsets into the blanked code
   std::size_t body_end = 0;
   std::set<std::string> calls;  // unqualified callee names
-  bool is_root = false;         // emits output itself (see rules.cpp)
+  /// Every call site with its offset — the affinity pass needs positions
+  /// so edges inside defer()/serial-guard extents can be skipped.
+  std::vector<std::pair<std::string, std::size_t>> call_sites;
+  bool is_root = false;        // emits output itself (see rules.cpp)
+  bool is_shard_root = false;  // node-affine handler registration site
 };
 
 /// Per-file scan state: the blanked source plus everything the per-file
@@ -103,6 +134,11 @@ struct FileScan {
   std::set<std::string> unordered_vars;  // identifiers of unordered type
   std::set<std::string> unordered_fns;   // functions returning unordered
   std::set<std::string> float_vars;      // identifiers of float/double type
+  /// Offset ranges where cross-node effects are legal: the argument of a
+  /// defer(...) call, or the then-block of an `if (!...deferring...)`
+  /// serial guard. Marker uses and call-graph edges inside these are
+  /// exempt from the affinity rules.
+  std::vector<std::pair<std::size_t, std::size_t>> exempt_extents;
   std::vector<Finding> findings;         // pre-suppression
 };
 

@@ -1,8 +1,13 @@
-// detlint CLI: scans src/, bench/, and tools/ under --root (default the
-// current directory) and exits nonzero when any determinism finding
-// survives suppression — the ctest/CI gate.
+// detlint CLI: scans src/, bench/, tools/, and tests/ under --root
+// (default the current directory) and exits nonzero when any determinism
+// finding survives suppression — the ctest/CI gate.
 //
-//   detlint [--root=DIR] [extra files or dirs...]
+// tests/detlint_fixtures/ is skipped during directory walks: those files
+// are deliberate rule violations the fixture suite scans in-process.
+// Naming a fixture file directly still works.
+//
+//   detlint [--root=DIR] [--format=text|sarif] [--output=FILE]
+//           [extra files or dirs...]
 //   detlint --list-rules
 #include <algorithm>
 #include <cstdio>
@@ -24,6 +29,10 @@ bool scannable(const fs::path& p) {
          ext == ".cxx";
 }
 
+bool is_fixture(const std::string& rel) {
+  return rel.rfind("tests/detlint_fixtures/", 0) == 0;
+}
+
 void collect(const fs::path& root, const fs::path& p,
              std::vector<std::string>& out) {
   std::error_code ec;
@@ -31,7 +40,8 @@ void collect(const fs::path& root, const fs::path& p,
     for (fs::recursive_directory_iterator it(p, ec), end; it != end;
          it.increment(ec)) {
       if (it->is_regular_file(ec) && scannable(it->path())) {
-        out.push_back(fs::relative(it->path(), root, ec).generic_string());
+        std::string rel = fs::relative(it->path(), root, ec).generic_string();
+        if (!is_fixture(rel)) out.push_back(std::move(rel));
       }
     }
   } else if (fs::is_regular_file(p, ec) && scannable(p)) {
@@ -39,21 +49,94 @@ void collect(const fs::path& root, const fs::path& p,
   }
 }
 
+/// JSON string escaping for the SARIF emitter (control chars, quotes,
+/// backslashes; everything else passes through byte-for-byte).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal SARIF 2.1.0 log: one run, one rule entry per known rule, one
+/// result per finding. Enough for GitHub code scanning and editors;
+/// nothing speculative.
+std::string to_sarif(const std::vector<detlint::Finding>& findings) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+         "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"runs\": [{\n"
+      << "    \"tool\": {\"driver\": {\"name\": \"detlint\", \"rules\": [";
+  bool first = true;
+  for (const std::string& r : detlint::Linter::rule_ids()) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"id\": \"" << json_escape(r) << "\"}";
+  }
+  out << "]}},\n"
+      << "    \"results\": [";
+  first = true;
+  for (const detlint::Finding& f : findings) {
+    if (!first) out << ",";
+    first = false;
+    std::string text = f.message;
+    if (!f.function.empty()) text += " [in " + f.function + "]";
+    out << "\n      {\"ruleId\": \"" << json_escape(f.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << json_escape(text) << "\"}, \"locations\": [{\"physicalLocation\": "
+        << "{\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+        << "\"}, \"region\": {\"startLine\": " << f.line << "}}}]}";
+  }
+  if (!first) out << "\n    ";
+  out << "]\n  }]\n}\n";
+  return out.str();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string format = "text";
+  std::string output;
   std::vector<std::string> extra;
   bool list_rules = false;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a.rfind("--root=", 0) == 0) {
       root = a.substr(7);
+    } else if (a.rfind("--format=", 0) == 0) {
+      format = a.substr(9);
+      if (format != "text" && format != "sarif") {
+        std::fprintf(stderr, "detlint: unknown format %s\n", format.c_str());
+        return 2;
+      }
+    } else if (a.rfind("--output=", 0) == 0) {
+      output = a.substr(9);
     } else if (a == "--list-rules") {
       list_rules = true;
     } else if (a == "--help") {
-      std::printf("usage: detlint [--root=DIR] [files-or-dirs...]\n"
-                  "       detlint --list-rules\n");
+      std::printf(
+          "usage: detlint [--root=DIR] [--format=text|sarif]\n"
+          "               [--output=FILE] [files-or-dirs...]\n"
+          "       detlint --list-rules\n");
       return 0;
     } else if (a.rfind("--", 0) == 0) {
       std::fprintf(stderr, "detlint: unknown flag %s\n", a.c_str());
@@ -72,7 +155,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::string> paths;
   if (extra.empty()) {
-    for (const char* dir : {"src", "bench", "tools"}) {
+    for (const char* dir : {"src", "bench", "tools", "tests"}) {
       collect(root, fs::path(root) / dir, paths);
     }
   } else {
@@ -100,15 +183,38 @@ int main(int argc, char** argv) {
   }
 
   const std::vector<detlint::Finding> findings = linter.run();
-  for (const detlint::Finding& f : findings) {
-    std::printf("%s\n", detlint::format(f).c_str());
+
+  std::string rendered;
+  if (format == "sarif") {
+    rendered = to_sarif(findings);
+  } else {
+    for (const detlint::Finding& f : findings) {
+      rendered += detlint::format(f);
+      rendered += '\n';
+    }
   }
+  if (output.empty()) {
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  } else {
+    std::ofstream out(output, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "detlint: cannot write %s\n", output.c_str());
+      return 2;
+    }
+    out << rendered;
+  }
+
+  // The human summary rides along whatever the report format — on
+  // stderr when a SARIF document owns stdout, so the JSON stays valid.
+  std::FILE* const chat =
+      (format == "sarif" && output.empty()) ? stderr : stdout;
   if (!findings.empty()) {
-    std::printf("detlint: %zu finding(s) across %zu file(s) — fix the "
-                "hazard or add `// detlint:allow(<rule>) <reason>`\n",
-                findings.size(), paths.size());
+    std::fprintf(chat,
+                 "detlint: %zu finding(s) across %zu file(s) — fix the "
+                 "hazard or add `// detlint:allow(<rule>) <reason>`\n",
+                 findings.size(), paths.size());
     return 1;
   }
-  std::printf("detlint: clean (%zu files scanned)\n", paths.size());
+  std::fprintf(chat, "detlint: clean (%zu files scanned)\n", paths.size());
   return 0;
 }

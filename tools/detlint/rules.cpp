@@ -427,6 +427,145 @@ void scan_float_accum(FileScan& fs, const std::vector<LoopBody>& loops) {
   }
 }
 
+// --- Affinity-safety per-file passes -----------------------------------
+
+/// Records the offset ranges where cross-node effects are legal:
+///   (a) the argument list of a `defer(...)` / `.defer(...)` call — the
+///       canonical route for cross-node effects from shard context;
+///   (b) the then-branch of an `if (!...deferring...)` serial guard
+///       (covers both `if (!simulator_.deferring())` and the hoisted
+///       `const bool deferring = ...; if (!deferring)` idiom).
+void compute_exempt_extents(FileScan& fs) {
+  const std::string& code = fs.code;
+  for (std::size_t at = find_word(code, "defer", 0); at != std::string::npos;
+       at = find_word(code, "defer", at + 1)) {
+    const std::size_t open = skip_ws(code, at + 5);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = match_balanced(code, open);
+    if (close == std::string::npos) continue;
+    fs.exempt_extents.emplace_back(open, close);
+  }
+  for (std::size_t at = find_word(code, "if", 0); at != std::string::npos;
+       at = find_word(code, "if", at + 1)) {
+    const std::size_t open = skip_ws(code, at + 2);
+    if (open >= code.size() || code[open] != '(') continue;
+    const std::size_t close = match_balanced(code, open);
+    if (close == std::string::npos) continue;
+    const std::string cond = code.substr(open, close - open);
+    const std::size_t guard = find_word(cond, "deferring", 0);
+    if (guard == std::string::npos) continue;
+    const std::size_t bang = cond.find('!');
+    if (bang == std::string::npos || bang > guard) continue;
+    std::size_t b = skip_ws(code, close);
+    std::size_t e;
+    if (b < code.size() && code[b] == '{') {
+      e = match_balanced(code, b);
+    } else {
+      e = code.find(';', b);
+      if (e != std::string::npos) ++e;
+    }
+    if (e == std::string::npos) continue;
+    fs.exempt_extents.emplace_back(b, e);
+  }
+}
+
+bool in_exempt_extent(const FileScan& fs, std::size_t offset) {
+  for (const auto& [b, e] : fs.exempt_extents) {
+    if (offset >= b && offset < e) return true;
+  }
+  return false;
+}
+
+/// rng-lineage: duplicate `(receiver, literal-tag)` fork pairs within a
+/// file, and static/thread_local RngStream declarations. fork() hashes
+/// (lineage, tag) and nothing else, so two forks of the same receiver
+/// with the same tag are the *same* stream — two components believing
+/// they draw independently actually draw identically. A static stream is
+/// one stream shared across node-affine handlers: its draw order is a
+/// batch-scheduling accident under --world-jobs > 1.
+void scan_rng_lineage(FileScan& fs) {
+  const std::string& code = fs.code;
+  std::map<std::pair<std::string, unsigned long long>, int> seen;
+  for (std::size_t at = find_word(code, "fork", 0); at != std::string::npos;
+       at = find_word(code, "fork", at + 1)) {
+    const std::size_t open = skip_ws(code, at + 4);
+    if (open >= code.size() || code[open] != '(') continue;
+    // Member-call shape with a nameable receiver: `recv.fork(` /
+    // `recv->fork(`. Chained receivers (`x.fork(a).fork(b)`) have no
+    // single identifier to key on and are skipped.
+    std::size_t b = at;
+    while (b > 0 && std::isspace(static_cast<unsigned char>(code[b - 1]))) {
+      --b;
+    }
+    std::string recv;
+    if (b > 0 && code[b - 1] == '.') {
+      recv = ident_ending_at(code, b - 1);
+    } else if (b > 1 && code[b - 1] == '>' && code[b - 2] == '-') {
+      recv = ident_ending_at(code, b - 2);
+    }
+    if (recv.empty()) continue;
+    const std::size_t close = match_balanced(code, open);
+    if (close == std::string::npos) continue;
+    std::string arg = code.substr(open + 1, close - open - 2);
+    while (!arg.empty() &&
+           std::isspace(static_cast<unsigned char>(arg.front()))) {
+      arg.erase(arg.begin());
+    }
+    while (!arg.empty() &&
+           std::isspace(static_cast<unsigned char>(arg.back()))) {
+      arg.pop_back();
+    }
+    // Only integer-literal tags are auditable; expressions and variables
+    // vary per call site.
+    if (arg.empty() || !std::isdigit(static_cast<unsigned char>(arg[0]))) {
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long long tag = std::strtoull(arg.c_str(), &end, 0);
+    if (end == nullptr || *end != '\0') continue;
+    const auto key = std::make_pair(recv, tag);
+    const auto it = seen.find(key);
+    if (it != seen.end()) {
+      add_finding(fs, at, "rng-lineage",
+                  "duplicate fork tag " + arg + " on '" + recv +
+                      "' (first forked at line " + std::to_string(it->second) +
+                      "): fork() hashes (lineage, tag), so both sites draw "
+                      "the *same* stream");
+    } else {
+      seen.emplace(key, line_at(fs, at));
+    }
+  }
+
+  for (std::size_t at = find_word(code, "RngStream", 0);
+       at != std::string::npos; at = find_word(code, "RngStream", at + 1)) {
+    // Walk back over namespace qualification to the preceding keyword.
+    std::size_t j = at;
+    bool flagged = false;
+    while (!flagged) {
+      while (j > 0 && std::isspace(static_cast<unsigned char>(code[j - 1]))) {
+        --j;
+      }
+      if (j >= 2 && code[j - 1] == ':' && code[j - 2] == ':') {
+        j -= 2;
+        continue;
+      }
+      const std::string id = ident_ending_at(code, j);
+      if (id == "sim" || id == "croupier") {
+        j -= id.size();
+        continue;
+      }
+      if (id == "static" || id == "thread_local") {
+        add_finding(fs, at, "rng-lineage",
+                    "static/thread_local RngStream: one stream shared "
+                    "across node-affine handlers — its draw order depends "
+                    "on batch scheduling, not on the experiment seed");
+        flagged = true;
+      }
+      break;
+    }
+  }
+}
+
 // --- Function extraction (for output-path reachability) ----------------
 
 void extract_functions(FileScan& fs) {
@@ -443,14 +582,29 @@ void extract_functions(FileScan& fs) {
     const std::size_t close = match_balanced(code, i);
     if (close == std::string::npos) continue;
     // Walk what follows: qualifiers, trailing return, ctor init list —
-    // a '{' before any ';' means this was a definition.
+    // a '{' before any ';' means this was a definition. Two bail-outs
+    // keep calls from masquerading as definitions: an unbalanced ')'
+    // means the "name(...)" was a nested call inside an enclosing
+    // argument list, and a top-level ',' before any ctor-init ':' means
+    // it was one argument among several (the classic false positive is
+    // `call(args), more_args, [capture] { ... }` — a lambda argument
+    // whose body would otherwise be credited to a phantom function).
     std::size_t p = close;
     bool is_def = false;
+    bool saw_init_colon = false;
     int paren_depth = 0;
     while (p < code.size()) {
       const char c = code[p];
       if (c == '(') ++paren_depth;
-      if (c == ')') --paren_depth;
+      if (c == ')') {
+        if (--paren_depth < 0) break;  // nested call, not a declarator
+      }
+      if (paren_depth == 0 && c == ':') {
+        const bool scope = (p > 0 && code[p - 1] == ':') ||
+                           (p + 1 < code.size() && code[p + 1] == ':');
+        if (!scope) saw_init_colon = true;
+      }
+      if (paren_depth == 0 && c == ',' && !saw_init_colon) break;
       if (paren_depth == 0 && c == ';') break;
       if (paren_depth == 0 && c == '=') break;  // `= default`, assignment
       if (paren_depth == 0 && c == '{') {
@@ -480,6 +634,7 @@ void extract_functions(FileScan& fs) {
       if (!callee.empty() && cpp_keywords().count(callee) == 0 &&
           callee != name) {
         def.calls.insert(callee);
+        def.call_sites.emplace_back(callee, j);
       }
     }
     fs.functions.push_back(def);
@@ -507,19 +662,169 @@ bool is_output_root(const FileScan& fs, const FunctionDef& def) {
   return false;
 }
 
+// --- Affinity-safety cross-file pass -----------------------------------
+
+/// Modules the affinity analysis traverses and scans. The engine kernel
+/// (src/sim/) *implements* the deferral machinery the rules police, and
+/// the NAT-ID module (src/natid/) is serial-affinity by registration —
+/// World's delivery-affinity function routes every NAT-ID message to the
+/// serial shard, so its handlers never run on a worker.
+bool affinity_scope(const std::string& path) {
+  // Test code (mock handlers, harness helpers) runs on the test thread,
+  // never inside a parallel batch — and its coincidental names (an
+  // `on_message` on a stub, an `add` on a fake bootstrap) would otherwise
+  // pull production defs into shard reachability through the name-matched
+  // call graph. Only the fixture corpus, which exists to exercise these
+  // rules, stays in scope.
+  if (path.rfind("tests/", 0) == 0) {
+    return path.rfind("tests/detlint_fixtures/", 0) == 0;
+  }
+  return path.find("src/sim/") == std::string::npos &&
+         path.find("src/natid/") == std::string::npos;
+}
+
+/// A function is a shard *root* when it is one of the entry points the
+/// engine invokes with node affinity: a protocol handler (on_message /
+/// round in a file that implements the PeerSampler interface), the
+/// Network's send/delivery pipeline (send runs on the sender's shard,
+/// deliver on the receiver's), or the World's round driver.
+bool is_shard_root(const FileScan& fs, const FunctionDef& def) {
+  if (!affinity_scope(fs.path)) return false;
+  if (def.name == "on_message" || def.name == "round") {
+    return find_word(fs.code, "PeerSampler", 0) != std::string::npos;
+  }
+  if (def.name == "schedule_round") {
+    return fs.path.find("src/runtime/") != std::string::npos;
+  }
+  if (fs.path.find("src/net/") != std::string::npos) {
+    return def.name == "send" || def.name == "deliver" ||
+           def.name == "deliver_fragment";
+  }
+  return false;
+}
+
+/// Cross-node engine state a shard-context function must not touch
+/// outside defer()/serial-guard extents. AnyUse tokens are serial-half
+/// members whose every touch (even a read of a counter mid-mutation) is
+/// order-sensitive; MutCall tokens are containers where only mutating
+/// member calls (or operator[]) are hazards — lookups are fine.
+struct ShardMarker {
+  const char* token;
+  bool any_use;
+  const char* what;
+};
+
+const std::vector<ShardMarker>& shard_markers() {
+  static const std::vector<ShardMarker> kMarkers = {
+      {"drops_", true, "the global drop counters"},
+      {"meter_", true, "the global traffic meter"},
+      {"next_msg_id_", true, "the shared message-id counter"},
+      {"buckets_", true, "the per-sender token buckets (serial-half state)"},
+      {"rng_", true, "the shared loss/latency RNG stream"},
+      {"nodes_", false, "the node table"},
+      {"bootstrap_", false, "the bootstrap oracle"},
+  };
+  return kMarkers;
+}
+
+/// Member calls that mutate a container (for MutCall markers).
+bool mutating_member(const std::string& m) {
+  static const std::set<std::string> kMut = {
+      "erase",   "emplace", "insert",    "clear",
+      "add",     "remove",  "try_emplace", "push_back",
+  };
+  return kMut.count(m) != 0;
+}
+
+/// Scans one shard-reachable function body for affinity hazards,
+/// appending cross-shard-mutate / naked-schedule findings to fs.
+void scan_shard_body(FileScan& fs, const FunctionDef& def) {
+  const std::string& code = fs.code;
+  for (const ShardMarker& m : shard_markers()) {
+    for (std::size_t at = find_word(code, m.token, def.body_begin);
+         at != std::string::npos && at < def.body_end;
+         at = find_word(code, m.token, at + 1)) {
+      if (in_exempt_extent(fs, at)) continue;
+      // A member access on *another* object (x.drops_) is still the same
+      // engine state in this tree's idiom; no receiver filtering needed.
+      if (!m.any_use) {
+        std::size_t p = skip_ws(code, at + std::string(m.token).size());
+        bool mutation = false;
+        if (p < code.size() && code[p] == '[') {
+          mutation = true;  // operator[] default-inserts
+        } else if (p < code.size() &&
+                   (code[p] == '.' ||
+                    (code[p] == '-' && p + 1 < code.size() &&
+                     code[p + 1] == '>'))) {
+          p += code[p] == '.' ? 1 : 2;
+          p = skip_ws(code, p);
+          if (!mutating_member(read_ident(code, p))) continue;
+          mutation = true;
+        }
+        if (!mutation) continue;
+      }
+      add_finding(fs, at, "cross-shard-mutate",
+                  std::string("'") + m.token + "' (" + m.what +
+                      ") touched from shard context without "
+                      "Simulator::defer — under --world-jobs > 1 this "
+                      "write lands mid-batch on a worker thread and its "
+                      "order is a scheduling accident");
+    }
+  }
+
+  for (const char* sched : {"schedule_after", "schedule_at"}) {
+    for (std::size_t at = find_word(code, sched, def.body_begin);
+         at != std::string::npos && at < def.body_end;
+         at = find_word(code, sched, at + 1)) {
+      const std::size_t after = skip_ws(code, at + std::string(sched).size());
+      if (after >= code.size() || code[after] != '(') continue;
+      if (in_exempt_extent(fs, at)) continue;
+      add_finding(fs, at, "naked-schedule",
+                  std::string("Simulator::") + sched +
+                      " from shard context without the deferring() guard: "
+                      "inside a parallel batch the schedule is auto-"
+                      "deferred and the returned EventId is "
+                      "kInvalidEventId — guard with !deferring(), route "
+                      "through defer(), or waive stating the id is "
+                      "discarded");
+    }
+  }
+  for (std::size_t at = find_word(code, "cancel", def.body_begin);
+       at != std::string::npos && at < def.body_end;
+       at = find_word(code, "cancel", at + 1)) {
+    const std::size_t after = skip_ws(code, at + 6);
+    if (after >= code.size() || code[after] != '(') continue;
+    // Member-call shape only (sim.cancel / simulator().cancel): free
+    // functions named cancel are not the Simulator API.
+    if (at == 0 || (code[at - 1] != '.' &&
+                    !(at > 1 && code[at - 1] == '>' && code[at - 2] == '-'))) {
+      continue;
+    }
+    if (in_exempt_extent(fs, at)) continue;
+    add_finding(fs, at, "naked-schedule",
+                "Simulator::cancel from shard context: cancel asserts "
+                "outside the serial phase — route the cancellation "
+                "through defer()");
+  }
+}
+
 }  // namespace
 
 void analyze(FileScan& fs) {
   harvest_unordered(fs);
   harvest_floats(fs);
   scan_tokens(fs);
+  compute_exempt_extents(fs);
+  scan_rng_lineage(fs);
   extract_functions(fs);
 }
 
 const std::set<std::string>& Linter::rule_ids() {
   static const std::set<std::string> ids = {
-      "entropy",     "wallclock",   "unordered-iter", "ptr-key",
-      "raw-shuffle", "float-accum", "suppression",
+      "entropy",        "wallclock",          "unordered-iter",
+      "ptr-key",        "raw-shuffle",        "float-accum",
+      "cross-shard-mutate", "naked-schedule", "rng-lineage",
+      "suppression",
   };
   return ids;
 }
@@ -599,6 +904,56 @@ std::vector<Finding> Linter::run() {
       const auto it = by_name.find(callee);
       if (it == by_name.end()) continue;
       for (const FunctionDef* next : it->second) work.push_back(next);
+    }
+  }
+
+  // Affinity-safety pass: BFS over the call graph from the node-affine
+  // handler roots, following only call sites *outside* defer()/serial-
+  // guard extents (a call inside a defer argument executes in the serial
+  // merge, not on the worker). Every def of a called name counts —
+  // conservative, like the output BFS — then each shard-reachable body
+  // is scanned for cross-node mutations and naked schedule/cancel calls.
+  {
+    struct DefRef {
+      FileScan* fs;
+      FunctionDef* def;
+    };
+    std::vector<DefRef> defs;
+    std::map<std::string, std::vector<std::size_t>> index;
+    for (FileScan& fs : files_) {
+      for (FunctionDef& def : fs.functions) {
+        def.is_shard_root = is_shard_root(fs, def);
+        index[def.name].push_back(defs.size());
+        defs.push_back({&fs, &def});
+      }
+    }
+    std::set<std::size_t> shard_reachable;
+    std::vector<std::size_t> shard_work;
+    for (std::size_t i = 0; i < defs.size(); ++i) {
+      if (defs[i].def->is_shard_root && shard_reachable.insert(i).second) {
+        shard_work.push_back(i);
+      }
+    }
+    while (!shard_work.empty()) {
+      const DefRef ref = defs[shard_work.back()];
+      shard_work.pop_back();
+      for (const auto& [callee, offset] : ref.def->call_sites) {
+        if (in_exempt_extent(*ref.fs, offset)) continue;
+        const auto it = index.find(callee);
+        if (it == index.end()) continue;
+        for (const std::size_t next : it->second) {
+          // Out-of-scope defs neither get scanned nor propagate: a call
+          // *into* src/sim/ (an RngStream draw, the scheduling API) does
+          // not drag the callee's own callees into shard context.
+          if (!affinity_scope(defs[next].fs->path)) continue;
+          if (shard_reachable.insert(next).second) {
+            shard_work.push_back(next);
+          }
+        }
+      }
+    }
+    for (const std::size_t i : shard_reachable) {
+      scan_shard_body(*defs[i].fs, *defs[i].def);
     }
   }
 
